@@ -1,0 +1,172 @@
+"""E18 — exact baselines vs. the paper's decompositions.
+
+Two comparisons the paper itself makes in prose:
+
+* Spanning side: the Roskind–Tarjan exact packing realizes the
+  Tutte/Nash-Williams number; our MWU fractional packing (Theorem 1.3)
+  must land within (1 − ε) of ⌈(λ−1)/2⌉, and never above the exact
+  integral number + 1 (fractional relaxation slack).
+* Vertex side: the Even–Tarjan exact connectivity is the ground truth
+  the Corollary 1.7 approximation is measured against; the greedy CDS
+  baseline calibrates per-class sizes (Lemma 4.6's O(n log n / k)).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.baselines.greedy_cds import greedy_connected_dominating_set
+from repro.baselines.mincut import edge_connectivity_exact
+from repro.baselines.tree_packing_exact import spanning_tree_packing_number
+from repro.baselines.vertex_connectivity_exact import (
+    even_tarjan_vertex_connectivity,
+)
+from repro.core.cds_packing import fractional_cds_packing
+from repro.core.spanning_packing import fractional_spanning_tree_packing
+from repro.graphs.generators import (
+    clique_chain,
+    fat_cycle,
+    harary_graph,
+    hypercube,
+    torus_grid,
+)
+
+FAMILIES = [
+    ("harary(4,20)", lambda: harary_graph(4, 20)),
+    ("harary(6,24)", lambda: harary_graph(6, 24)),
+    ("clique_chain(4,5)", lambda: clique_chain(4, 5)),
+    ("fat_cycle(3,6)", lambda: fat_cycle(3, 6)),
+    ("hypercube(4)", lambda: hypercube(4)),
+    ("torus(5,5)", lambda: torus_grid(5, 5)),
+]
+
+
+@pytest.mark.benchmark(group="E18-baselines")
+def test_e18_spanning_packing_vs_exact(benchmark):
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for name, builder in FAMILIES:
+            graph = builder()
+            lam = edge_connectivity_exact(graph)
+            exact = spanning_tree_packing_number(graph)
+            tutte = math.ceil((lam - 1) / 2)
+            packing = fractional_spanning_tree_packing(graph, rng=5).packing
+            rows.append(
+                (name, lam, tutte, exact, packing.size, packing.size / max(tutte, 1))
+            )
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "E18a MWU fractional packing vs Roskind–Tarjan exact",
+        ["family", "λ", "⌈(λ-1)/2⌉", "RT exact", "MWU size", "MWU/Tutte"],
+        rows,
+    )
+    for row in rows:
+        _, lam, tutte, exact, size, _ = row
+        assert exact >= tutte  # Tutte/Nash-Williams existence
+        assert size <= lam + 1e-6  # no packing can beat λ
+
+
+@pytest.mark.benchmark(group="E18-baselines")
+def test_e18_vertex_connectivity_oracles_agree(benchmark):
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for name, builder in FAMILIES:
+            graph = builder()
+            ours, _ = even_tarjan_vertex_connectivity(graph)
+            import networkx as nx
+
+            reference = nx.node_connectivity(graph)
+            rows.append((name, ours, reference, ours == reference))
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "E18b Even–Tarjan vs networkx exact vertex connectivity",
+        ["family", "even-tarjan", "networkx", "agree"],
+        rows,
+    )
+    assert all(row[3] for row in rows)
+
+
+@pytest.mark.benchmark(group="E18-baselines")
+def test_e18_sparsified_mincut_tradeoff(benchmark):
+    """Karger [32]: skeleton size vs estimate accuracy on dense inputs."""
+    import networkx as nx
+
+    from repro.baselines.approx_mincut import sparsified_min_cut
+
+    sizes = [30, 45, 60]
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for n in sizes:
+            graph = nx.complete_graph(n)
+            lam = n - 1
+            result = sparsified_min_cut(graph, epsilon=0.5, rng=7)
+            rows.append(
+                (
+                    f"K_{n}",
+                    lam,
+                    f"{result.sample_probability:.2f}",
+                    f"{result.compression:.2f}",
+                    f"{result.estimate:.1f}",
+                    f"{abs(result.estimate - lam) / lam:.3f}",
+                )
+            )
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "E18d sparsified min cut (Karger [32], ε=0.5)",
+        ["graph", "λ", "p", "m'/m", "estimate", "rel err"],
+        rows,
+    )
+    for row in rows:
+        assert float(row[5]) <= 0.5  # within ε
+
+
+@pytest.mark.benchmark(group="E18-baselines")
+def test_e18_class_sizes_vs_greedy_cds(benchmark):
+    """Lemma 4.6 calibration: our packing's average class size should be
+    within an O(log n) factor of the greedy CDS baseline size."""
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for name, builder in FAMILIES:
+            graph = builder()
+            n = graph.number_of_nodes()
+            greedy = len(greedy_connected_dominating_set(graph))
+            result = fractional_cds_packing(graph, rng=7)
+            sizes = [
+                wt.tree.number_of_nodes() for wt in result.packing.trees
+            ]
+            mean_size = sum(sizes) / max(1, len(sizes))
+            rows.append(
+                (
+                    name,
+                    greedy,
+                    f"{mean_size:.1f}",
+                    max(sizes, default=0),
+                    f"{mean_size / max(greedy, 1):.2f}",
+                    f"{math.log(n):.2f}",
+                )
+            )
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "E18c packing class sizes vs greedy CDS (Lemma 4.6 calibration)",
+        ["family", "greedy CDS", "mean class", "max class", "ratio", "ln n"],
+        rows,
+    )

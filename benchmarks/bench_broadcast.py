@@ -1,0 +1,118 @@
+"""E5 — Corollaries 1.4/1.5 + A.1: broadcast throughput and gossip.
+
+Paper claims: throughput Ω(k / log n) messages/round in V-CONGEST,
+⌈(λ−1)/2⌉(1−ε) in E-CONGEST; gossip completes in Õ(η + (N+n)/k)."""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.apps.broadcast import edge_broadcast, vertex_broadcast
+from repro.apps.gossip import gossip
+from repro.core.cds_packing import PackingParameters, construct_cds_packing
+from repro.core.spanning_packing import (
+    MwuParameters,
+    fractional_spanning_tree_packing,
+)
+from repro.graphs.generators import harary_graph
+
+FAST = MwuParameters(epsilon=0.2, beta_factor=2.0)
+
+
+@pytest.mark.benchmark(group="E5-broadcast")
+def test_e5_vertex_throughput_vs_k(benchmark):
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for k in (4, 8, 12):
+            g = harary_graph(k, 36)
+            packing = construct_cds_packing(
+                g, k, params=PackingParameters(class_factor=1.0, layer_factor=1), rng=3
+            ).packing
+            sources = {i: i % 36 for i in range(3 * k)}
+            out = vertex_broadcast(packing, sources, rng=4)
+            n = 36
+            rows.append(
+                (
+                    k,
+                    len(sources),
+                    out.rounds,
+                    out.throughput,
+                    out.throughput / (k / math.log(n)),
+                )
+            )
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "E5: Corollary 1.4 — V-CONGEST broadcast throughput",
+        ["k", "N", "rounds", "throughput", "thr/(k/ln n)"],
+        rows,
+    )
+    # Throughput must grow with k.
+    assert rows[-1][3] > rows[0][3] * 0.8
+
+
+@pytest.mark.benchmark(group="E5-broadcast")
+def test_e5_edge_throughput(benchmark):
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for lam in (5, 8):
+            g = harary_graph(lam, 24)
+            packing = fractional_spanning_tree_packing(
+                g, params=FAST, rng=5
+            ).packing
+            sources = {i: i % 24 for i in range(4 * lam)}
+            out = edge_broadcast(packing, sources, rng=6)
+            target = max(1, math.ceil((lam - 1) / 2))
+            rows.append(
+                (lam, len(sources), out.rounds, out.throughput, out.throughput / target)
+            )
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "E5b: Corollary 1.5 — E-CONGEST broadcast throughput",
+        ["lam", "N", "rounds", "throughput", "thr/ceil((l-1)/2)"],
+        rows,
+    )
+    assert all(r[3] > 0 for r in rows)
+
+
+@pytest.mark.benchmark(group="E5-broadcast")
+def test_e5_gossip_scaling(benchmark):
+    """Corollary A.1: rounds ≈ Õ(η + (N+n)/σ)."""
+    rows = []
+
+    def run_all():
+        rows.clear()
+        g = harary_graph(8, 32)
+        packing = construct_cds_packing(
+            g, 8, params=PackingParameters(class_factor=1.0, layer_factor=1), rng=7
+        ).packing
+        for n_messages, eta in ((16, 1), (32, 1), (64, 2), (96, 3)):
+            outcome = gossip(
+                packing, n_messages=n_messages, max_per_node=eta, rng=8
+            )
+            rows.append(
+                (
+                    n_messages,
+                    eta,
+                    outcome.rounds,
+                    outcome.reference_rounds,
+                    outcome.slowdown,
+                )
+            )
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "E5c: Corollary A.1 — gossip rounds vs eta + (N+n)/sigma",
+        ["N", "eta", "rounds", "reference", "slowdown (the Õ factor)"],
+        rows,
+    )
+    assert all(r[4] <= 40 for r in rows)

@@ -1,0 +1,60 @@
+"""E2 — Theorem 1.2: centralized runtime near-linear in m.
+
+The paper claims Õ(m); we fit the empirical scaling exponent of wall-clock
+time vs edge count on a growing Harary family (log-log slope ≈ 1 up to
+log factors; the previous algorithms of [12]/[15] were Ω(n³))."""
+
+import math
+import time
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core.cds_packing import PackingParameters, construct_cds_packing
+from repro.graphs.generators import harary_graph
+
+SIZES = [24, 48, 96, 192]
+
+
+@pytest.mark.benchmark(group="E2-runtime")
+def test_e2_centralized_runtime_scaling(benchmark):
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for n in SIZES:
+            g = harary_graph(6, n)
+            m = g.number_of_edges()
+            start = time.perf_counter()
+            result = construct_cds_packing(
+                g, 6, params=PackingParameters(), rng=3
+            )
+            elapsed = time.perf_counter() - start
+            rows.append((n, m, elapsed, result.size))
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "E2: Theorem 1.2 — centralized Õ(m) runtime scaling",
+        ["n", "m", "seconds", "packing size"],
+        rows,
+    )
+    # Log-log slope between the smallest and largest instance: near-linear
+    # (the n^3 algorithms of [12]/[15] would show slope >= 3).
+    t0, t1 = rows[0][2], rows[-1][2]
+    m0, m1 = rows[0][1], rows[-1][1]
+    slope = math.log(max(t1, 1e-6) / max(t0, 1e-6)) / math.log(m1 / m0)
+    print(f"empirical log-log slope (time vs m): {slope:.2f}")
+    assert slope < 2.5, f"runtime scaling {slope:.2f} is far from near-linear"
+
+
+@pytest.mark.benchmark(group="E2-runtime")
+def test_e2_single_construction_timing(benchmark):
+    """Plain pytest-benchmark timing of one construction (n=96)."""
+    g = harary_graph(6, 96)
+
+    def build():
+        return construct_cds_packing(g, 6, rng=4)
+
+    result = benchmark(build)
+    assert result.size > 0

@@ -1,0 +1,85 @@
+"""E9 — Lemma 4.3 (Connector Abundance) + Proposition 4.2.
+
+Paper claim: every non-singleton component of a dominating class has at
+least k internally vertex-disjoint connector paths. We build dominating
+two-component classes and count the disjoint connector families exactly."""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core.connector_paths import count_disjoint_connector_paths
+from repro.graphs.connectivity import is_dominating_set, vertex_connectivity
+from repro.graphs.generators import harary_graph, random_regular_connected
+
+
+def _two_component_class(graph, k):
+    """Two near-antipodal arcs of the circulant, separated by gaps of
+    exactly ⌊k/2⌋ nodes: the class dominates (every gap node is within
+    ⌊k/2⌋ of an arc) while the arcs stay disconnected."""
+    nodes = sorted(graph.nodes())
+    n = len(nodes)
+    half = max(1, k // 2)
+    comp_a = set(nodes[0 : n // 2 - half])
+    comp_b = set(nodes[n // 2 : n - half])
+    members = comp_a | comp_b
+    return members, comp_a, comp_b
+
+
+@pytest.mark.benchmark(group="E9-connectors")
+def test_e9_connector_abundance(benchmark):
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for k, n in ((4, 24), (6, 30), (8, 32), (10, 40)):
+            g = harary_graph(k, n)
+            members, comp_a, comp_b = _two_component_class(g, k)
+            assert is_dominating_set(g, members)
+            count = count_disjoint_connector_paths(g, comp_a, members)
+            rows.append(
+                (
+                    f"H({k},{n})",
+                    k,
+                    count.short,
+                    count.long,
+                    count.total,
+                    count.total / k,
+                )
+            )
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "E9: Lemma 4.3 — disjoint connector paths per component (claim: >= k)",
+        ["graph", "k", "short", "long", "total", "total/k"],
+        rows,
+    )
+    assert all(r[4] >= r[1] for r in rows), "Lemma 4.3 bound violated"
+
+
+@pytest.mark.benchmark(group="E9-connectors")
+def test_e9_fast_slow_split(benchmark):
+    """The fast/slow component dichotomy of Lemma 4.4's proof: fast
+    components (Ω(k) short paths) vs slow (Ω(k) long paths)."""
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for k, n in ((6, 24), (8, 32)):
+            g = random_regular_connected(k, n, rng=4)
+            members, comp_a, _ = _two_component_class(g, k)
+            if not is_dominating_set(g, members):
+                members = set(g.nodes()) - {next(iter(g.nodes()))}
+                comp_a = members
+            count = count_disjoint_connector_paths(g, comp_a, members)
+            kind = "fast" if count.short >= k // 2 else "slow"
+            rows.append((f"reg({k},{n})", count.short, count.long, kind))
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "E9b: fast/slow component classification",
+        ["graph", "short", "long", "class"],
+        rows,
+    )
+    assert rows

@@ -1,0 +1,97 @@
+"""E8 — Lemma 4.4 (Fast Merger): excess components decay geometrically.
+
+Paper claim: per layer, M_{ℓ+1} ≤ M_ℓ always, and M drops by a constant
+factor with constant probability — so E[M] decays geometrically and all
+classes connect within O(log n) layers.
+
+The dynamics are only visible when classes are *sparse* (t well above
+3L, so a class does not absorb every node at the jump-start); we use
+t = 32 classes on H(10, 60), where M starts around 50."""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core.cds_packing import build_cds_classes
+from repro.graphs.generators import harary_graph
+
+
+@pytest.mark.benchmark(group="E8-fast-merger")
+def test_e8_excess_component_decay(benchmark):
+    rows = []
+
+    def run_all():
+        rows.clear()
+        g = harary_graph(10, 60)
+        trajectories = []
+        for seed in range(5):
+            vg, history = build_cds_classes(
+                g, n_classes=32, n_layers=10, rng=seed
+            )
+            traj = [history[0].excess_before] + [
+                s.excess_after for s in history
+            ]
+            trajectories.append(traj)
+        depth = max(len(t) for t in trajectories)
+        for layer in range(depth):
+            values = [t[layer] for t in trajectories if layer < len(t)]
+            mean = sum(values) / len(values)
+            prev = rows[-1][1] if rows else None
+            decay = (mean / prev) if prev else float("nan")
+            rows.append((layer, mean, decay))
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "E8: Lemma 4.4 — mean excess components per layer (5 seeds, t=32)",
+        ["layer offset", "mean M_l", "M_l / M_{l-1}"],
+        rows,
+    )
+    means = [r[1] for r in rows]
+    assert means[0] > 0, "dynamics invisible: M started at 0"
+    assert all(a >= b - 1e-9 for a, b in zip(means, means[1:])), (
+        "M_l increased across a layer (violates Lemma 4.4 part 1)"
+    )
+    assert means[-1] == 0.0, "classes did not all connect"
+    # Geometric decay: mean per-layer ratio bounded below 1.
+    ratios = [
+        rows[i][1] / rows[i - 1][1]
+        for i in range(1, len(rows))
+        if rows[i - 1][1] > 0
+    ]
+    mean_ratio = sum(ratios) / len(ratios)
+    print(f"mean per-layer decay ratio: {mean_ratio:.3f} (claim: constant < 1)")
+    assert mean_ratio < 0.9
+
+
+@pytest.mark.benchmark(group="E8-fast-merger")
+def test_e8_connection_layers_scale_logarithmically(benchmark):
+    """Layers needed to reach M=0 stay O(log n) as n grows (same sparse
+    regime, t = 3k)."""
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for k, n in ((8, 30), (8, 60), (8, 120)):
+            g = harary_graph(k, n)
+            vg, history = build_cds_classes(
+                g, n_classes=3 * k, n_layers=12, rng=2
+            )
+            needed = None
+            for i, s in enumerate(history):
+                if s.excess_after == 0:
+                    needed = i + 1
+                    break
+            rows.append((n, history[0].excess_before, needed, math.log2(n)))
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "E8b: layers to full connectivity vs log n (t = 3k = 24)",
+        ["n", "initial M", "layers needed", "log2 n"],
+        rows,
+    )
+    assert all(r[2] is not None for r in rows), "some run never connected"
+    # Needed layers grow at most logarithmically-ish.
+    assert rows[-1][2] <= 2 * math.log2(rows[-1][0])

@@ -1,0 +1,103 @@
+"""E17 — network coding vs. tree-packing broadcast (Section 1 motivation).
+
+Paper claim: with O(log n)-bit messages, RLNC's coefficient vectors cap
+the coded flow at O(log n) messages per round, while the dominating tree
+packing sustains Ω(k / log n) — so for message batches much larger than
+the budget, routing over packed trees overtakes coding. We sweep the
+batch size N and report both throughputs and the tree/coding advantage,
+locating the crossover.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.apps.network_coding import (
+    coded_packet_bits,
+    compare_with_tree_broadcast,
+    rlnc_gossip,
+)
+from repro.core.cds_packing import fractional_cds_packing
+from repro.graphs.generators import harary_graph
+
+BUDGET = 24  # bits per message: the concrete O(log n)
+GRAPH_K = 6
+GRAPH_N = 24
+
+
+@pytest.mark.benchmark(group="E17-network-coding")
+def test_e17_throughput_crossover(benchmark):
+    graph = harary_graph(GRAPH_K, GRAPH_N)
+    packing = fractional_cds_packing(graph, rng=3).packing
+    batch_sizes = [12, 24, 72, 240, 480]
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for batch in batch_sizes:
+            sources = {i: i % GRAPH_N for i in range(batch)}
+            comparison = compare_with_tree_broadcast(
+                graph, packing, sources, budget_bits=BUDGET, rng=11
+            )
+            rows.append(
+                (
+                    batch,
+                    comparison.coded.rounds_per_packet,
+                    comparison.coded_throughput,
+                    comparison.tree_throughput,
+                    comparison.tree_advantage,
+                    "trees" if comparison.tree_advantage > 1 else "coding",
+                )
+            )
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "E17 coded vs tree broadcast "
+        f"(Harary k={GRAPH_K}, n={GRAPH_N}, budget={BUDGET}b)",
+        [
+            "N msgs",
+            "rounds/pkt",
+            "coded thr",
+            "tree thr",
+            "tree/coded",
+            "winner",
+        ],
+        rows,
+    )
+    # The paper's qualitative claim: trees win once N >> budget.
+    assert rows[-1][4] > 1.0
+
+
+@pytest.mark.benchmark(group="E17-network-coding")
+def test_e17_coefficient_overhead_growth(benchmark):
+    """The per-packet round cost must grow linearly in N (coefficient
+    vector length) while the routed header grows only logarithmically."""
+    graph = harary_graph(4, 16)
+    batches = [8, 32, 128, 512]
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for batch in batches:
+            packet = coded_packet_bits(batch, BUDGET)
+            out = rlnc_gossip(
+                graph,
+                {i: i % 16 for i in range(min(batch, 64))},
+                payload_bits=BUDGET,
+                budget_bits=BUDGET,
+                rng=2,
+            )
+            rows.append((batch, packet, -(-packet // BUDGET), out.slots))
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "E17 coefficient overhead vs batch size",
+        ["N msgs", "packet bits", "rounds/pkt", "slots (N<=64 run)"],
+        rows,
+    )
+    per_packet = [row[2] for row in rows]
+    assert per_packet == sorted(per_packet)
+    assert per_packet[-1] >= 8 * per_packet[0] // 2

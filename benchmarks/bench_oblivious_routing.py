@@ -1,0 +1,87 @@
+"""E6 — Corollary 1.6: oblivious routing congestion competitiveness.
+
+Paper claims: routing each message along a random tree gives an oblivious
+broadcast routing with O(log n)-competitive vertex congestion and
+O(1)-competitive edge congestion. (No point-to-point oblivious routing
+can beat Θ(√n) vertex-congestion competitiveness [24] — broadcast is the
+regime where this works.)"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.apps.oblivious_routing import (
+    edge_congestion_report,
+    vertex_congestion_report,
+)
+from repro.core.cds_packing import PackingParameters, construct_cds_packing
+from repro.core.spanning_packing import (
+    MwuParameters,
+    fractional_spanning_tree_packing,
+)
+from repro.graphs.generators import harary_graph
+
+FAST = MwuParameters(epsilon=0.2, beta_factor=2.0)
+
+
+@pytest.mark.benchmark(group="E6-oblivious")
+def test_e6_vertex_congestion_competitiveness(benchmark):
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for k, n in ((6, 24), (8, 32), (12, 36)):
+            g = harary_graph(k, n)
+            packing = construct_cds_packing(
+                g, k,
+                params=PackingParameters(class_factor=1.0, layer_factor=1),
+                rng=11,
+            ).packing
+            sources = {i: i % n for i in range(2 * n)}
+            rep = vertex_congestion_report(packing, sources, k=k, rng=12)
+            rows.append(
+                (
+                    f"H({k},{n})",
+                    rep.measured,
+                    rep.lower_bound,
+                    rep.competitiveness,
+                    rep.normalized_by_log,
+                )
+            )
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "E6: Corollary 1.6a — vertex congestion (claim: O(log n)-competitive)",
+        ["graph", "measured", "lower bound", "competitiveness", "comp/ln n"],
+        rows,
+    )
+    assert all(r[4] <= 12 for r in rows), "vertex competitiveness not O(log n)"
+
+
+@pytest.mark.benchmark(group="E6-oblivious")
+def test_e6_edge_congestion_competitiveness(benchmark):
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for lam, n in ((5, 20), (8, 24)):
+            g = harary_graph(lam, n)
+            packing = fractional_spanning_tree_packing(
+                g, params=FAST, rng=13
+            ).packing
+            sources = {i: i % n for i in range(2 * n)}
+            rep = edge_congestion_report(packing, sources, lam=lam, rng=14)
+            rows.append(
+                (f"H({lam},{n})", rep.measured, rep.lower_bound, rep.competitiveness)
+            )
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "E6b: Corollary 1.6b — edge congestion (claim: O(1)-competitive)",
+        ["graph", "measured", "lower bound", "competitiveness"],
+        rows,
+    )
+    assert all(r[3] <= 40 for r in rows), "edge competitiveness exploded"

@@ -1,0 +1,98 @@
+"""E19 — Lemma 5.1: η pipelined upcasts share one BFS tree.
+
+Paper claim: upcasting the inter-fragment edges of η simultaneous MST
+computations over a shared BFS tree takes O(D + η·n/d) rounds — the
+pipelining that turns a naive O(η·(D + n/d)) into Theorem 1.3's
+Õ(D + √(nλ)). We measure rounds against both the pipeline bound
+(depth + total items) and the naive sequential cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.graphs.generators import clique_chain, harary_graph
+from repro.simulator.algorithms.pipelined_upcast import pipelined_upcast
+from repro.simulator.network import Network
+
+import networkx as nx
+
+
+@pytest.mark.benchmark(group="E19-pipelined-upcast")
+def test_e19_stream_scaling(benchmark):
+    """Rounds grow additively in the stream count, not multiplicatively."""
+    graph = nx.path_graph(24)  # D = 23: the diameter-dominated regime
+    network = Network(graph, rng=1)
+    stream_counts = [1, 2, 4, 8]
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for streams in stream_counts:
+            items = {
+                v: [(s, (s, v)) for s in range(streams)]
+                for v in network.nodes
+            }
+            result = pipelined_upcast(network, items)
+            naive = streams * (result.tree_depth + network.n)
+            rows.append(
+                (
+                    streams,
+                    result.total_items,
+                    result.rounds,
+                    result.pipeline_bound,
+                    naive,
+                    naive / max(1, result.rounds),
+                )
+            )
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "E19 pipelined upcast on path(24): rounds vs streams η",
+        ["η", "items", "rounds", "D+items bound", "naive η·(D+n)", "speedup"],
+        rows,
+    )
+    for row in rows:
+        assert row[2] <= row[3] + 2  # within the pipeline bound
+    # Pipelining must win by a growing factor as η grows.
+    assert rows[-1][5] > rows[0][5]
+
+
+@pytest.mark.benchmark(group="E19-pipelined-upcast")
+def test_e19_topology_shapes(benchmark):
+    """The D term versus the item term across topologies."""
+    topologies = [
+        ("path(30)", nx.path_graph(30)),
+        ("harary(4,30)", harary_graph(4, 30)),
+        ("clique_chain(4,6)", clique_chain(4, 6)),
+        ("star(29)", nx.star_graph(29)),
+    ]
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for name, graph in topologies:
+            network = Network(graph, rng=2)
+            items = {v: [(0, v)] for v in network.nodes}
+            result = pipelined_upcast(network, items)
+            rows.append(
+                (
+                    name,
+                    result.tree_depth,
+                    result.total_items,
+                    result.rounds,
+                    result.pipeline_bound,
+                )
+            )
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "E19 upcast rounds by topology (one item per node)",
+        ["topology", "depth", "items", "rounds", "bound"],
+        rows,
+    )
+    for row in rows:
+        assert row[3] <= row[4] + 2

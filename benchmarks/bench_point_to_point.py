@@ -1,0 +1,95 @@
+"""E22 — the Θ(√n) point-to-point barrier vs Corollary 1.6 (§1.3.1).
+
+Paper claim: "no point-to-point oblivious routing can have o(√n)
+vertex-congestion competitiveness" [24] — which is why Corollary 1.6's
+O(log n)-competitive *broadcast* oblivious routing is interesting. We
+measure the canonical grid witness (row-column routing vs the staircase
+offline optimum) across grid sizes, next to the broadcast scheme's
+competitiveness on the same grids.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.apps.oblivious_routing import vertex_congestion_report
+from repro.apps.point_to_point import grid_competitiveness, grid_graph
+from repro.core.cds_packing import fractional_cds_packing
+from repro.graphs.connectivity import vertex_connectivity
+
+
+@pytest.mark.benchmark(group="E22-point-to-point")
+def test_e22_sqrt_n_barrier(benchmark):
+    sides = [4, 8, 12, 16, 20]
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for side in sides:
+            report = grid_competitiveness(side)
+            rows.append(
+                (
+                    f"{side}x{side}",
+                    side * side,
+                    report.oblivious_congestion,
+                    report.offline_congestion,
+                    report.competitiveness,
+                    report.competitiveness / side,
+                )
+            )
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "E22a point-to-point oblivious routing on the grid (reversal demands)",
+        ["grid", "n", "oblivious", "offline", "ratio", "ratio/√n"],
+        rows,
+    )
+    ratios = [row[4] for row in rows]
+    assert ratios == sorted(ratios)  # grows with √n
+    normalized = [row[5] for row in rows]
+    assert max(normalized) / min(normalized) < 1.5  # linear in side
+
+
+@pytest.mark.benchmark(group="E22-point-to-point")
+def test_e22_broadcast_contrast(benchmark):
+    sides = [4, 5, 6]
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for side in sides:
+            graph = nx.convert_node_labels_to_integers(grid_graph(side))
+            n = graph.number_of_nodes()
+            k = vertex_connectivity(graph)
+            result = fractional_cds_packing(graph, rng=3)
+            sources = {i: i % n for i in range(n)}
+            report = vertex_congestion_report(
+                result.packing, sources, k, rng=5
+            )
+            rows.append(
+                (
+                    f"{side}x{side}",
+                    n,
+                    report.measured,
+                    f"{report.lower_bound:.1f}",
+                    report.competitiveness,
+                    report.competitiveness / math.log(n),
+                )
+            )
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "E22b broadcast oblivious routing (Cor 1.6) on the same grids",
+        ["grid", "n", "congestion", "lower bnd", "ratio", "ratio/ln n"],
+        rows,
+    )
+    # The broadcast scheme's normalized ratio must stay bounded while
+    # E22a's point-to-point ratio grows with √n.
+    normalized = [row[5] for row in rows]
+    assert max(normalized) < 25

@@ -1,0 +1,82 @@
+"""E12 — Section 5.2 / Karger [31]: random edge partition concentration.
+
+Paper claim: with λ/η ≥ 10 log n / ε², each part's connectivity lands in
+[(1−ε)λ/η, (1+ε)λ/η] w.h.p. We sweep η on a high-λ graph and report the
+per-part connectivity spread (toy n, so we report the observed band)."""
+
+import statistics
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.graphs.connectivity import edge_connectivity
+from repro.graphs.generators import harary_graph
+from repro.graphs.sampling import choose_karger_parts, karger_edge_partition
+
+
+@pytest.mark.benchmark(group="E12-sampling")
+def test_e12_partition_concentration(benchmark):
+    rows = []
+
+    def run_all():
+        rows.clear()
+        g = harary_graph(20, 42)
+        lam = edge_connectivity(g)
+        for eta in (2, 3, 4):
+            spreads = []
+            for seed in range(5):
+                parts = karger_edge_partition(g, eta, rng=seed)
+                lams = [edge_connectivity(p) for p in parts]
+                spreads.extend(lams)
+            ideal = lam / eta
+            rows.append(
+                (
+                    eta,
+                    ideal,
+                    min(spreads),
+                    statistics.mean(spreads),
+                    max(spreads),
+                    min(spreads) / ideal,
+                )
+            )
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "E12: Karger partition — per-part connectivity vs lambda/eta",
+        ["eta", "lambda/eta", "min", "mean", "max", "min/(l/eta)"],
+        rows,
+    )
+    # Exact concentration needs λ/η ≥ 10 ln n / ε² (≈ 37 here), which only
+    # η=2 approaches at this toy scale — assert survival there and report
+    # the degradation for larger η (the paper's constants are the point).
+    eta2 = rows[0]
+    assert eta2[2] >= 1, "an η=2 part lost connectivity entirely"
+    assert 0.3 <= eta2[3] / eta2[1] <= 1.5
+
+
+@pytest.mark.benchmark(group="E12-sampling")
+def test_e12_eta_selection_rule(benchmark):
+    """The η chosen by the Section 5.2 rule keeps λ/η in its window."""
+    import math
+
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for lam, n, eps in ((1000, 100, 0.25), (5000, 200, 0.25), (50, 100, 0.25)):
+            eta = choose_karger_parts(lam, n, eps)
+            floor = 10 * math.log(n) / eps**2
+            # The window constraint only binds when a split happens; η=1
+            # means λ was already small enough to pack directly.
+            ok = eta == 1 or lam / eta >= floor
+            rows.append((lam, n, eta, lam / eta, floor, ok))
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "E12b: eta selection (window: lambda/eta >= 10 ln n / eps^2)",
+        ["lambda", "n", "eta", "lambda/eta", "floor", "ok"],
+        rows,
+    )
+    assert all(r[5] for r in rows)

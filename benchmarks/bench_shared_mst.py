@@ -1,0 +1,75 @@
+"""E21 — Lemma 5.1 end to end: η simultaneous MSTs, one shared BFS tree.
+
+Paper claim: solving the Θ(log³ n) MST instances of all η Karger parts
+with one shared, pipelined upcast costs O(D + η·n/d) per iteration
+instead of η separate O(D + n/d) upcasts — the composition that gives
+Theorem 1.3 its Õ(D + √(nλ)) round complexity. We sweep η and report
+the measured sharing speedup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.graphs.generators import harary_graph
+from repro.graphs.sampling import karger_edge_partition
+from repro.simulator.algorithms.shared_mst import simultaneous_msts
+from repro.simulator.network import Network
+
+import networkx as nx
+
+
+@pytest.mark.benchmark(group="E21-shared-mst")
+def test_e21_sharing_speedup_vs_eta(benchmark):
+    graph = harary_graph(12, 36)
+    network = Network(graph, rng=1)
+    etas = [1, 2, 3, 4]
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for eta in etas:
+            parts = (
+                [graph]
+                if eta == 1
+                else karger_edge_partition(graph, eta, rng=9)
+            )
+            result = simultaneous_msts(network, parts)
+            spanning = sum(
+                1
+                for part, edges in zip(parts, result.forests)
+                if nx.is_connected(part)
+                and len(edges) == graph.number_of_nodes() - 1
+            )
+            rows.append(
+                (
+                    eta,
+                    spanning,
+                    result.upcast_items,
+                    result.fragment_rounds,
+                    result.completion_rounds,
+                    result.naive_completion_rounds,
+                    result.sharing_speedup,
+                )
+            )
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "E21 simultaneous MSTs on harary(12,36): shared vs naive completion",
+        [
+            "η",
+            "spanning",
+            "upcast items",
+            "frag rounds",
+            "shared compl",
+            "naive compl",
+            "speedup",
+        ],
+        rows,
+    )
+    speedups = [row[6] for row in rows]
+    # Sharing must pay off increasingly with η (Lemma 5.1's point).
+    assert speedups[-1] > speedups[0]
+    assert speedups[-1] > 1.5

@@ -1,0 +1,87 @@
+"""E11 — Appendix E tester: detection power and round cost.
+
+Paper claim (Lemma E.1): one-sided error — valid partitions always pass;
+an invalid one is rejected w.h.p. within
+Õ(min{d', D + √|V|}) rounds. We inject disconnections/domination faults
+and measure detection rates and tester rounds."""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core.packing_tester import (
+    cds_partition_test_centralized,
+    distributed_cds_partition_test,
+)
+from repro.graphs.generators import harary_graph
+from repro.simulator.network import Network
+
+
+@pytest.mark.benchmark(group="E11-tester")
+def test_e11_detection_rates(benchmark):
+    rows = []
+
+    def run_all():
+        rows.clear()
+        g = harary_graph(6, 30)
+        net = Network(g, rng=20)
+        good = {v: v % 2 for v in g.nodes()}
+        assert cds_partition_test_centralized(g, good, 2).passed
+
+        # Valid partition: acceptance rate must be 1.0 (one-sided error).
+        accepted = sum(
+            distributed_cds_partition_test(net, good, 2, rng=s).passed
+            for s in range(10)
+        )
+        rows.append(("valid partition", accepted / 10, "accept == 1.0"))
+
+        # Fault: split one class into far-apart fragments.
+        bad = dict(good)
+        bad[0], bad[15] = 2, 2
+        rejected = sum(
+            not distributed_cds_partition_test(net, bad, 3, rng=s).passed
+            for s in range(10)
+        )
+        rows.append(("disconnected class", rejected / 10, "reject w.h.p."))
+
+        # Fault: a class that dominates nothing near node 0's antipode.
+        bad2 = {v: 0 for v in g.nodes()}
+        bad2[0] = 1
+        rejected2 = sum(
+            not distributed_cds_partition_test(net, bad2, 2, rng=s).passed
+            for s in range(10)
+        )
+        rows.append(("non-dominating class", rejected2 / 10, "reject w.h.p."))
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "E11: Appendix E tester — detection rates over 10 seeds",
+        ["scenario", "rate", "paper claim"],
+        rows,
+    )
+    assert rows[0][1] == 1.0
+    assert rows[1][1] >= 0.9
+    assert rows[2][1] >= 0.9
+
+
+@pytest.mark.benchmark(group="E11-tester")
+def test_e11_round_cost(benchmark):
+    rows = []
+
+    def run_all():
+        rows.clear()
+        for n in (16, 24, 32):
+            g = harary_graph(4, n)
+            net = Network(g, rng=21)
+            good = {v: v % 2 for v in g.nodes()}
+            rep = distributed_cds_partition_test(net, good, 2, rng=22)
+            rows.append((n, rep.rounds, rep.passed))
+        return rows
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "E11b: tester round cost vs n",
+        ["n", "rounds", "passed"],
+        rows,
+    )
+    assert all(r[2] for r in rows)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Section 1.4.1: an algorithmic approximation of the Zehavi–Itai
+conjecture via vertex-disjoint dominating trees.
+
+Zehavi and Itai (1989) conjectured every k-connected graph has k vertex
+independent spanning trees; it is open for k >= 4. The paper's integral
+dominating tree packing gives Omega(k/log^2 n) such trees algorithmically:
+take vertex-disjoint dominating trees, attach all other vertices as
+leaves, and the root-to-v paths of different trees are internally
+vertex-disjoint — for *any* root.
+
+Run:  python examples/independent_trees.py
+"""
+
+from repro.core.independent_trees import (
+    independent_trees_from_packing,
+    verify_vertex_independent,
+)
+from repro.core.integral_packing import integral_cds_packing
+from repro.graphs.connectivity import vertex_connectivity
+from repro.graphs.generators import fat_cycle
+
+
+def main() -> None:
+    graph = fat_cycle(8, 4)  # vertex connectivity 16
+    k = vertex_connectivity(graph)
+    print(f"graph: n={graph.number_of_nodes()}, k={k}")
+
+    result = integral_cds_packing(graph, class_factor=3.0, rng=17)
+    print(f"vertex-disjoint dominating trees found: {result.size} "
+          f"[paper: Omega(k/log^2 n)]")
+
+    for root in list(graph.nodes())[:3]:
+        trees = independent_trees_from_packing(result.packing, root=root)
+        ok = verify_vertex_independent(graph, trees, root)
+        print(f"  root {root}: {len(trees)} vertex independent spanning "
+              f"trees -> independence verified: {ok}")
+
+    print("\n(each dominating tree keeps its own internal vertices, so the "
+          "\n root-to-v paths through different trees never share internals)")
+
+    # For k = 2 the conjecture is a theorem with an exact classical
+    # construction (Itai–Rodeh [28], via st-numbering); the library
+    # implements it for comparison with the packing-based approximation.
+    from repro.core.st_numbering import (
+        itai_rodeh_independent_trees,
+        verify_independent_pair,
+    )
+
+    print("\nexact k=2 case (Itai-Rodeh st-numbering construction):")
+    for root in list(graph.nodes())[:3]:
+        down, up = itai_rodeh_independent_trees(graph, root)
+        ok = verify_independent_pair(graph, root, down, up)
+        print(f"  root {root}: 2 independent spanning trees -> "
+              f"verified: {ok}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Network coding vs. tree-packing broadcast (the Section 1 motivation).
+
+The paper motivates connectivity decomposition by observing that RLNC's
+coefficient vectors do not fit the CONGEST bit budget: coding over N
+messages needs N coefficient bits per packet, so coded throughput decays
+as the batch grows, while routing over a dominating tree packing keeps a
+per-message header of only ceil(log2 N) bits.
+
+This example runs both schemes on the same workloads and prints the
+throughput race, including the crossover point.
+
+Run:  python examples/network_coding_vs_trees.py
+"""
+
+from repro.apps.network_coding import compare_with_tree_broadcast
+from repro.core.cds_packing import fractional_cds_packing
+from repro.graphs.connectivity import vertex_connectivity
+from repro.graphs.generators import harary_graph
+
+BUDGET_BITS = 24
+
+
+def main() -> None:
+    graph = harary_graph(6, 24)
+    k = vertex_connectivity(graph)
+    print(
+        f"graph: Harary n={graph.number_of_nodes()} k={k}, "
+        f"message budget {BUDGET_BITS} bits"
+    )
+
+    packing = fractional_cds_packing(graph, rng=3).packing
+    print(
+        f"dominating tree packing: {len(packing)} trees, "
+        f"size {packing.size:.2f}\n"
+    )
+
+    header = (
+        f"{'N msgs':>7}  {'pkt bits':>8}  {'rounds/pkt':>10}  "
+        f"{'coded thr':>9}  {'tree thr':>8}  {'winner':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    for batch in (12, 24, 72, 240, 480):
+        sources = {i: i % graph.number_of_nodes() for i in range(batch)}
+        comparison = compare_with_tree_broadcast(
+            graph, packing, sources, budget_bits=BUDGET_BITS, rng=11
+        )
+        winner = "trees" if comparison.tree_advantage > 1 else "coding"
+        print(
+            f"{batch:>7}  {comparison.coded.packet_bits:>8}  "
+            f"{comparison.coded.rounds_per_packet:>10}  "
+            f"{comparison.coded_throughput:>9.3f}  "
+            f"{comparison.tree_throughput:>8.3f}  {winner:>7}"
+        )
+
+    print(
+        "\nAs the paper predicts, coding wins small batches (coefficients"
+        "\nare cheap) but the O(N)-bit overhead eventually hands large"
+        "\nbatches to the tree packing, whose header is O(log N)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Corollary 1.7: estimate vertex connectivity without computing it.
+
+The dominating tree packing's size certifies a lower bound on k and
+(w.h.p.) an O(log n) upper bound — the first near-linear-time
+approximation toward the Aho–Hopcroft–Ullman conjecture. This example
+sweeps graph families and compares the estimate against the exact
+max-flow oracle.
+
+Run:  python examples/vertex_connectivity_estimation.py
+"""
+
+from repro.core.vertex_connectivity import approximate_vertex_connectivity
+from repro.graphs.connectivity import vertex_connectivity
+from repro.graphs.generators import (
+    clique_chain,
+    fat_cycle,
+    harary_graph,
+    hypercube,
+    torus_grid,
+)
+
+FAMILIES = [
+    ("harary(4, 24)", lambda: harary_graph(4, 24)),
+    ("harary(8, 32)", lambda: harary_graph(8, 32)),
+    ("clique_chain(4, 7)", lambda: clique_chain(4, 7)),
+    ("fat_cycle(3, 7)", lambda: fat_cycle(3, 7)),
+    ("hypercube(5)", lambda: hypercube(5)),
+    ("torus(5, 6)", lambda: torus_grid(5, 6)),
+]
+
+
+def main() -> None:
+    header = f"{'family':<20} {'true k':>7} {'lower':>7} {'upper':>8} {'ok?':>5}"
+    print(header)
+    print("-" * len(header))
+    for name, builder in FAMILIES:
+        graph = builder()
+        k_true = vertex_connectivity(graph)  # the expensive oracle
+        est = approximate_vertex_connectivity(graph, rng=7)  # Õ(m)
+        ok = "yes" if est.contains(k_true) else "NO"
+        print(
+            f"{name:<20} {k_true:>7} {est.lower_bound:>7.1f} "
+            f"{est.upper_bound:>8.1f} {ok:>5}"
+        )
+    print("\nlower bound is *certified* (any packing of size s implies "
+          "k >= s);\nupper bound holds w.h.p. by Theorem 1.1's "
+          "Omega(k/log n) guarantee.")
+
+
+if __name__ == "__main__":
+    main()

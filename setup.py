@@ -1,0 +1,11 @@
+"""Compatibility shim for environments without the ``wheel`` package.
+
+All metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517 --no-build-isolation`` on offline
+machines where PEP 517 editable installs would fail for lack of a wheel
+builder.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""Experiment plumbing: parameter sweeps, trial aggregation, scaling fits.
+
+The benchmark harness (``benchmarks/``) prints claim-vs-measured tables;
+this subpackage holds the reusable pieces behind them, so downstream
+users can run their own sweeps against the library.
+"""
+
+from repro.analysis.report import full_report, render_markdown_table
+from repro.analysis.workloads import (
+    balanced_workload,
+    single_source_workload,
+    skewed_workload,
+    uniform_workload,
+)
+from repro.analysis.sweeps import (
+    SweepResult,
+    TrialRecord,
+    aggregate,
+    loglog_slope,
+    sweep,
+)
+
+__all__ = [
+    "full_report",
+    "render_markdown_table",
+    "uniform_workload",
+    "balanced_workload",
+    "skewed_workload",
+    "single_source_workload",
+    "TrialRecord",
+    "SweepResult",
+    "sweep",
+    "aggregate",
+    "loglog_slope",
+]

@@ -1,0 +1,186 @@
+"""Text renderings of the paper's three figures.
+
+The figures are explanatory diagrams, not data plots; reproducing them
+means regenerating their *content* from live algorithm state:
+
+* **Figure 1** — the bridging graph of one recursion layer: components
+  of old nodes per class, the type-2 new nodes' neighbor lists, and the
+  maximal matching found.
+* **Figure 2** — connector paths of a two-component class: the short and
+  long potential connector paths with their internal vertices and types.
+* **Figure 3** — the lower-bound construction ``H(X, Y)``: the h+1 heavy
+  paths, the X/Y encoding attachments, and the a/b diameter gadget.
+
+Each function returns a report object with a ``render()`` string; the
+benchmark ``bench_figures.py`` prints them and asserts the structural
+facts the captions state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Set, Tuple
+
+import networkx as nx
+
+from repro.core.bridging import assign_layer, jump_start
+from repro.core.connector_paths import (
+    long_connector_pairs,
+    short_connector_internals,
+)
+from repro.core.virtual_graph import VirtualGraph
+from repro.lowerbounds.construction import LowerBoundInstance
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class BridgingFigure:
+    """Figure 1 content: one layer's bridging structure."""
+
+    layer: int
+    components_per_class: Dict[int, int]
+    matched: int
+    random_type2: int
+    deactivated: int
+    excess_before: int
+    excess_after: int
+
+    def render(self) -> str:
+        lines = [
+            f"[Figure 1] bridging graph at layer {self.layer}",
+            f"  components per class: "
+            + ", ".join(
+                f"class {c}: {n}" for c, n in sorted(self.components_per_class.items())
+            ),
+            f"  deactivated components (type-1 bridges): {self.deactivated}",
+            f"  maximal matching size (type-2 <-> component): {self.matched}",
+            f"  unmatched type-2 nodes (joined random classes): "
+            f"{self.random_type2}",
+            f"  excess components: {self.excess_before} -> {self.excess_after}",
+        ]
+        return "\n".join(lines)
+
+
+def figure1_bridging_graph(
+    graph: nx.Graph,
+    n_classes: int = 6,
+    layers: int = 6,
+    rng: RngLike = None,
+) -> BridgingFigure:
+    """Run the recursion up to the first merging layer and report its
+    bridging structure (the content of Figure 1)."""
+    rand = ensure_rng(rng)
+    vg = VirtualGraph(graph, layers=layers, n_classes=n_classes)
+    jump_start(vg, rand)
+    layer = layers // 2 + 1
+    before = {
+        state.class_id: state.n_components() for state in vg.classes
+    }
+    stats = assign_layer(vg, layer, rand)
+    return BridgingFigure(
+        layer=layer,
+        components_per_class=before,
+        matched=stats.matched,
+        random_type2=stats.random_type2,
+        deactivated=stats.deactivated_components,
+        excess_before=stats.excess_before,
+        excess_after=stats.excess_after,
+    )
+
+
+@dataclass
+class ConnectorFigure:
+    """Figure 2 content: connector paths of one component."""
+
+    component_size: int
+    class_size: int
+    short_internals: List[Hashable]
+    long_pairs: List[Tuple[Hashable, Hashable]]
+
+    def render(self) -> str:
+        lines = [
+            "[Figure 2] connector paths for a component "
+            f"({self.component_size} of {self.class_size} class nodes)",
+            f"  short connector paths (1 internal, type-1 on layer l+1): "
+            f"{len(self.short_internals)} via {sorted(map(str, self.short_internals))}",
+            f"  long connector paths  (2 internals, types 2+3): "
+            f"{len(self.long_pairs)}",
+        ]
+        for u, w in self.long_pairs[:6]:
+            lines.append(f"    C --- {u} (type 2) --- {w} (type 3) --- C'")
+        return "\n".join(lines)
+
+
+def figure2_connector_paths(
+    graph: nx.Graph,
+    component: Set[Hashable],
+    class_members: Set[Hashable],
+) -> ConnectorFigure:
+    """Enumerate the potential connector paths of Figure 2 for a given
+    component of a given (dominating) class."""
+    shorts = short_connector_internals(graph, component, class_members)
+    longs = long_connector_pairs(graph, component, class_members)
+    return ConnectorFigure(
+        component_size=len(component),
+        class_size=len(class_members),
+        short_internals=sorted(shorts, key=str),
+        long_pairs=longs,
+    )
+
+
+@dataclass
+class LowerBoundFigure:
+    """Figure 3 content: the structure of H(X, Y) / G(X, Y)."""
+
+    h: int
+    ell: int
+    w: int
+    x_set: List[int]
+    y_set: List[int]
+    n_heavy: int
+    n_encoding: int
+    degree_a: int
+    degree_b: int
+    diameter: int
+
+    def render(self) -> str:
+        lines = [
+            f"[Figure 3] lower-bound construction: h={self.h}, 2l={2*self.ell} "
+            f"columns, heavy weight w={self.w}",
+            f"  X = {self.x_set}  (u_x nodes attach (0,1) to (x,1))",
+            f"  Y = {self.y_set}  (v_y nodes attach (0,2l) to (y,2l))",
+            f"  heavy path nodes: {self.n_heavy} "
+            f"({self.h + 1} paths x {2 * self.ell} columns)",
+            f"  encoding nodes u_x/v_y: {self.n_encoding}",
+            f"  gadget: a covers left half (deg {self.degree_a}), "
+            f"b covers right half (deg {self.degree_b}), edge a-b",
+            f"  diameter: {self.diameter} (Lemma G.3/G.4: <= 3)",
+        ]
+        return "\n".join(lines)
+
+
+def figure3_construction(instance: LowerBoundInstance) -> LowerBoundFigure:
+    """Describe a constructed instance (the content of Figure 3)."""
+    graph = instance.graph
+    heavy = [
+        v
+        for v in graph.nodes()
+        if isinstance(v, tuple) and len(v) in (2, 3) and isinstance(v[0], int)
+    ]
+    encoding = [
+        v
+        for v in graph.nodes()
+        if isinstance(v, tuple) and len(v) == 2 and v[0] in ("u", "v")
+    ]
+    return LowerBoundFigure(
+        h=instance.h,
+        ell=instance.ell,
+        w=instance.w,
+        x_set=sorted(instance.x_set),
+        y_set=sorted(instance.y_set),
+        n_heavy=len(heavy),
+        n_encoding=len(encoding),
+        degree_a=graph.degree(instance.node_a),
+        degree_b=graph.degree(instance.node_b),
+        diameter=nx.diameter(graph),
+    )

@@ -1,0 +1,162 @@
+"""Message workload generators for the dissemination experiments.
+
+Corollary A.1 parameterizes gossip by the total message count ``N`` and
+the per-node maximum ``η``; the broadcast corollaries (1.4/1.5) by the
+batch size and placement of sources. These generators produce the
+``{message id → origin node}`` dictionaries the apps consume, covering
+the placements the experiments sweep:
+
+* :func:`uniform_workload` — sources i.i.d. uniform over nodes (the
+  gossip default, every node expected N/n messages);
+* :func:`single_source_workload` — one hot node (worst case for the
+  ``η`` term of Corollary A.1);
+* :func:`skewed_workload` — Zipf-like placement interpolating between
+  the two (realistic hot-spot traffic);
+* :func:`balanced_workload` — exactly ``⌈N/n⌉``-capped round-robin
+  placement (the ``η = ⌈N/n⌉`` optimum);
+* :func:`per_node_capped_workload` — uniform placement rejected above a
+  per-node cap, realizing an arbitrary ``η``.
+
+All generators return message ids ``0..N-1`` and are deterministic
+under a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence
+
+import networkx as nx
+
+from repro.errors import GraphValidationError
+from repro.utils.rng import RngLike, ensure_rng
+
+Workload = Dict[int, Hashable]
+
+
+def _nodes_of(graph: nx.Graph) -> List[Hashable]:
+    if graph.number_of_nodes() == 0:
+        raise GraphValidationError("graph must be non-empty")
+    return sorted(graph.nodes(), key=str)
+
+
+def _require_positive(n_messages: int) -> None:
+    if n_messages < 1:
+        raise GraphValidationError("n_messages must be >= 1")
+
+
+def uniform_workload(
+    graph: nx.Graph, n_messages: int, rng: RngLike = None
+) -> Workload:
+    """``n_messages`` sources drawn i.i.d. uniformly over the nodes."""
+    _require_positive(n_messages)
+    nodes = _nodes_of(graph)
+    rand = ensure_rng(rng)
+    return {i: rand.choice(nodes) for i in range(n_messages)}
+
+
+def single_source_workload(
+    graph: nx.Graph, n_messages: int, source: Hashable = None
+) -> Workload:
+    """All messages originate at one node (``η = N``).
+
+    Defaults to the first node in sorted order when ``source`` is None.
+    """
+    _require_positive(n_messages)
+    nodes = _nodes_of(graph)
+    if source is None:
+        source = nodes[0]
+    elif not graph.has_node(source):
+        raise GraphValidationError(f"source {source!r} not in graph")
+    return {i: source for i in range(n_messages)}
+
+
+def balanced_workload(graph: nx.Graph, n_messages: int) -> Workload:
+    """Round-robin placement: every node holds ⌈N/n⌉ or ⌊N/n⌋ messages."""
+    _require_positive(n_messages)
+    nodes = _nodes_of(graph)
+    return {i: nodes[i % len(nodes)] for i in range(n_messages)}
+
+
+def skewed_workload(
+    graph: nx.Graph,
+    n_messages: int,
+    exponent: float = 1.0,
+    rng: RngLike = None,
+) -> Workload:
+    """Zipf-like placement: node ranked ``r`` has weight ``(r+1)^-s``.
+
+    ``exponent = 0`` degenerates to uniform; large exponents approach
+    the single-source workload. Node rank follows sorted order, so the
+    workload is reproducible under a seed.
+    """
+    _require_positive(n_messages)
+    if exponent < 0:
+        raise GraphValidationError("exponent must be >= 0")
+    nodes = _nodes_of(graph)
+    rand = ensure_rng(rng)
+    weights = [(rank + 1) ** -exponent for rank in range(len(nodes))]
+    total = sum(weights)
+    workload: Workload = {}
+    for i in range(n_messages):
+        draw = rand.random() * total
+        acc = 0.0
+        chosen = nodes[-1]
+        for node, weight in zip(nodes, weights):
+            acc += weight
+            if draw <= acc:
+                chosen = node
+                break
+        workload[i] = chosen
+    return workload
+
+
+def per_node_capped_workload(
+    graph: nx.Graph,
+    n_messages: int,
+    max_per_node: int,
+    rng: RngLike = None,
+) -> Workload:
+    """Uniform placement with at most ``max_per_node`` messages per node.
+
+    Realizes Corollary A.1's ``η`` parameter exactly. Requires
+    ``n · max_per_node ≥ N``.
+    """
+    _require_positive(n_messages)
+    if max_per_node < 1:
+        raise GraphValidationError("max_per_node must be >= 1")
+    nodes = _nodes_of(graph)
+    if len(nodes) * max_per_node < n_messages:
+        raise GraphValidationError(
+            "cap too tight: n * max_per_node < n_messages"
+        )
+    rand = ensure_rng(rng)
+    budget = {node: max_per_node for node in nodes}
+    available = list(nodes)
+    workload: Workload = {}
+    for i in range(n_messages):
+        node = rand.choice(available)
+        workload[i] = node
+        budget[node] -= 1
+        if budget[node] == 0:
+            available.remove(node)
+    return workload
+
+
+def messages_per_node(
+    graph: nx.Graph, workload: Workload
+) -> Dict[Hashable, int]:
+    """Histogram: node → number of messages it originates (η per node)."""
+    counts = {node: 0 for node in graph.nodes()}
+    for origin in workload.values():
+        if origin not in counts:
+            raise GraphValidationError(
+                f"workload references unknown node {origin!r}"
+            )
+        counts[origin] += 1
+    return counts
+
+
+def max_messages_per_node(graph: nx.Graph, workload: Workload) -> int:
+    """The ``η`` of Corollary A.1 for a concrete workload."""
+    counts = messages_per_node(graph, workload)
+    return max(counts.values(), default=0)

@@ -1,0 +1,111 @@
+"""Oblivious routing congestion (Corollary 1.6).
+
+Routing every message along an independently random tree of the packing
+is *oblivious*: routes do not depend on the load. Corollary 1.6 claims
+vertex-congestion competitiveness ``O(log n)`` (dominating tree packing)
+and edge-congestion competitiveness ``O(1)`` (spanning tree packing)
+against the offline optimum.
+
+The offline optimum is intractable in general, so — as is standard for
+congestion competitiveness measurements — we compare against *certified
+lower bounds* on any broadcast schedule:
+
+* vertex congestion ≥ ``N / k`` (all N messages cross every vertex cut;
+  some cut vertex forwards ≥ N/k of them) and ≥ ``N·(n−1)/Σ_v deg(v)``
+  (total receptions ≥ N(n−1); one transmission creates ≤ deg receptions);
+* edge congestion ≥ ``N / λ`` and ≥ ``N·(n−1)/(2m)``.
+
+``competitiveness = measured / lower_bound`` is then an upper bound on
+the true competitive ratio — if it is O(log n) resp. O(1), the corollary
+is confirmed a fortiori.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional
+
+import networkx as nx
+
+from repro.apps.broadcast import (
+    BroadcastOutcome,
+    edge_broadcast,
+    vertex_broadcast,
+)
+from repro.core.tree_packing import DominatingTreePacking, SpanningTreePacking
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class CongestionReport:
+    """Measured congestion vs certified lower bound."""
+
+    measured: int
+    lower_bound: float
+    n_messages: int
+    log_n: float
+
+    @property
+    def competitiveness(self) -> float:
+        """Upper bound on the competitive ratio."""
+        return self.measured / max(self.lower_bound, 1e-12)
+
+    @property
+    def normalized_by_log(self) -> float:
+        """Competitiveness ÷ log n (should be O(1) for Corollary 1.6a)."""
+        return self.competitiveness / max(self.log_n, 1.0)
+
+
+def vertex_congestion_report(
+    packing: DominatingTreePacking,
+    sources: Dict[int, Hashable],
+    k: int,
+    rng: RngLike = None,
+    outcome: Optional[BroadcastOutcome] = None,
+) -> CongestionReport:
+    """Vertex-congestion competitiveness of random-tree broadcast routing."""
+    graph = packing.graph
+    if outcome is None:
+        outcome = vertex_broadcast(packing, sources, rng=rng)
+    n = graph.number_of_nodes()
+    n_messages = len(sources)
+    degree_sum = sum(d for _, d in graph.degree())
+    lower = max(
+        n_messages / max(1, k),
+        n_messages * (n - 1) / max(1, degree_sum),
+        1.0,
+    )
+    return CongestionReport(
+        measured=outcome.max_vertex_congestion,
+        lower_bound=lower,
+        n_messages=n_messages,
+        log_n=math.log(max(n, 2)),
+    )
+
+
+def edge_congestion_report(
+    packing: SpanningTreePacking,
+    sources: Dict[int, Hashable],
+    lam: int,
+    rng: RngLike = None,
+    outcome: Optional[BroadcastOutcome] = None,
+) -> CongestionReport:
+    """Edge-congestion competitiveness of random-tree broadcast routing."""
+    graph = packing.graph
+    if outcome is None:
+        outcome = edge_broadcast(packing, sources, rng=rng)
+    n = graph.number_of_nodes()
+    m = graph.number_of_edges()
+    n_messages = len(sources)
+    lower = max(
+        n_messages / max(1, lam),
+        n_messages * (n - 1) / max(1, 2 * m),
+        1.0,
+    )
+    return CongestionReport(
+        measured=outcome.max_edge_congestion,
+        lower_bound=lower,
+        n_messages=n_messages,
+        log_n=math.log(max(n, 2)),
+    )

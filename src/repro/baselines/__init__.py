@@ -1,0 +1,48 @@
+"""Classical baseline algorithms the paper compares against.
+
+The paper positions its decompositions against a line of classical
+centralized algorithms. This subpackage implements those comparators from
+scratch (no networkx flow/cut calls) so the benchmark harness can measure
+our decompositions against independent, exact ground truth:
+
+* :mod:`repro.baselines.maxflow` — Dinic's blocking-flow maximum flow,
+  the workhorse underneath every exact connectivity computation.
+* :mod:`repro.baselines.vertex_connectivity_exact` — Even–Tarjan exact
+  vertex connectivity via vertex splitting and max-flow (the lineage of
+  [16, 18, 20, 26, 27, 48] in the paper's Section 1.3.2).
+* :mod:`repro.baselines.mincut` — Stoer–Wagner global minimum edge cut,
+  the exact oracle for edge connectivity ``λ``.
+* :mod:`repro.baselines.tree_packing_exact` — Roskind–Tarjan matroid-union
+  packing of edge-disjoint spanning trees, the exact realization of the
+  Tutte/Nash-Williams bound (the paper's [50], [40], [19]).
+* :mod:`repro.baselines.greedy_cds` — Guha–Khuller-style greedy connected
+  dominating set (the paper's [23], used by the Ene et al. comparison).
+"""
+
+from repro.baselines.approx_mincut import sparsified_min_cut
+from repro.baselines.maxflow import FlowNetwork, max_flow, min_cut
+from repro.baselines.mincut import stoer_wagner_min_cut
+from repro.baselines.tree_packing_exact import (
+    edge_disjoint_spanning_forests,
+    max_spanning_tree_packing,
+    spanning_tree_packing_number,
+)
+from repro.baselines.vertex_connectivity_exact import (
+    even_tarjan_vertex_connectivity,
+    local_vertex_connectivity_flow,
+)
+from repro.baselines.greedy_cds import greedy_connected_dominating_set
+
+__all__ = [
+    "sparsified_min_cut",
+    "FlowNetwork",
+    "max_flow",
+    "min_cut",
+    "stoer_wagner_min_cut",
+    "edge_disjoint_spanning_forests",
+    "max_spanning_tree_packing",
+    "spanning_tree_packing_number",
+    "even_tarjan_vertex_connectivity",
+    "local_vertex_connectivity_flow",
+    "greedy_connected_dominating_set",
+]

@@ -1,0 +1,302 @@
+"""Command-line interface: run the decompositions from a shell.
+
+Installed as the ``repro`` console script. The CLI exposes the public
+API on named graph families so results are reproducible from a single
+command line::
+
+    repro connectivity harary:6,24
+    repro pack-cds harary:6,24 --seed 3
+    repro pack-spanning hypercube:4 --seed 5
+    repro broadcast harary:6,24 --messages 24 --seed 7
+    repro experiments
+
+Graph specifications are ``family:arg1,arg2,…``:
+
+========================  =============================================
+``harary:k,n``            Harary graph, vertex connectivity exactly k
+``clique_chain:k,len``    chain of cliques (large-diameter regime)
+``fat_cycle:w,len``       thickened cycle, k = 2w
+``hypercube:d``           d-dimensional hypercube
+``torus:r,c``             r × c torus grid
+``regular:d,n[,seed]``    connected random d-regular graph
+``gnp:n,p[,seed]``        connected Erdős–Rényi
+``complete:n``            complete graph K_n
+========================  =============================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import networkx as nx
+
+from repro import __version__
+from repro.errors import GraphValidationError, ReproError
+from repro.graphs import generators
+
+
+def parse_graph_spec(spec: str) -> nx.Graph:
+    """Build a graph from a ``family:args`` specification string."""
+    family, _, argument_text = spec.partition(":")
+    raw_args = [a for a in argument_text.split(",") if a] if argument_text else []
+
+    def ints(count: int, optional: int = 0) -> List[int]:
+        if not (count <= len(raw_args) <= count + optional):
+            raise GraphValidationError(
+                f"family {family!r} expects {count} argument(s), "
+                f"got {len(raw_args)}"
+            )
+        try:
+            return [int(a) for a in raw_args]
+        except ValueError as exc:
+            raise GraphValidationError(f"non-integer argument in {spec!r}") from exc
+
+    if family == "harary":
+        k, n = ints(2)
+        return generators.harary_graph(k, n)
+    if family == "clique_chain":
+        k, length = ints(2)
+        return generators.clique_chain(k, length)
+    if family == "fat_cycle":
+        width, length = ints(2)
+        return generators.fat_cycle(width, length)
+    if family == "hypercube":
+        (dimension,) = ints(1)
+        return generators.hypercube(dimension)
+    if family == "torus":
+        rows, cols = ints(2)
+        return generators.torus_grid(rows, cols)
+    if family == "regular":
+        values = ints(2, optional=1)
+        degree, n = values[0], values[1]
+        seed = values[2] if len(values) > 2 else 0
+        return generators.random_regular_connected(degree, n, rng=seed)
+    if family == "gnp":
+        if len(raw_args) not in (2, 3):
+            raise GraphValidationError("gnp expects n,p[,seed]")
+        n = int(raw_args[0])
+        p = float(raw_args[1])
+        seed = int(raw_args[2]) if len(raw_args) > 2 else 0
+        return generators.gnp_connected(n, p, rng=seed)
+    if family == "complete":
+        (n,) = ints(1)
+        return nx.complete_graph(n)
+    raise GraphValidationError(f"unknown graph family {family!r}")
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    print(f"repro {__version__} — Distributed Connectivity Decomposition")
+    print("Censor-Hillel, Ghaffari, Kuhn (PODC 2014; arXiv:1311.5317)")
+    print()
+    print("subpackages:")
+    for name, what in [
+        ("repro.core", "CDS/spanning tree packings, testers, VC approx"),
+        ("repro.simulator", "V-CONGEST / E-CONGEST round simulator"),
+        ("repro.graphs", "generators, oracles, sampling, certificates"),
+        ("repro.apps", "broadcast, gossip, oblivious routing, RLNC"),
+        ("repro.baselines", "Dinic, Even–Tarjan, Stoer–Wagner, Roskind–Tarjan"),
+        ("repro.lowerbounds", "Appendix G construction + 2-party simulation"),
+    ]:
+        print(f"  {name:<20} {what}")
+    return 0
+
+
+def _cmd_connectivity(args: argparse.Namespace) -> int:
+    from repro.baselines.mincut import edge_connectivity_exact
+    from repro.baselines.vertex_connectivity_exact import (
+        even_tarjan_vertex_connectivity,
+    )
+    from repro.core.vertex_connectivity import approximate_vertex_connectivity
+
+    graph = parse_graph_spec(args.graph)
+    n, m = graph.number_of_nodes(), graph.number_of_edges()
+    k, _ = even_tarjan_vertex_connectivity(graph)
+    lam = edge_connectivity_exact(graph)
+    print(f"graph: {args.graph}  n={n}  m={m}")
+    print(f"vertex connectivity k = {k}   (exact, Even–Tarjan)")
+    print(f"edge connectivity   λ = {lam}   (exact, Stoer–Wagner)")
+    estimate = approximate_vertex_connectivity(graph, rng=args.seed)
+    print(
+        f"Corollary 1.7 estimate: k ∈ [{estimate.lower_bound:.2f}, "
+        f"{estimate.upper_bound:.2f}]  (contains k: {estimate.contains(k)})"
+    )
+    return 0
+
+
+def _cmd_pack_cds(args: argparse.Namespace) -> int:
+    from repro.core.cds_packing import fractional_cds_packing
+
+    graph = parse_graph_spec(args.graph)
+    result = fractional_cds_packing(graph, rng=args.seed)
+    packing = result.packing
+    print(f"graph: {args.graph}  n={graph.number_of_nodes()}")
+    print(f"classes requested/used/valid: "
+          f"{result.t_requested}/{result.t_used}/{len(result.valid_classes)}")
+    print(f"packing size (Σ weights): {packing.size:.3f}")
+    print(f"max node load:            {packing.max_node_load():.3f}")
+    print(f"max tree diameter:        {packing.max_diameter()}")
+    if args.verbose:
+        for index, wt in enumerate(packing.trees):
+            print(
+                f"  tree {index:>3}  class={wt.class_id:<4} "
+                f"weight={wt.weight:.3f}  nodes={wt.tree.number_of_nodes()}"
+            )
+    packing.verify()
+    print("verification: OK (domination, trees, loads)")
+    return 0
+
+
+def _cmd_pack_spanning(args: argparse.Namespace) -> int:
+    from repro.baselines.mincut import edge_connectivity_exact
+    from repro.core.spanning_packing import fractional_spanning_tree_packing
+
+    graph = parse_graph_spec(args.graph)
+    lam = edge_connectivity_exact(graph)
+    result = fractional_spanning_tree_packing(graph, rng=args.seed)
+    packing = result.packing
+    tutte = max(1, -(-(lam - 1) // 2))
+    print(f"graph: {args.graph}  λ={lam}  Tutte bound ⌈(λ-1)/2⌉={tutte}")
+    print(f"packing size:   {packing.size:.3f}")
+    print(f"size / bound:   {packing.size / tutte:.3f}")
+    print(f"max edge load:  {packing.max_edge_load():.3f}")
+    print(f"distinct trees: {len(packing.trees)}")
+    packing.verify()
+    print("verification: OK (spanning, trees, loads)")
+    return 0
+
+
+def _cmd_broadcast(args: argparse.Namespace) -> int:
+    from repro.apps.broadcast import vertex_broadcast
+    from repro.core.cds_packing import fractional_cds_packing
+
+    graph = parse_graph_spec(args.graph)
+    nodes = sorted(graph.nodes(), key=str)
+    sources = {i: nodes[i % len(nodes)] for i in range(args.messages)}
+    result = fractional_cds_packing(graph, rng=args.seed)
+    outcome = vertex_broadcast(result.packing, sources, rng=args.seed)
+    print(f"graph: {args.graph}  messages={args.messages}")
+    print(f"rounds:            {outcome.rounds}")
+    print(f"throughput:        {outcome.throughput:.3f} msgs/round")
+    print(f"max vertex congestion: {outcome.max_vertex_congestion}")
+    print(f"max edge congestion:   {outcome.max_edge_congestion}")
+    return 0
+
+
+_EXPERIMENTS = [
+    ("E1", "bench_cds_packing", "Thm 1.1/1.2 packing size Ω(k/log n)"),
+    ("E2", "bench_cds_runtime", "Thm 1.2 Õ(m) centralized runtime shape"),
+    ("E3", "bench_spanning_packing", "Thm 1.3 size ⌈(λ-1)/2⌉(1-ε)"),
+    ("E4", "bench_distributed_rounds", "Thm B.1 round complexity shape"),
+    ("E5", "bench_broadcast", "Cor 1.4/1.5 + App A throughput/gossip"),
+    ("E6", "bench_oblivious_routing", "Cor 1.6 congestion competitiveness"),
+    ("E7", "bench_vc_approx", "Cor 1.7 O(log n) VC approximation"),
+    ("E8", "bench_fast_merger", "Lemma 4.4 component decay"),
+    ("E9", "bench_connector_paths", "Lemma 4.3 / Prop 4.2 connectors"),
+    ("E10", "bench_cds_packing", "Lemma 4.6 class sizes"),
+    ("E11", "bench_tester", "Appendix E tester"),
+    ("E12", "bench_sampling", "§5.2 Karger sampling concentration"),
+    ("E13", "bench_lowerbound", "Lemma G.3/G.4 construction"),
+    ("E14", "bench_lowerbound", "Lemma G.5/G.6 2-party simulation"),
+    ("E15", "bench_integral", "integral packings"),
+    ("E16", "bench_independent_trees", "§1.4.1 independent trees"),
+    ("E17", "bench_network_coding", "§1 network coding comparison"),
+    ("E18", "bench_baselines", "exact baselines cross-checks"),
+    ("E19", "bench_pipelined_upcast", "Lemma 5.1 pipelined upcast"),
+    ("E20", "bench_workloads", "Cor A.1 workload shapes"),
+    ("E21", "bench_shared_mst", "Lemma 5.1 simultaneous MSTs"),
+    ("E22", "bench_point_to_point", "§1.3.1 point-to-point √n barrier"),
+    ("F1-F3", "bench_figures", "paper figures (text renderings)"),
+    ("A1-A5", "bench_ablation", "design-choice ablations"),
+]
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import full_report
+
+    graphs = [(spec, parse_graph_spec(spec)) for spec in args.graphs]
+    print(full_report(graphs, rng=args.seed))
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    print("experiment index (run: pytest benchmarks/<file>.py --benchmark-only)")
+    for exp_id, bench, claim in _EXPERIMENTS:
+        print(f"  {exp_id:<6} benchmarks/{bench + '.py':<28} {claim}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Distributed Connectivity Decomposition (PODC 2014) — "
+            "connectivity decompositions from the command line"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("info", help="library overview").set_defaults(
+        handler=_cmd_info
+    )
+
+    connectivity = commands.add_parser(
+        "connectivity", help="exact + approximate connectivity of a graph"
+    )
+    connectivity.add_argument("graph", help="graph spec, e.g. harary:6,24")
+    connectivity.add_argument("--seed", type=int, default=0)
+    connectivity.set_defaults(handler=_cmd_connectivity)
+
+    pack_cds = commands.add_parser(
+        "pack-cds", help="fractional dominating tree packing (Thm 1.1/1.2)"
+    )
+    pack_cds.add_argument("graph")
+    pack_cds.add_argument("--seed", type=int, default=0)
+    pack_cds.add_argument("--verbose", action="store_true")
+    pack_cds.set_defaults(handler=_cmd_pack_cds)
+
+    pack_spanning = commands.add_parser(
+        "pack-spanning", help="fractional spanning tree packing (Thm 1.3)"
+    )
+    pack_spanning.add_argument("graph")
+    pack_spanning.add_argument("--seed", type=int, default=0)
+    pack_spanning.set_defaults(handler=_cmd_pack_spanning)
+
+    broadcast = commands.add_parser(
+        "broadcast", help="tree-routed broadcast throughput (Cor 1.4)"
+    )
+    broadcast.add_argument("graph")
+    broadcast.add_argument("--messages", type=int, default=16)
+    broadcast.add_argument("--seed", type=int, default=0)
+    broadcast.set_defaults(handler=_cmd_broadcast)
+
+    commands.add_parser(
+        "experiments", help="list the experiment index"
+    ).set_defaults(handler=_cmd_experiments)
+
+    report = commands.add_parser(
+        "report", help="markdown claim-vs-measured report over graphs"
+    )
+    report.add_argument("graphs", nargs="+", help="graph specs")
+    report.add_argument("--seed", type=int, default=0)
+    report.set_defaults(handler=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,213 @@
+"""The recursive class assignment of one layer (Section 3.1, steps 1–3).
+
+Given the state after layers ``1..ℓ`` (old nodes), this module assigns
+classes to the ``3n`` new virtual nodes of layer ``ℓ+1``:
+
+1. type-1 and type-3 new nodes join uniformly random classes;
+2. the *bridging graph* is formed between old components and type-2 new
+   nodes — ``v`` is adjacent to component ``C`` of class ``i`` iff
+   (a) ``v`` has a neighbor in ``C``, (b) ``C`` is not already bridged by
+   a type-1 new node of class ``i`` ("deactivated"), and (c) some type-3
+   new neighbor ``w`` of ``v`` joined class ``i`` and sees a component
+   ``C'' ≠ C`` of class ``i``;
+3. a maximal matching between components and type-2 new nodes is found;
+   matched type-2 nodes join their component's class, unmatched ones join
+   random classes.
+
+Virtual adjacency includes *same-real* pairs (footnote 5), so every
+"neighbor" test below uses the **closed** real neighborhood ``N[v]``: a
+new virtual node on real ``v`` is adjacent to the old virtual nodes of
+``v`` itself.
+
+The greedy sweep in :func:`assign_layer` processes type-2 nodes in random
+order and matches each to the first available bridging-adjacent component;
+since a pair is skipped only when one endpoint is already matched, the
+result is a maximal matching — exactly the structure Lemma 4.4 needs,
+and the same matching discipline as the linked-list sweep of Appendix C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.core.virtual_graph import VirtualGraph, VirtualNode
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class LayerStats:
+    """Instrumentation for one layer's assignment (drives experiment E8)."""
+
+    layer: int
+    excess_before: int
+    excess_after: int
+    deactivated_components: int
+    bridging_candidates: int
+    matched: int
+    random_type2: int
+
+
+def closed_neighborhood(graph: nx.Graph, node: Hashable) -> List[Hashable]:
+    """``N[node]`` — the node itself plus its graph neighbors."""
+    return [node, *graph.neighbors(node)]
+
+
+def jump_start(vg: VirtualGraph, rng: RngLike = None) -> None:
+    """Assign every virtual node of layers ``1..L/2`` a random class.
+
+    Lemma 4.1 (Domination): after this step each class dominates w.h.p.
+    """
+    rand = ensure_rng(rng)
+    t = vg.n_classes
+    for layer in range(1, vg.layers // 2 + 1):
+        for real in vg.graph.nodes():
+            for vtype in (1, 2, 3):
+                vg.assign(VirtualNode(real, layer, vtype), rand.randrange(t))
+
+
+def _adjacent_components(
+    vg: VirtualGraph, real: Hashable, class_id: int
+) -> Set[Hashable]:
+    """Old components of ``class_id`` adjacent to a new node on ``real``
+    (component representatives, via the closed neighborhood)."""
+    state = vg.classes[class_id]
+    reps: Set[Hashable] = set()
+    for w in closed_neighborhood(vg.graph, real):
+        if state.is_active(w):
+            reps.add(state.component_of(w))
+    return reps
+
+
+def assign_layer(
+    vg: VirtualGraph,
+    new_layer: int,
+    rng: RngLike = None,
+    use_deactivation: bool = True,
+    require_type3_witness: bool = True,
+) -> LayerStats:
+    """Run steps (1)–(3) for layer ``new_layer`` and apply the assignment.
+
+    The two boolean flags exist for the ablation study (benchmarks
+    ``bench_ablation.py``): ``use_deactivation=False`` drops condition (b)
+    (type-2 nodes may be spent on components already bridged by a type-1
+    node), ``require_type3_witness=False`` drops condition (c) (a matched
+    type-2 node is no longer guaranteed to merge its component with
+    another). Both default to the paper's algorithm.
+    """
+    rand = ensure_rng(rng)
+    graph = vg.graph
+    t = vg.n_classes
+    excess_before = vg.excess_components()
+
+    # Step 1: type-1 and type-3 new nodes pick random classes.
+    type1_class: Dict[Hashable, int] = {}
+    type3_class: Dict[Hashable, int] = {}
+    for real in graph.nodes():
+        type1_class[real] = rand.randrange(t)
+        type3_class[real] = rand.randrange(t)
+
+    # Deactivation (condition (b)): a component already bridged to another
+    # component of its class by some type-1 new node needs no type-2 spend.
+    deactivated: Set[Tuple[int, Hashable]] = set()
+    for real, class_id in type1_class.items():
+        reps = _adjacent_components(vg, real, class_id)
+        if len(reps) >= 2:
+            deactivated.update((class_id, rep) for rep in reps)
+
+    # Suitable components of each type-3 new node (feeds condition (c)).
+    suitable3: Dict[Hashable, Set[Hashable]] = {
+        real: _adjacent_components(vg, real, class_id)
+        for real, class_id in type3_class.items()
+    }
+
+    # Steps 2–3: bridging adjacency + greedy maximal matching over type-2
+    # new nodes in random order.
+    matched: Set[Tuple[int, Hashable]] = set()
+    type2_class: Dict[Hashable, int] = {}
+    bridging_candidates = 0
+    random_type2 = 0
+    order = list(graph.nodes())
+    rand.shuffle(order)
+    for real in order:
+        neighborhood = closed_neighborhood(graph, real)
+        # Candidate (class, component) pairs satisfying condition (a).
+        candidates: List[Tuple[int, Hashable]] = []
+        seen: Set[Tuple[int, Hashable]] = set()
+        for w in neighborhood:
+            for class_id in vg.real_classes[w]:
+                rep = vg.classes[class_id].component_of(w)
+                key = (class_id, rep)
+                if key not in seen:
+                    seen.add(key)
+                    candidates.append(key)
+        rand.shuffle(candidates)
+
+        assigned: Optional[int] = None
+        for class_id, rep in candidates:
+            key = (class_id, rep)
+            if use_deactivation and key in deactivated:
+                continue
+            if key in matched:
+                continue
+            # Condition (c): a type-3 new neighbor of the same class that
+            # sees a *different* component of that class.
+            if require_type3_witness:
+                bridged = False
+                for u in neighborhood:
+                    if type3_class[u] != class_id:
+                        continue
+                    if any(other != rep for other in suitable3[u]):
+                        bridged = True
+                        break
+                if not bridged:
+                    continue
+            bridging_candidates += 1
+            matched.add(key)
+            assigned = class_id
+            break
+        if assigned is None:
+            assigned = rand.randrange(t)
+            random_type2 += 1
+        type2_class[real] = assigned
+
+    # Apply all 3n assignments (projections update under the hood).
+    for real in graph.nodes():
+        vg.assign(VirtualNode(real, new_layer, 1), type1_class[real])
+        vg.assign(VirtualNode(real, new_layer, 2), type2_class[real])
+        vg.assign(VirtualNode(real, new_layer, 3), type3_class[real])
+
+    return LayerStats(
+        layer=new_layer,
+        excess_before=excess_before,
+        excess_after=vg.excess_components(),
+        deactivated_components=len(deactivated),
+        bridging_candidates=bridging_candidates,
+        matched=len(matched),
+        random_type2=random_type2,
+    )
+
+
+def run_recursion(
+    vg: VirtualGraph,
+    rng: RngLike = None,
+    use_deactivation: bool = True,
+    require_type3_witness: bool = True,
+) -> List[LayerStats]:
+    """Jump-start layers 1..L/2, then assign layers L/2+1..L recursively."""
+    rand = ensure_rng(rng)
+    jump_start(vg, rand)
+    history: List[LayerStats] = []
+    for layer in range(vg.layers // 2 + 1, vg.layers + 1):
+        history.append(
+            assign_layer(
+                vg,
+                layer,
+                rand,
+                use_deactivation=use_deactivation,
+                require_type3_witness=require_type3_witness,
+            )
+        )
+    return history

@@ -1,0 +1,472 @@
+"""Distributed fractional CDS packing (Appendix B, Theorem B.1).
+
+The same recursion as :mod:`repro.core.cds_packing`, executed as a
+V-CONGEST protocol on the round simulator. Per layer:
+
+1. **Component identification** (B.1) — parallel per-class min-id floods
+   (the Theorem B.2 subroutine; one multi-key flood run covers all
+   classes a node is active in).
+2. **Bridging graph creation** (B.2) — type-1/3 new nodes pick random
+   classes locally; an exchange round spreads (class, component-id)
+   pairs; type-1 bridges deactivate their adjacent components, the
+   deactivation bit is flooded inside components; type-3 nodes send their
+   ``m_w`` messages (class + component id or the ``connector`` symbol);
+   type-2 nodes assemble their neighbor lists ``List_v``.
+3. **Maximal matching** (B.3) — O(log n) stages of Luby-style proposals:
+   each unmatched type-2 node draws a random value per listed component,
+   proposes to the best; components flood their maximum received proposal
+   and broadcast the winner; accepted proposers join the component's
+   class; losers prune their lists. Leftovers join random classes.
+
+**Meta-round accounting.** Every real node simulates ``3L`` virtual
+nodes; one simulated round here carries each node's vector of per-class
+entries — i.e. one *meta-round* = ``3L`` real V-CONGEST rounds (Section
+3.1). The result reports measured meta-rounds and the derived real-round
+estimate, plus the analytic Theorem B.2 bounds for the substituted
+component-identification subroutine (DESIGN.md Section 2/5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.errors import GraphValidationError, PackingConstructionError
+from repro.core.bridging import LayerStats
+from repro.core.cds_packing import (
+    CdsPackingResult,
+    PackingParameters,
+    _packing_from_classes,
+    _valid_class_ids,
+)
+from repro.core.virtual_graph import VirtualGraph, VirtualNode
+from repro.simulator.algorithms.exchange import exchange_once
+from repro.simulator.algorithms.multikey_flood import multikey_flood
+from repro.simulator.metrics import (
+    AnalyticRoundCost,
+    RoundReport,
+    SimulationMetrics,
+)
+from repro.simulator.network import Network
+from repro.simulator.runner import Model, default_message_budget
+from repro.utils.mathutil import whp_repeats
+from repro.utils.rng import RngLike, ensure_rng
+
+_CONNECTOR = -1  # the special "connector" symbol of Appendix B.2
+
+
+@dataclass
+class DistributedCdsResult:
+    """Result of the distributed construction, with round accounting."""
+
+    result: CdsPackingResult
+    report: RoundReport
+    meta_rounds: int
+    real_round_estimate: int
+
+    @property
+    def packing(self):
+        return self.result.packing
+
+
+def _identify_class_components(
+    network: Network, vg: VirtualGraph, metrics: SimulationMetrics
+) -> Dict[Hashable, Dict[int, int]]:
+    """Per-class component ids for every active (node, class) pair.
+
+    Component id = smallest node id in the component (Appendix B.1).
+    """
+    values: Dict[Hashable, Dict[int, int]] = {}
+    allowed: Dict[Hashable, Dict[int, Set[Hashable]]] = {}
+    graph = network.graph
+    for v in network.nodes:
+        classes = vg.real_classes[v]
+        values[v] = {c: network.node_id(v) for c in classes}
+        allowed[v] = {
+            c: {u for u in graph.neighbors(v) if c in vg.real_classes[u]}
+            for c in classes
+        }
+    keys_bound = max((len(vg.real_classes[v]) for v in network.nodes), default=1)
+    result = multikey_flood(
+        network, values, allowed, minimize=True, keys_bound=keys_bound
+    )
+    metrics.merge(result.metrics)
+    metrics.record_phase("component-identification", result.metrics.rounds)
+    return {v: (result.outputs[v] or {}) for v in network.nodes}
+
+
+def _flood_deactivation(
+    network: Network,
+    vg: VirtualGraph,
+    deactivated_seed: Dict[Hashable, Set[int]],
+    metrics: SimulationMetrics,
+) -> Dict[Hashable, Set[int]]:
+    """Spread per-class deactivation bits inside components (max-flood)."""
+    graph = network.graph
+    values: Dict[Hashable, Dict[int, int]] = {}
+    allowed: Dict[Hashable, Dict[int, Set[Hashable]]] = {}
+    for v in network.nodes:
+        classes = vg.real_classes[v]
+        values[v] = {
+            c: (1 if c in deactivated_seed.get(v, ()) else 0) for c in classes
+        }
+        allowed[v] = {
+            c: {u for u in graph.neighbors(v) if c in vg.real_classes[u]}
+            for c in classes
+        }
+    keys_bound = max((len(vg.real_classes[v]) for v in network.nodes), default=1)
+    result = multikey_flood(
+        network, values, allowed, minimize=False, keys_bound=keys_bound
+    )
+    metrics.merge(result.metrics)
+    metrics.record_phase("deactivation-flood", result.metrics.rounds)
+    out: Dict[Hashable, Set[int]] = {}
+    for v in network.nodes:
+        final = result.outputs[v] or {}
+        out[v] = {c for c, bit in final.items() if bit}
+    return out
+
+
+def _matching_stages(
+    network: Network,
+    vg: VirtualGraph,
+    comp_of: Dict[Hashable, Dict[int, int]],
+    lists: Dict[Hashable, List[Tuple[int, int]]],
+    metrics: SimulationMetrics,
+    rand,
+) -> Dict[Hashable, Optional[int]]:
+    """Appendix B.3: staged proposal matching; returns type-2 class choices
+    (None where the node stayed unmatched)."""
+    graph = network.graph
+    n = network.n
+    stages = 2 * whp_repeats(n)
+    value_bits = 4 * max(8, n.bit_length())
+    assigned: Dict[Hashable, Optional[int]] = {v: None for v in network.nodes}
+    matched_components: Set[Tuple[int, int]] = set()
+    budget = 8 * default_message_budget(n)
+
+    for _ in range(stages):
+        # Unmatched type-2 nodes propose to their best-valued listed component.
+        proposals: Dict[Hashable, Optional[Tuple[int, int, int, int]]] = {}
+        for v in network.nodes:
+            if assigned[v] is not None or not lists[v]:
+                proposals[v] = None
+                continue
+            best = None
+            for class_id, comp_id in lists[v]:
+                draw = rand.getrandbits(value_bits)
+                if best is None or draw > best[0]:
+                    best = (draw, class_id, comp_id)
+            draw, class_id, comp_id = best
+            proposals[v] = (class_id, comp_id, draw, network.node_id(v))
+        heard, res = exchange_once(network, proposals, model=Model.V_CONGEST)
+        metrics.merge(res.metrics)
+
+        # Component members absorb the best proposal addressed to them.
+        seed: Dict[Hashable, Dict[int, Tuple[int, int]]] = {}
+        for v in network.nodes:
+            mine: Dict[int, Tuple[int, int]] = {}
+            for payload in heard[v].values():
+                if payload is None:
+                    continue
+                class_id, comp_id, draw, proposer = payload
+                if comp_of[v].get(class_id) != comp_id:
+                    continue
+                if (class_id, comp_id) in matched_components:
+                    continue
+                cand = (draw, proposer)
+                if class_id not in mine or cand > mine[class_id]:
+                    mine[class_id] = cand
+            seed[v] = mine
+
+        # Flood the maximum proposal inside each component.
+        values = {
+            v: {c: seed[v].get(c) for c in vg.real_classes[v]}
+            for v in network.nodes
+        }
+        allowed = {
+            v: {
+                c: {u for u in graph.neighbors(v) if c in vg.real_classes[u]}
+                for c in vg.real_classes[v]
+            }
+            for v in network.nodes
+        }
+        keys_bound = max(
+            (len(vg.real_classes[v]) for v in network.nodes), default=1
+        )
+        flood = multikey_flood(
+            network, values, allowed, minimize=False, keys_bound=keys_bound
+        )
+        metrics.merge(flood.metrics)
+        metrics.record_phase("matching-flood", flood.metrics.rounds)
+
+        # Members announce acceptances; proposers learn outcomes.
+        accept_payloads: Dict[Hashable, Optional[tuple]] = {}
+        for v in network.nodes:
+            final = flood.outputs[v] or {}
+            items = tuple(
+                (c, comp_of[v][c], best[0], best[1])
+                for c, best in final.items()
+                if best is not None and c in comp_of[v]
+            )
+            accept_payloads[v] = items if items else None
+        heard, res = exchange_once(network, accept_payloads, model=Model.V_CONGEST)
+        metrics.merge(res.metrics)
+
+        for v in network.nodes:
+            accepted_here: Set[Tuple[int, int]] = set()
+            won: Optional[int] = None
+            my_id = network.node_id(v)
+            for payload in heard[v].values():
+                if payload is None:
+                    continue
+                for class_id, comp_id, draw, proposer in payload:
+                    accepted_here.add((class_id, comp_id))
+                    if proposer == my_id and assigned[v] is None:
+                        won = class_id
+            # Own acceptance state counts too (v may be a member itself).
+            own = accept_payloads[v] or ()
+            for class_id, comp_id, draw, proposer in own:
+                accepted_here.add((class_id, comp_id))
+                if proposer == my_id and assigned[v] is None:
+                    won = class_id
+            if won is not None:
+                assigned[v] = won
+            if accepted_here:
+                matched_components.update(accepted_here)
+                lists[v] = [
+                    pair for pair in lists[v] if pair not in accepted_here
+                ]
+    return assigned
+
+
+def _distributed_layer(
+    network: Network,
+    vg: VirtualGraph,
+    new_layer: int,
+    metrics: SimulationMetrics,
+    rand,
+) -> LayerStats:
+    """One full layer of the Appendix B protocol."""
+    graph = network.graph
+    t = vg.n_classes
+    excess_before = vg.excess_components()
+
+    # B.1: identify components of old nodes.
+    comp_of = _identify_class_components(network, vg, metrics)
+
+    # Local random choices for type-1 / type-3 new nodes.
+    type1_class = {v: rand.randrange(t) for v in network.nodes}
+    type3_class = {v: rand.randrange(t) for v in network.nodes}
+
+    # Everyone announces (class, component-id) pairs: one meta-round.
+    comp_payloads = {
+        v: tuple(sorted(comp_of[v].items())) or None for v in network.nodes
+    }
+    heard_comps, res = exchange_once(network, comp_payloads, model=Model.V_CONGEST)
+    metrics.merge(res.metrics)
+
+    def classes_seen(v: Hashable) -> Dict[int, Set[int]]:
+        """class -> set of component ids visible from v's closed nbhd."""
+        seen: Dict[int, Set[int]] = {}
+        for class_id, comp_id in comp_of[v].items():
+            seen.setdefault(class_id, set()).add(comp_id)
+        for payload in heard_comps[v].values():
+            if payload is None:
+                continue
+            for class_id, comp_id in payload:
+                seen.setdefault(class_id, set()).add(comp_id)
+        return seen
+
+    # B.2 deactivation: type-1 bridges mark all their class components.
+    deact_seed: Dict[Hashable, Set[int]] = {v: set() for v in network.nodes}
+    deactivated_pairs: Set[Tuple[int, int]] = set()
+    for u in network.nodes:
+        class_id = type1_class[u]
+        comps = classes_seen(u).get(class_id, set())
+        if len(comps) >= 2:
+            # In the protocol u broadcasts (i, "connector"); adjacent
+            # members of class i seed the deactivation flood.
+            deactivated_pairs.update((class_id, c) for c in comps)
+            for w in [u, *graph.neighbors(u)]:
+                if comp_of[w].get(class_id) in comps:
+                    deact_seed[w].add(class_id)
+    # One meta-round for the (i, connector) broadcasts themselves.
+    connector_payloads = {
+        v: ((type1_class[v], _CONNECTOR),)
+        if len(classes_seen(v).get(type1_class[v], ())) >= 2
+        else None
+        for v in network.nodes
+    }
+    _, res = exchange_once(network, connector_payloads, model=Model.V_CONGEST)
+    metrics.merge(res.metrics)
+    deactivated_at = _flood_deactivation(network, vg, deact_seed, metrics)
+
+    # Activity + component announcement (members tell neighbors whether
+    # their component is still active): one meta-round.
+    activity_payloads = {}
+    for v in network.nodes:
+        items = tuple(
+            (c, comp_id, 0 if c in deactivated_at[v] else 1)
+            for c, comp_id in comp_of[v].items()
+        )
+        activity_payloads[v] = items if items else None
+    heard_activity, res = exchange_once(
+        network, activity_payloads, model=Model.V_CONGEST
+    )
+    metrics.merge(res.metrics)
+
+    # B.2 type-3 messages m_w: (class, comp-id | connector).
+    type3_payloads: Dict[Hashable, Optional[tuple]] = {}
+    suitable3: Dict[Hashable, Set[int]] = {}
+    for w in network.nodes:
+        class_id = type3_class[w]
+        comps = classes_seen(w).get(class_id, set())
+        suitable3[w] = comps
+        if not comps:
+            type3_payloads[w] = None
+        elif len(comps) == 1:
+            type3_payloads[w] = (class_id, next(iter(comps)))
+        else:
+            type3_payloads[w] = (class_id, _CONNECTOR)
+    heard_type3, res = exchange_once(network, type3_payloads, model=Model.V_CONGEST)
+    metrics.merge(res.metrics)
+
+    # Assemble List_v for every type-2 new node (conditions (a)-(c)).
+    lists: Dict[Hashable, List[Tuple[int, int]]] = {}
+    for v in network.nodes:
+        candidates: List[Tuple[int, int]] = []
+        active_pairs: Set[Tuple[int, int]] = set()
+        for c, comp_id in comp_of[v].items():
+            if c not in deactivated_at[v]:
+                active_pairs.add((c, comp_id))
+        for payload in heard_activity[v].values():
+            if payload is None:
+                continue
+            for c, comp_id, active in payload:
+                if active:
+                    active_pairs.add((c, comp_id))
+        # Type-3 evidence: class -> set of (comp-id | connector) heard.
+        evidence: Dict[int, Set[int]] = {}
+        own3 = type3_payloads[v]
+        if own3 is not None:
+            evidence.setdefault(own3[0], set()).add(own3[1])
+        for payload in heard_type3[v].values():
+            if payload is None:
+                continue
+            class_id, token = payload
+            evidence.setdefault(class_id, set()).add(token)
+        for class_id, comp_id in active_pairs:
+            tokens = evidence.get(class_id, set())
+            if any(tok == _CONNECTOR or tok != comp_id for tok in tokens):
+                candidates.append((class_id, comp_id))
+        rand.shuffle(candidates)
+        lists[v] = candidates
+
+    bridging_candidates = sum(len(lst) for lst in lists.values())
+
+    # B.3: staged maximal matching.
+    type2_assigned = _matching_stages(
+        network, vg, comp_of, lists, metrics, rand
+    )
+    matched = sum(1 for c in type2_assigned.values() if c is not None)
+    random_type2 = 0
+    type2_class: Dict[Hashable, int] = {}
+    for v in network.nodes:
+        if type2_assigned[v] is not None:
+            type2_class[v] = type2_assigned[v]
+        else:
+            type2_class[v] = rand.randrange(t)
+            random_type2 += 1
+
+    for v in network.nodes:
+        vg.assign(VirtualNode(v, new_layer, 1), type1_class[v])
+        vg.assign(VirtualNode(v, new_layer, 2), type2_class[v])
+        vg.assign(VirtualNode(v, new_layer, 3), type3_class[v])
+
+    return LayerStats(
+        layer=new_layer,
+        excess_before=excess_before,
+        excess_after=vg.excess_components(),
+        deactivated_components=len(deactivated_pairs),
+        bridging_candidates=bridging_candidates,
+        matched=matched,
+        random_type2=random_type2,
+    )
+
+
+def distributed_cds_packing(
+    graph: nx.Graph,
+    k_guess: int,
+    params: Optional[PackingParameters] = None,
+    rng: RngLike = None,
+) -> DistributedCdsResult:
+    """Theorem B.1: the fractional CDS packing as a V-CONGEST protocol.
+
+    Returns the packing plus a :class:`RoundReport` with measured
+    meta-rounds, the derived real-round estimate (×3L multiplexing), and
+    the analytic Theorem B.2 costs of the substituted subroutine.
+    """
+    if graph.number_of_nodes() < 2 or not nx.is_connected(graph):
+        raise GraphValidationError("graph must be connected with >= 2 nodes")
+    if k_guess < 1:
+        raise GraphValidationError("k_guess must be >= 1")
+    params = params or PackingParameters()
+    rand = ensure_rng(rng)
+    network = Network(graph, rng=rand)
+    n = graph.number_of_nodes()
+    n_layers = params.n_layers(n)
+    t_requested = params.n_classes(k_guess)
+
+    t = t_requested
+    metrics = SimulationMetrics()
+    for attempt in range(1, params.max_attempts + 1):
+        vg = VirtualGraph(graph, layers=n_layers, n_classes=t)
+        # Jump-start layers 1..L/2: purely local random choices.
+        for layer in range(1, n_layers // 2 + 1):
+            for v in graph.nodes():
+                for vtype in (1, 2, 3):
+                    vg.assign(VirtualNode(v, layer, vtype), rand.randrange(t))
+        history: List[LayerStats] = []
+        for layer in range(n_layers // 2 + 1, n_layers + 1):
+            history.append(
+                _distributed_layer(network, vg, layer, metrics, rand)
+            )
+        valid = _valid_class_ids(graph, vg)
+        if valid:
+            packing = _packing_from_classes(graph, vg, valid)
+            packing.verify()
+            result = CdsPackingResult(
+                packing=packing,
+                virtual_graph=vg,
+                valid_classes=valid,
+                layer_history=history,
+                k_guess=k_guess,
+                t_requested=t_requested,
+                t_used=t,
+                attempts=attempt,
+            )
+            diameter = network.diameter()
+            analytic = [
+                AnalyticRoundCost.thurimella_components(
+                    n, diameter, d_prime=n
+                )
+            ]
+            report = RoundReport(measured=metrics, analytic=analytic)
+            multiplex = 3 * n_layers
+            return DistributedCdsResult(
+                result=result,
+                report=report,
+                meta_rounds=metrics.rounds,
+                real_round_estimate=metrics.rounds * multiplex,
+            )
+        if t == 1:
+            break
+        t = max(1, t // 2)
+    raise PackingConstructionError(
+        "distributed CDS packing produced no valid class; "
+        "graph too small or k_guess too large"
+    )

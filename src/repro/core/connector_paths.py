@@ -1,0 +1,140 @@
+"""Connector paths (Section 4.1) — the analysis toolbox.
+
+A *potential connector path* for a component ``C`` of class ``i`` at layer
+``ℓ`` is a path ``P`` in the real graph with (A) one endpoint in ``Ψ(C)``
+and the other in ``Ψ(V_i^ℓ \\ C)``, (B) at most two internal vertices, and
+(C) minimality: if ``P = s, u, w, t`` then ``w`` has no neighbor in
+``Ψ(C)`` and ``u`` has no neighbor in ``Ψ(V_i^ℓ \\ C)``.
+
+The algorithm never computes these paths (that is its novelty over [12]);
+the *analysis* does. This module computes them so the test suite and
+benchmark E9 can check Lemma 4.3 (every non-singleton component of a
+dominating class has ≥ k internally vertex-disjoint connector paths) and
+the fast/slow component split of Lemma 4.4.
+
+Internal vertices of connector paths are outside ``Ψ(V_i^ℓ)`` by
+construction (Menger paths are shortened through non-class vertices), so
+two *short* paths are internally disjoint iff their internal vertices
+differ, and a maximum internally-disjoint family of short paths is simply
+one per eligible internal vertex. For *long* paths, internally-disjoint
+selection is a maximum matching problem on (u, w) pairs; we report the
+exact value via networkx matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Set, Tuple
+
+import networkx as nx
+
+
+@dataclass(frozen=True)
+class ConnectorPathCount:
+    """Disjoint connector path counts for one component."""
+
+    short: int      # internally vertex-disjoint short paths (1 internal node)
+    long: int       # internally vertex-disjoint long paths (2 internal nodes)
+
+    @property
+    def total(self) -> int:
+        return self.short + self.long
+
+
+def short_connector_internals(
+    graph: nx.Graph,
+    component: Set[Hashable],
+    class_members: Set[Hashable],
+) -> Set[Hashable]:
+    """Internal vertices of short potential connector paths for ``component``.
+
+    A vertex ``u ∉ Ψ(V_i)`` is such an internal vertex iff it neighbors
+    both ``Ψ(C)`` and ``Ψ(V_i \\ C)``.
+    """
+    rest = class_members - component
+    internals: Set[Hashable] = set()
+    for u in graph.nodes():
+        if u in class_members:
+            continue
+        sees_component = False
+        sees_rest = False
+        for nb in graph.neighbors(u):
+            if nb in component:
+                sees_component = True
+            elif nb in rest:
+                sees_rest = True
+            if sees_component and sees_rest:
+                internals.add(u)
+                break
+    return internals
+
+
+def long_connector_pairs(
+    graph: nx.Graph,
+    component: Set[Hashable],
+    class_members: Set[Hashable],
+) -> List[Tuple[Hashable, Hashable]]:
+    """Internal vertex pairs ``(u, w)`` of long potential connector paths.
+
+    Condition (C) minimality: ``u`` neighbors ``Ψ(C)`` but not
+    ``Ψ(V_i \\ C)``; ``w`` neighbors ``Ψ(V_i \\ C)`` but not ``Ψ(C)``;
+    ``u ~ w``; both outside ``Ψ(V_i)``.
+    """
+    rest = class_members - component
+    side_c: Set[Hashable] = set()
+    side_rest: Set[Hashable] = set()
+    for u in graph.nodes():
+        if u in class_members:
+            continue
+        sees_component = any(nb in component for nb in graph.neighbors(u))
+        sees_rest = any(nb in rest for nb in graph.neighbors(u))
+        if sees_component and not sees_rest:
+            side_c.add(u)
+        elif sees_rest and not sees_component:
+            side_rest.add(u)
+    pairs = []
+    for u in side_c:
+        for w in graph.neighbors(u):
+            if w in side_rest:
+                pairs.append((u, w))
+    return pairs
+
+
+def count_disjoint_connector_paths(
+    graph: nx.Graph,
+    component: Set[Hashable],
+    class_members: Set[Hashable],
+) -> ConnectorPathCount:
+    """Maximum internally vertex-disjoint connector path family sizes.
+
+    Short paths: one per eligible internal vertex. Long paths: a maximum
+    matching on the (u, w) pair graph, over vertices not already used by
+    the short family (short and long internals are disjoint sets by
+    minimality, so no interaction).
+    """
+    shorts = short_connector_internals(graph, component, class_members)
+    pairs = long_connector_pairs(graph, component, class_members)
+    pair_graph = nx.Graph()
+    pair_graph.add_edges_from(
+        (u, w) for u, w in pairs if u not in shorts and w not in shorts
+    )
+    matching = nx.max_weight_matching(pair_graph, maxcardinality=True)
+    return ConnectorPathCount(short=len(shorts), long=len(matching))
+
+
+def component_connector_profile(
+    graph: nx.Graph, class_members: Set[Hashable]
+) -> List[Tuple[Set[Hashable], ConnectorPathCount]]:
+    """Connector path counts for every component of ``graph[class_members]``.
+
+    Only meaningful when the class has ≥ 2 components (otherwise there is
+    nothing to connect and the list of counts is empty).
+    """
+    induced = graph.subgraph(class_members)
+    components = [set(c) for c in nx.connected_components(induced)]
+    if len(components) < 2:
+        return []
+    return [
+        (comp, count_disjoint_connector_paths(graph, comp, class_members))
+        for comp in components
+    ]

@@ -1,0 +1,252 @@
+"""Fractional spanning tree packing (Section 5, Theorem 1.3).
+
+Two layers:
+
+* :func:`mwu_spanning_packing` — the Lagrangian-relaxation / MWU core for
+  ``λ = O(log n)`` (Section 5.1): maintain a weighted tree collection of
+  total weight 1; per iteration, exponentially penalize loaded edges
+  (``c_e = exp(α·z_e)``), compute the MST under these costs, stop when
+  ``Cost(MST) > (1−ε)·Σ c_e x_e`` (Lemma F.1 then gives
+  ``max_e z_e ≤ 1+O(ε)``), otherwise blend the MST in with weight
+  ``β = Θ(1/(α log n))``.
+* :func:`fractional_spanning_tree_packing` — the general case
+  (Section 5.2): split edges into ``η`` random parts via Karger sampling
+  so each part has connectivity ``Θ(log n / ε²)``, pack each part, and
+  take the union.
+
+Numerics: ``c_e`` can be astronomically large, but both the MST and the
+stopping rule are invariant under dividing all costs by a constant, so we
+compute ``c_e = exp(α·(z_e − z_max))`` — exactly the paper's quantities,
+renormalized (footnote 6 makes the same point for message size).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.errors import GraphValidationError, PackingConstructionError
+from repro.core.tree_packing import SpanningTreePacking, WeightedTree
+from repro.graphs.connectivity import edge_connectivity
+from repro.graphs.sampling import choose_karger_parts, karger_edge_partition
+from repro.utils.mathutil import ceil_div
+from repro.utils.rng import RngLike, ensure_rng
+
+Edge = FrozenSet[Hashable]
+
+
+@dataclass(frozen=True)
+class MwuParameters:
+    """Constants behind the Θ(·)s of Section 5.1."""
+
+    epsilon: float = 0.1
+    alpha_factor: float = 1.0       # α = alpha_factor · ln n
+    beta_factor: float = 1.0        # β = beta_factor / (α · ln n)
+    max_iterations: Optional[int] = None  # default Θ(log³ n), capped
+
+    def alpha(self, n: int) -> float:
+        return max(1.0, self.alpha_factor * math.log(max(n, 2)))
+
+    def beta(self, n: int) -> float:
+        return min(0.5, self.beta_factor / (self.alpha(n) * math.log(max(n, 2))))
+
+    def iteration_cap(self, n: int) -> int:
+        if self.max_iterations is not None:
+            return self.max_iterations
+        log_n = math.log(max(n, 2))
+        return max(200, int(40 * log_n**3))
+
+
+@dataclass
+class MwuTrace:
+    """Per-iteration diagnostics (drives experiment E3)."""
+
+    iterations: int = 0
+    max_relative_load: List[float] = field(default_factory=list)
+    stopped_early: bool = False
+
+
+@dataclass
+class SpanningPackingResult:
+    """Outcome of a spanning tree packing construction."""
+
+    packing: SpanningTreePacking
+    lam: int                      # edge connectivity used (per part: a list)
+    target: int                   # ⌈(λ−1)/2⌉ — the Tutte/Nash-Williams bound
+    parts: int
+    traces: List[MwuTrace]
+
+    @property
+    def size(self) -> float:
+        return self.packing.size
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved size ÷ Tutte/Nash-Williams bound (→ 1−ε when λ ≥ 3)."""
+        return self.size / max(1, self.target)
+
+
+def _tree_edges(tree: nx.Graph) -> FrozenSet[Edge]:
+    return frozenset(frozenset(e) for e in tree.edges())
+
+
+def mwu_spanning_packing(
+    graph: nx.Graph,
+    lam: Optional[int] = None,
+    params: Optional[MwuParameters] = None,
+    class_id_base: int = 0,
+) -> Tuple[List[Tuple[FrozenSet[Edge], float]], MwuTrace, int]:
+    """Core MWU loop on one (connected) graph; returns raw weighted trees.
+
+    Returns ``(collection, trace, target)`` where ``collection`` maps each
+    distinct tree (as an edge set) to its *normalized* weight: weights are
+    rescaled by ``1 / max_e x_e`` so the per-edge capacity is met exactly;
+    the resulting total weight is the achieved packing size.
+    """
+    if not nx.is_connected(graph):
+        raise GraphValidationError("MWU packing requires a connected graph")
+    params = params or MwuParameters()
+    n = graph.number_of_nodes()
+    if lam is None:
+        lam = edge_connectivity(graph)
+    target = max(1, ceil_div(max(0, lam - 1), 2))
+    alpha = params.alpha(n)
+    beta = params.beta(n)
+    epsilon = params.epsilon
+
+    edges: List[Edge] = [frozenset(e) for e in graph.edges()]
+    loads: Dict[Edge, float] = {e: 0.0 for e in edges}
+    collection: Dict[FrozenSet[Edge], float] = {}
+
+    # Initial collection: one arbitrary spanning tree with weight 1.
+    first = nx.minimum_spanning_tree(graph)
+    first_edges = _tree_edges(first)
+    collection[first_edges] = 1.0
+    for e in first_edges:
+        loads[e] = 1.0
+
+    trace = MwuTrace()
+    cap = params.iteration_cap(n)
+    for _ in range(cap):
+        trace.iterations += 1
+        z = {e: loads[e] * target for e in edges}
+        z_max = max(z.values())
+        trace.max_relative_load.append(z_max / target)
+        if trace.iterations > 1 and z_max <= 1.0 + epsilon:
+            # Already at the Lemma F.2 guarantee: every edge's relative
+            # load is within 1+ε — nothing left to improve.
+            trace.stopped_early = True
+            break
+        costs = {e: math.exp(alpha * (z[e] - z_max)) for e in edges}
+
+        weighted = nx.Graph()
+        weighted.add_nodes_from(graph.nodes())
+        for e in edges:
+            u, v = tuple(e)
+            weighted.add_edge(u, v, cost=costs[e])
+        mst = nx.minimum_spanning_tree(weighted, weight="cost")
+        mst_edges = _tree_edges(mst)
+        mst_cost = sum(costs[e] for e in mst_edges)
+        fractional_cost = sum(costs[e] * loads[e] for e in edges)
+
+        if mst_cost > (1.0 - epsilon) * fractional_cost:
+            trace.stopped_early = True
+            break
+        # Blend the MST in: old weights ×(1−β), MST gains β.
+        for tree_key in collection:
+            collection[tree_key] *= 1.0 - beta
+        collection[mst_edges] = collection.get(mst_edges, 0.0) + beta
+        for e in edges:
+            loads[e] *= 1.0 - beta
+        for e in mst_edges:
+            loads[e] += beta
+
+    # Rescale so the max edge load is exactly 1: the achieved size is
+    # target / max_z, which Lemmas F.1/F.2 lower-bound by target/(1+O(ε)).
+    max_load = max(loads[e] for e in edges if loads[e] > 0.0)
+    scale = 1.0 / max_load
+    normalized = [
+        (tree_key, weight * scale)
+        for tree_key, weight in collection.items()
+        if weight * scale > 1e-12
+    ]
+    return normalized, trace, target
+
+
+def _edges_to_tree(graph: nx.Graph, tree_edges: FrozenSet[Edge]) -> nx.Graph:
+    tree = nx.Graph()
+    tree.add_nodes_from(graph.nodes())
+    for e in tree_edges:
+        u, v = tuple(e)
+        tree.add_edge(u, v)
+    return tree
+
+
+def fractional_spanning_tree_packing(
+    graph: nx.Graph,
+    lam: Optional[int] = None,
+    params: Optional[MwuParameters] = None,
+    rng: RngLike = None,
+) -> SpanningPackingResult:
+    """Theorem 1.3: fractional spanning tree packing of size ≈ ⌈(λ−1)/2⌉(1−ε).
+
+    For ``λ`` beyond ``Θ(log n / ε²)``, edges are first split into ``η``
+    random parts (Karger, Section 5.2) and each part is packed
+    independently; spanning trees of parts are spanning trees of ``graph``
+    and parts are edge-disjoint, so the union is a valid packing with size
+    the sum of the parts' sizes — at least ``λ(1−ε)/2`` up to sampling loss.
+    """
+    if graph.number_of_nodes() < 2:
+        raise GraphValidationError("graph must have at least 2 nodes")
+    if not nx.is_connected(graph):
+        raise GraphValidationError("graph must be connected")
+    params = params or MwuParameters()
+    rand = ensure_rng(rng)
+    n = graph.number_of_nodes()
+    if lam is None:
+        lam = edge_connectivity(graph)
+
+    eta = choose_karger_parts(lam, n, params.epsilon)
+    if eta <= 1:
+        parts = [graph]
+    else:
+        parts = karger_edge_partition(graph, eta, rand)
+
+    trees: List[WeightedTree] = []
+    traces: List[MwuTrace] = []
+    class_id = 0
+    packed_parts = 0
+    for part in parts:
+        if part.number_of_edges() == 0 or not nx.is_connected(part):
+            # A disconnected part cannot contribute spanning trees; w.h.p.
+            # this never happens for the prescribed η (E12 measures it).
+            continue
+        part_lam = edge_connectivity(part) if eta > 1 else lam
+        normalized, trace, _ = mwu_spanning_packing(part, part_lam, params)
+        traces.append(trace)
+        packed_parts += 1
+        for tree_edges, weight in normalized:
+            trees.append(
+                WeightedTree(
+                    tree=_edges_to_tree(graph, tree_edges),
+                    weight=min(1.0, weight),
+                    class_id=class_id,
+                )
+            )
+            class_id += 1
+    if not trees:
+        raise PackingConstructionError(
+            "no part produced spanning trees (graph too sparse for η parts?)"
+        )
+    packing = SpanningTreePacking(graph, trees)
+    packing.verify()
+    return SpanningPackingResult(
+        packing=packing,
+        lam=lam,
+        target=max(1, ceil_div(max(0, lam - 1), 2)),
+        parts=packed_parts,
+        traces=traces,
+    )

@@ -1,0 +1,249 @@
+"""st-numbering and the Itai–Rodeh two vertex independent trees.
+
+Section 1.4.1 of the paper relates dominating tree packings to *vertex
+independent trees* and cites Itai–Rodeh [28]: every 2-vertex-connected
+graph has two spanning trees, rooted at any node ``r``, such that for
+every vertex ``v`` the two ``r``–``v`` tree paths are internally
+vertex-disjoint. This module implements that classical construction —
+the ``k = 2`` case of the Zehavi–Itai conjecture the paper's integral
+packing approximates for general ``k``.
+
+The engine is an *st-numbering* (Lempel–Even–Cederbaum): an ordering
+``ν(s) = 1 < … < ν(t) = n`` such that every other vertex has both a
+lower-numbered and a higher-numbered neighbor. We compute it with the
+Even–Tarjan/Ebert linear-time scheme: one DFS records parents and
+lowpoints, then vertices are spliced into a list before or after their
+parent according to a sign bit. Given the numbering, the two trees are
+immediate: tree A points every vertex at a lower-numbered neighbor
+(descending to ``s``), tree B points every vertex except ``t`` at a
+higher-numbered neighbor and ``t`` back at ``s`` along the ``st`` edge.
+Paths to the root through A use only vertices numbered below ``v``,
+through B only above — hence internally disjoint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.errors import GraphValidationError
+
+
+def st_numbering(
+    graph: nx.Graph, s: Hashable, t: Hashable
+) -> Dict[Hashable, int]:
+    """An st-numbering of a 2-connected ``graph`` for adjacent ``s, t``.
+
+    Returns ``ν : V → {1..n}`` with ``ν(s) = 1``, ``ν(t) = n``, and every
+    other vertex adjacent to both a lower and a higher number. Raises
+    :class:`GraphValidationError` if the preconditions fail (``s ≁ t``,
+    or the graph is not 2-connected, in which case the produced ordering
+    would violate the property — we verify before returning).
+    """
+    if s == t:
+        raise GraphValidationError("s and t must differ")
+    if not graph.has_edge(s, t):
+        raise GraphValidationError("s and t must be adjacent")
+    n = graph.number_of_nodes()
+    if n < 3:
+        raise GraphValidationError("st-numbering needs at least 3 nodes")
+
+    parent, preorder, low_vertex = _dfs_lowpoints(graph, s, t)
+
+    # Splice vertices into a doubly linked list around their parents
+    # (Ebert / Even–Tarjan sign trick).
+    successor: Dict[Hashable, Optional[Hashable]] = {s: t, t: None}
+    predecessor: Dict[Hashable, Optional[Hashable]] = {s: None, t: s}
+    sign: Dict[Hashable, int] = {s: -1}
+
+    def insert_before(v: Hashable, anchor: Hashable) -> None:
+        before = predecessor[anchor]
+        predecessor[v] = before
+        successor[v] = anchor
+        predecessor[anchor] = v
+        if before is not None:
+            successor[before] = v
+
+    def insert_after(v: Hashable, anchor: Hashable) -> None:
+        after = successor[anchor]
+        successor[v] = after
+        predecessor[v] = anchor
+        successor[anchor] = v
+        if after is not None:
+            predecessor[after] = v
+
+    for v in preorder:
+        if v == s or v == t:
+            continue
+        p = parent[v]
+        if sign.get(low_vertex[v], 1) == 1:
+            insert_after(v, p)
+            sign[p] = -1
+        else:
+            insert_before(v, p)
+            sign[p] = 1
+
+    numbering: Dict[Hashable, int] = {}
+    cursor: Optional[Hashable] = s
+    count = 0
+    while cursor is not None:
+        count += 1
+        numbering[cursor] = count
+        cursor = successor[cursor]
+    if count != n:
+        raise GraphValidationError(
+            "graph is disconnected; st-numbering undefined"
+        )
+    _verify_st_numbering(graph, numbering, s, t)
+    return numbering
+
+
+def _dfs_lowpoints(
+    graph: nx.Graph, s: Hashable, t: Hashable
+) -> Tuple[
+    Dict[Hashable, Hashable], List[Hashable], Dict[Hashable, Hashable]
+]:
+    """Iterative DFS from ``s`` taking ``t`` first.
+
+    Returns parent pointers, the preorder sequence, and for each vertex
+    the *vertex* attaining its lowpoint (smallest preorder reachable via
+    tree edges then one back edge).
+    """
+    parent: Dict[Hashable, Hashable] = {}
+    pre: Dict[Hashable, int] = {s: 0}
+    preorder: List[Hashable] = [s]
+    low: Dict[Hashable, int] = {s: 0}
+    low_vertex: Dict[Hashable, Hashable] = {s: s}
+    by_pre: List[Hashable] = [s]
+
+    def neighbor_order(v: Hashable) -> List[Hashable]:
+        neighbors = list(graph.neighbors(v))
+        if v == s and t in neighbors:
+            # Visit t first so the trunk edge (s, t) is a tree edge.
+            neighbors.remove(t)
+            neighbors.insert(0, t)
+        return neighbors
+
+    stack: List[Tuple[Hashable, iter]] = [(s, iter(neighbor_order(s)))]
+    while stack:
+        v, neighbors = stack[-1]
+        advanced = False
+        for u in neighbors:
+            if u not in pre:
+                parent[u] = v
+                pre[u] = len(preorder)
+                preorder.append(u)
+                by_pre.append(u)
+                low[u] = pre[u]
+                low_vertex[u] = u
+                stack.append((u, iter(neighbor_order(u))))
+                advanced = True
+                break
+            if u != parent.get(v) and pre[u] < low[v]:
+                low[v] = pre[u]
+                low_vertex[v] = u
+        if not advanced:
+            stack.pop()
+            if stack:
+                p = stack[-1][0]
+                if low[v] < low[p]:
+                    low[p] = low[v]
+                    low_vertex[p] = low_vertex[v]
+    return parent, preorder, low_vertex
+
+
+def _verify_st_numbering(
+    graph: nx.Graph,
+    numbering: Dict[Hashable, int],
+    s: Hashable,
+    t: Hashable,
+) -> None:
+    n = graph.number_of_nodes()
+    if numbering[s] != 1 or numbering[t] != n:
+        raise GraphValidationError(
+            "not 2-connected: endpoints not extremal in the ordering"
+        )
+    for v in graph.nodes():
+        if v in (s, t):
+            continue
+        values = [numbering[u] for u in graph.neighbors(v)]
+        if not values or min(values) >= numbering[v] or max(values) <= numbering[v]:
+            raise GraphValidationError(
+                "not 2-connected: st-numbering property fails at a vertex"
+            )
+
+
+def itai_rodeh_independent_trees(
+    graph: nx.Graph, root: Hashable
+) -> Tuple[nx.Graph, nx.Graph]:
+    """Two vertex independent spanning trees rooted at ``root`` [28].
+
+    Requires a 2-vertex-connected graph. Returns ``(down_tree, up_tree)``:
+    in ``down_tree`` every non-root vertex points to a lower-numbered
+    neighbor, in ``up_tree`` to a higher-numbered one (with the top
+    vertex wired back to the root along the st edge). For every vertex
+    ``v``, the two ``root``–``v`` paths share no internal vertex — the
+    defining property of Section 1.4.1.
+    """
+    if not graph.has_node(root):
+        raise GraphValidationError("root must be a graph node")
+    if graph.number_of_nodes() < 3:
+        raise GraphValidationError("need at least 3 nodes")
+    neighbors = list(graph.neighbors(root))
+    if not neighbors:
+        raise GraphValidationError("root has no neighbors")
+    top = min(neighbors, key=str)
+    numbering = st_numbering(graph, root, top)
+
+    down = nx.Graph()
+    up = nx.Graph()
+    down.add_nodes_from(graph.nodes())
+    up.add_nodes_from(graph.nodes())
+    for v in graph.nodes():
+        if v == root:
+            continue
+        nv = numbering[v]
+        lower = min(
+            (u for u in graph.neighbors(v) if numbering[u] < nv),
+            key=lambda u: numbering[u],
+        )
+        down.add_edge(v, lower)
+        if v == top:
+            up.add_edge(top, root)  # the st edge closes the up tree
+            continue
+        higher = max(
+            (u for u in graph.neighbors(v) if numbering[u] > nv),
+            key=lambda u: numbering[u],
+        )
+        up.add_edge(v, higher)
+    return down, up
+
+
+def verify_independent_pair(
+    graph: nx.Graph,
+    root: Hashable,
+    down: nx.Graph,
+    up: nx.Graph,
+) -> bool:
+    """Exhaustively check the independence property for a tree pair.
+
+    For every vertex ``v``, the unique ``root``–``v`` paths in the two
+    trees must intersect only at ``root`` and ``v``.
+    """
+    if not (nx.is_tree(down) and nx.is_tree(up)):
+        return False
+    if set(down.nodes()) != set(graph.nodes()):
+        return False
+    if set(up.nodes()) != set(graph.nodes()):
+        return False
+    for v in graph.nodes():
+        if v == root:
+            continue
+        path_a = nx.shortest_path(down, root, v)
+        path_b = nx.shortest_path(up, root, v)
+        internal_a = set(path_a[1:-1])
+        internal_b = set(path_b[1:-1])
+        if internal_a & internal_b:
+            return False
+    return True

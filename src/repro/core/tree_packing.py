@@ -1,0 +1,204 @@
+"""Tree packing containers and full validity verification (Section 2).
+
+A *fractional dominating tree packing* assigns weights ``x_τ ∈ [0, 1]`` to
+dominating trees so that every vertex carries total weight at most 1; its
+*size* is ``Σ x_τ``. A *fractional spanning tree packing* is the same with
+spanning trees and per-edge capacity. These containers hold the trees,
+compute sizes/loads, and :meth:`verify` every defining constraint, raising
+:class:`~repro.errors.PackingValidationError` on the first violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.errors import PackingValidationError
+from repro.graphs.connectivity import is_dominating_tree, is_spanning_tree
+
+_TOLERANCE = 1e-9
+
+
+@dataclass
+class WeightedTree:
+    """One tree of a packing: the tree, its weight, and its class id."""
+
+    tree: nx.Graph
+    weight: float
+    class_id: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.weight <= 1.0 + _TOLERANCE:
+            raise PackingValidationError(
+                f"tree weight {self.weight} outside [0, 1]"
+            )
+
+    @property
+    def nodes(self) -> FrozenSet[Hashable]:
+        return frozenset(self.tree.nodes())
+
+    @property
+    def edges(self) -> FrozenSet[FrozenSet[Hashable]]:
+        return frozenset(frozenset(e) for e in self.tree.edges())
+
+    def diameter(self) -> int:
+        if self.tree.number_of_nodes() <= 1:
+            return 0
+        return nx.diameter(self.tree)
+
+
+class _BasePacking:
+    """Shared machinery for both packing kinds."""
+
+    def __init__(self, graph: nx.Graph, trees: List[WeightedTree]) -> None:
+        self.graph = graph
+        self.trees = list(trees)
+
+    @property
+    def size(self) -> float:
+        """Total weight — the packing size κ of Section 2."""
+        return sum(t.weight for t in self.trees)
+
+    def __len__(self) -> int:
+        return len(self.trees)
+
+    def __iter__(self):
+        return iter(self.trees)
+
+    def max_diameter(self) -> int:
+        """Largest tree diameter (Theorem 1.1 bounds this by Õ(n/k))."""
+        return max((t.diameter() for t in self.trees), default=0)
+
+
+class DominatingTreePacking(_BasePacking):
+    """A fractional dominating tree packing (Section 2).
+
+    Constraints verified by :meth:`verify`:
+
+    * every tree is a dominating tree of ``graph`` (footnote 1);
+    * every weight lies in ``[0, 1]``;
+    * every vertex carries total weight ≤ 1.
+    """
+
+    def node_loads(self) -> Dict[Hashable, float]:
+        """Total tree weight carried by each vertex."""
+        loads: Dict[Hashable, float] = {v: 0.0 for v in self.graph.nodes()}
+        for wt in self.trees:
+            for v in wt.tree.nodes():
+                loads[v] += wt.weight
+        return loads
+
+    def trees_per_node(self) -> Dict[Hashable, int]:
+        """How many trees contain each vertex (Theorem 1.1: O(log n))."""
+        counts: Dict[Hashable, int] = {v: 0 for v in self.graph.nodes()}
+        for wt in self.trees:
+            for v in wt.tree.nodes():
+                counts[v] += 1
+        return counts
+
+    def max_node_load(self) -> float:
+        loads = self.node_loads()
+        return max(loads.values()) if loads else 0.0
+
+    def verify(self) -> None:
+        """Raise :class:`PackingValidationError` unless all constraints hold."""
+        for index, wt in enumerate(self.trees):
+            if not is_dominating_tree(self.graph, wt.tree):
+                raise PackingValidationError(
+                    f"tree #{index} (class {wt.class_id}) is not a "
+                    "dominating tree of the graph"
+                )
+        load = self.max_node_load()
+        if load > 1.0 + _TOLERANCE:
+            raise PackingValidationError(
+                f"vertex capacity violated: max node load {load} > 1"
+            )
+
+    def is_vertex_disjoint(self) -> bool:
+        """Whether the trees are pairwise vertex-disjoint (integral packing)."""
+        seen: set = set()
+        for wt in self.trees:
+            nodes = set(wt.tree.nodes())
+            if seen & nodes:
+                return False
+            seen |= nodes
+        return True
+
+
+class SpanningTreePacking(_BasePacking):
+    """A fractional spanning tree packing (Section 2).
+
+    Constraints verified by :meth:`verify`:
+
+    * every tree is a spanning tree of ``graph``;
+    * every weight lies in ``[0, 1]``;
+    * every edge carries total weight ≤ 1.
+    """
+
+    def edge_loads(self) -> Dict[FrozenSet[Hashable], float]:
+        loads: Dict[FrozenSet[Hashable], float] = {
+            frozenset(e): 0.0 for e in self.graph.edges()
+        }
+        for wt in self.trees:
+            for e in wt.tree.edges():
+                loads[frozenset(e)] += wt.weight
+        return loads
+
+    def trees_per_edge(self) -> Dict[FrozenSet[Hashable], int]:
+        """How many trees use each edge (Theorem 1.3: O(log³ n))."""
+        counts: Dict[FrozenSet[Hashable], int] = {
+            frozenset(e): 0 for e in self.graph.edges()
+        }
+        for wt in self.trees:
+            for e in wt.tree.edges():
+                counts[frozenset(e)] += 1
+        return counts
+
+    def max_edge_load(self) -> float:
+        loads = self.edge_loads()
+        return max(loads.values()) if loads else 0.0
+
+    def verify(self) -> None:
+        """Raise :class:`PackingValidationError` unless all constraints hold."""
+        for index, wt in enumerate(self.trees):
+            if not is_spanning_tree(self.graph, wt.tree):
+                raise PackingValidationError(
+                    f"tree #{index} (class {wt.class_id}) is not a spanning "
+                    "tree of the graph"
+                )
+        load = self.max_edge_load()
+        if load > 1.0 + _TOLERANCE:
+            raise PackingValidationError(
+                f"edge capacity violated: max edge load {load} > 1"
+            )
+
+    def is_edge_disjoint(self) -> bool:
+        """Whether the trees are pairwise edge-disjoint (integral packing)."""
+        seen: set = set()
+        for wt in self.trees:
+            edges = {frozenset(e) for e in wt.tree.edges()}
+            if seen & edges:
+                return False
+            seen |= edges
+        return True
+
+
+def spanning_tree_of(graph: nx.Graph, nodes=None) -> nx.Graph:
+    """A BFS spanning tree of ``graph`` (or of ``graph[nodes]``).
+
+    Helper used to turn a connected CDS into a dominating tree and a
+    connected edge-part into a spanning tree.
+    """
+    sub = graph if nodes is None else graph.subgraph(nodes)
+    if sub.number_of_nodes() == 0:
+        raise PackingValidationError("cannot build a tree on an empty node set")
+    root = next(iter(sub.nodes()))
+    tree = nx.bfs_tree(sub, root).to_undirected()
+    result = nx.Graph()
+    result.add_nodes_from(sub.nodes())
+    result.add_edges_from(tree.edges())
+    if not nx.is_tree(result):
+        raise PackingValidationError("node set does not induce a connected graph")
+    return result

@@ -1,0 +1,133 @@
+"""Vertex connectivity approximation (Corollary 1.7).
+
+The dominating tree packing works without knowing ``k`` and its size lands
+in ``[Ω(k / log n), k]``:
+
+* *upper direction*: any fractional dominating tree packing of size σ
+  certifies ``k ≥ σ`` — every dominating tree is connected and dominates
+  both sides of any vertex cut ``S``, so it must contain a node of ``S``;
+  summing weights, ``σ ≤ |S|`` for every cut.
+* *lower direction*: Theorem 1.1 guarantees σ = Ω(k / log n), so
+  ``k ≤ σ · O(log n)``.
+
+:func:`approximate_vertex_connectivity` therefore returns the certified
+interval ``[σ, σ · c·log n]`` together with a point estimate, achieving the
+``O(log n)`` approximation of Corollary 1.7 in ``Õ(m)`` centralized time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import networkx as nx
+
+from repro.core.cds_packing import (
+    CdsPackingResult,
+    PackingParameters,
+    fractional_cds_packing,
+)
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class VertexConnectivityEstimate:
+    """An O(log n)-approximation interval for vertex connectivity."""
+
+    lower_bound: float       # certified: k >= packing size
+    upper_bound: float       # w.h.p.: k <= size · O(log n)
+    estimate: float          # geometric midpoint of the interval
+    packing_size: float
+    n_trees: int
+    log_factor: float
+
+    def contains(self, k: int) -> bool:
+        return self.lower_bound <= k <= self.upper_bound
+
+
+def approximate_vertex_connectivity(
+    graph: nx.Graph,
+    params: Optional[PackingParameters] = None,
+    rng: RngLike = None,
+    approximation_constant: float = 6.0,
+) -> VertexConnectivityEstimate:
+    """Corollary 1.7: an O(log n)-approximation of vertex connectivity.
+
+    Runs the try-and-error packing of Remark 3.1 (no prior knowledge of
+    ``k``) and converts the achieved fractional packing size into a
+    certified lower bound and an ``O(log n)``-inflated upper bound.
+
+    ``approximation_constant`` is the concrete constant in the
+    ``O(log n)`` stretch — the measured ratio benchmark (E7) reports how
+    tight it is in practice.
+    """
+    result = fractional_cds_packing(graph, k=None, params=params, rng=rng)
+    return estimate_from_packing(graph, result, approximation_constant)
+
+
+def approximate_vertex_connectivity_distributed(
+    graph: nx.Graph,
+    k_guess: Optional[int] = None,
+    params: Optional[PackingParameters] = None,
+    rng: RngLike = None,
+    approximation_constant: float = 6.0,
+):
+    """Corollary 1.7, distributed: Õ(D + √n) rounds of V-CONGEST.
+
+    Runs the Appendix B protocol (with the guess loop of Remark 3.1 when
+    ``k_guess`` is omitted) and returns
+    ``(estimate, DistributedCdsResult)`` so callers can read both the
+    approximation interval and the round accounting.
+    """
+    from repro.core.cds_packing_distributed import distributed_cds_packing
+    from repro.errors import PackingConstructionError
+
+    rand = ensure_rng(rng)
+    n = graph.number_of_nodes()
+    guesses = [k_guess] if k_guess is not None else None
+    if guesses is None:
+        guesses = []
+        g = max(1, n // 2)
+        while True:
+            guesses.append(g)
+            if g == 1:
+                break
+            g //= 2
+    last_error: Optional[Exception] = None
+    for guess in guesses:
+        try:
+            dist = distributed_cds_packing(graph, guess, params, rand)
+        except PackingConstructionError as exc:
+            last_error = exc
+            continue
+        estimate = estimate_from_packing(
+            graph, dist.result, approximation_constant
+        )
+        return estimate, dist
+    raise last_error if last_error else RuntimeError("no guess attempted")
+
+
+def estimate_from_packing(
+    graph: nx.Graph,
+    result: CdsPackingResult,
+    approximation_constant: float = 6.0,
+) -> VertexConnectivityEstimate:
+    """Turn a packing construction into a connectivity estimate."""
+    n = graph.number_of_nodes()
+    size = result.packing.size
+    log_factor = approximation_constant * math.log(max(n, 2))
+    lower = max(1.0, size)
+    upper = max(lower, size * log_factor)
+    # K_n has no cut; connectivity is n-1 and domination makes every class
+    # valid, so the bound still holds; clamp to the trivial maximum anyway.
+    upper = min(upper, float(n - 1))
+    estimate = math.sqrt(lower * max(lower, upper))
+    return VertexConnectivityEstimate(
+        lower_bound=lower,
+        upper_bound=max(lower, upper),
+        estimate=estimate,
+        packing_size=size,
+        n_trees=len(result.packing),
+        log_factor=log_factor,
+    )

@@ -1,0 +1,148 @@
+"""The virtual graph G of Section 3.1.
+
+Each real node ``v`` simulates ``3L`` virtual nodes — one per
+(layer ∈ 1..L, type ∈ {1,2,3}) pair — and two virtual nodes are adjacent
+iff they live on the same real node or on adjacent real nodes
+(footnote 5: G is just Θ(log n) reused copies of G).
+
+Key structural fact exploited everywhere: because same-real virtual nodes
+are adjacent, the connected components of the class-``i`` virtual subgraph
+``G[V_i^ℓ]`` project exactly onto the connected components of the real
+induced subgraph ``G[Ψ(V_i^ℓ)]``. The :class:`ClassState` bookkeeping
+therefore tracks, per class, the *real* projection (with per-real virtual
+multiplicities) plus a union-find over real nodes — the Appendix C data
+structure — while :class:`VirtualGraph` records the full per-virtual-node
+assignment needed by the distributed output requirements (Section 2) and
+the Lemma 4.6 measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, NamedTuple, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.errors import GraphValidationError
+from repro.graphs.union_find import UnionFind
+from repro.utils.mathutil import ceil_log2
+
+
+class VirtualNode(NamedTuple):
+    """A virtual node: (real node, layer in 1..L, type in {1,2,3})."""
+
+    real: Hashable
+    layer: int
+    vtype: int
+
+
+@dataclass
+class ClassState:
+    """Per-class projection bookkeeping (one instance per class i).
+
+    ``multiplicity[v]`` counts how many virtual nodes of real node ``v``
+    have joined the class so far; ``components`` is a union-find over the
+    active reals, mirroring the disjoint-set structures of Appendix C.
+    """
+
+    class_id: int
+    multiplicity: Dict[Hashable, int] = field(default_factory=dict)
+    components: UnionFind = field(default_factory=UnionFind)
+
+    @property
+    def active_reals(self) -> Set[Hashable]:
+        return set(self.multiplicity)
+
+    def is_active(self, real: Hashable) -> bool:
+        return real in self.multiplicity
+
+    def component_of(self, real: Hashable) -> Hashable:
+        """Representative of the component containing active real ``real``."""
+        return self.components.find(real)
+
+    def n_components(self) -> int:
+        return self.components.n_components
+
+    def excess_components(self) -> int:
+        """``max(0, N_i − 1)`` — this class's contribution to M_ℓ."""
+        return max(0, self.components.n_components - 1)
+
+    def virtual_count(self) -> int:
+        """Number of virtual nodes in the class (Lemma 4.6 measures this)."""
+        return sum(self.multiplicity.values())
+
+    def add_real(self, graph: nx.Graph, real: Hashable) -> None:
+        """Account one more virtual node of ``real`` joining the class,
+        merging components through every active neighbor."""
+        if real in self.multiplicity:
+            self.multiplicity[real] += 1
+            return
+        self.multiplicity[real] = 1
+        self.components.add(real)
+        for neighbor in graph.neighbors(real):
+            if neighbor in self.multiplicity:
+                self.components.union(real, neighbor)
+
+
+class VirtualGraph:
+    """Assignment record for all virtual nodes plus per-class projections."""
+
+    def __init__(self, graph: nx.Graph, layers: int, n_classes: int) -> None:
+        if layers < 2 or layers % 2 != 0:
+            raise GraphValidationError("layers must be an even number >= 2")
+        if n_classes < 1:
+            raise GraphValidationError("n_classes must be >= 1")
+        self.graph = graph
+        self.layers = layers
+        self.n_classes = n_classes
+        self.assignment: Dict[VirtualNode, int] = {}
+        self.classes: List[ClassState] = [
+            ClassState(class_id=i) for i in range(n_classes)
+        ]
+        # real node -> set of classes it is active in (inverse projection,
+        # needed to enumerate a new node's candidate components quickly).
+        self.real_classes: Dict[Hashable, Set[int]] = {
+            v: set() for v in graph.nodes()
+        }
+
+    def assign(self, vnode: VirtualNode, class_id: int) -> None:
+        """Put ``vnode`` into class ``class_id`` and update the projection."""
+        if vnode in self.assignment:
+            raise GraphValidationError(f"virtual node {vnode} already assigned")
+        if not 0 <= class_id < self.n_classes:
+            raise GraphValidationError(f"class id {class_id} out of range")
+        self.assignment[vnode] = class_id
+        self.classes[class_id].add_real(self.graph, vnode.real)
+        self.real_classes[vnode.real].add(class_id)
+
+    def class_of(self, vnode: VirtualNode) -> Optional[int]:
+        return self.assignment.get(vnode)
+
+    def excess_components(self) -> int:
+        """M_ℓ = Σ_i max(0, N_i − 1) over all classes (Section 3.1)."""
+        return sum(state.excess_components() for state in self.classes)
+
+    def projected_class_sets(self) -> List[Set[Hashable]]:
+        """Ψ(V_i) for each class: real nodes with ≥ 1 virtual node in it."""
+        return [state.active_reals for state in self.classes]
+
+    def classes_per_real(self) -> Dict[Hashable, int]:
+        """Number of distinct classes each real node participates in.
+
+        Bounded by 3·layers = O(log n) by construction — this is the
+        O(log n) tree-membership bound of Theorem 1.1.
+        """
+        counts: Dict[Hashable, Set[int]] = {v: set() for v in self.graph.nodes()}
+        for vnode, class_id in self.assignment.items():
+            counts[vnode.real].add(class_id)
+        return {v: len(s) for v, s in counts.items()}
+
+    def virtual_counts_per_class(self) -> List[int]:
+        """Virtual node count per class (Lemma 4.6: O(n log n / k))."""
+        return [state.virtual_count() for state in self.classes]
+
+
+def default_layer_count(n: int, factor: int = 2, minimum: int = 4) -> int:
+    """L = Θ(log n), even, at least ``minimum``."""
+    layers = max(minimum, factor * max(1, ceil_log2(max(2, n))))
+    return layers + (layers % 2)

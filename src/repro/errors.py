@@ -1,0 +1,52 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` etc.)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GraphValidationError(ReproError):
+    """An input graph violates a precondition (e.g. not connected)."""
+
+
+class PackingValidationError(ReproError):
+    """A tree packing violates its defining constraints.
+
+    Raised by the verification helpers in :mod:`repro.core.tree_packing`
+    when a packing fails domination, connectivity, disjointness, or
+    weight-capacity checks.
+    """
+
+
+class PackingConstructionError(ReproError):
+    """The packing algorithm could not produce a valid packing.
+
+    The w.h.p. guarantees of the paper hold for large ``n``; on tiny or
+    adversarial inputs the retry loop may exhaust its attempts, in which
+    case this error is raised rather than returning an invalid packing.
+    """
+
+
+class SimulationError(ReproError):
+    """A distributed simulation violated a model constraint.
+
+    For example, a node program sent a message exceeding the ``O(log n)``
+    bit budget, or attempted per-neighbor messages in the V-CONGEST model
+    (which only permits local broadcast).
+    """
+
+
+class ModelViolationError(SimulationError):
+    """A node program broke a V-CONGEST / E-CONGEST congestion rule."""
+
+
+class ProtocolError(ReproError):
+    """A two-party protocol (Appendix G reduction) was misused."""

@@ -1,0 +1,268 @@
+"""Graph families used throughout the experiments.
+
+The paper's guarantees are parameterized by vertex connectivity ``k``, edge
+connectivity ``λ``, diameter ``D``, and size ``n``. These generators span
+that parameter space:
+
+* :func:`harary_graph` — the classical minimally-k-connected graph
+  (connectivity exactly ``k`` with the fewest edges).
+* :func:`random_k_connected` — G(n, p) conditioned on vertex connectivity
+  at least ``k`` (dense, small diameter).
+* :func:`clique_chain` — a path of cliques: connectivity ``k`` with
+  diameter ``Θ(n/k)``, the extremal family for the ``Õ(n/k)`` tree-diameter
+  bound of Theorem 1.1.
+* :func:`fat_cycle` — a cycle of super-nodes, each blown up into ``w``
+  vertices; vertex connectivity ``2w``, large diameter.
+* :func:`hypercube`, :func:`torus_grid`, :func:`random_regular_connected`,
+  :func:`gnp_connected` — standard families with known connectivity.
+
+All generators return simple undirected :class:`networkx.Graph` objects
+with integer node labels, and are deterministic under an explicit seed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+import networkx as nx
+
+from repro.errors import GraphValidationError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def _relabel_to_ints(graph: nx.Graph) -> nx.Graph:
+    """Relabel nodes to 0..n-1 preserving sorted order of string repr."""
+    mapping = {node: i for i, node in enumerate(sorted(graph.nodes(), key=str))}
+    return nx.relabel_nodes(graph, mapping)
+
+
+def harary_graph(k: int, n: int) -> nx.Graph:
+    """The Harary graph H(k, n): k-connected with ``⌈kn/2⌉`` edges.
+
+    Classical construction: nodes on a cycle, each connected to the
+    ``⌊k/2⌋`` nearest on each side; for odd ``k`` also to the antipode.
+    Vertex and edge connectivity are both exactly ``k``.
+    """
+    if k < 2:
+        raise GraphValidationError("harary_graph requires k >= 2")
+    if n <= k:
+        raise GraphValidationError("harary_graph requires n > k")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    half = k // 2
+    for offset in range(1, half + 1):
+        for v in range(n):
+            graph.add_edge(v, (v + offset) % n)
+    if k % 2 == 1:
+        if n % 2 == 0:
+            for v in range(n // 2):
+                graph.add_edge(v, v + n // 2)
+        else:
+            # Odd n: connect node i to i + (n-1)/2 and i + (n+1)/2 for i=0
+            # following Harary's construction for odd k, odd n.
+            for v in range(n // 2 + 1):
+                graph.add_edge(v, (v + n // 2) % n)
+    return graph
+
+
+def random_k_connected(
+    n: int, k: int, rng: RngLike = None, max_tries: int = 200
+) -> nx.Graph:
+    """A random graph on ``n`` nodes with vertex connectivity >= ``k``.
+
+    Starts from a Harary backbone H(k, n) (guaranteeing connectivity k)
+    and adds random edges with probability ``2k/n``, which typically
+    raises the connectivity slightly above ``k`` while keeping the graph
+    sparse. The exact connectivity can be recovered with
+    :func:`repro.graphs.connectivity.vertex_connectivity`.
+    """
+    rand = ensure_rng(rng)
+    if n <= k + 1:
+        return nx.complete_graph(n)
+    graph = harary_graph(max(k, 2), n)
+    p = min(1.0, 2.0 * k / n)
+    nodes = list(graph.nodes())
+    for _ in range(max_tries):
+        for u, v in itertools.combinations(nodes, 2):
+            if rand.random() < p:
+                graph.add_edge(u, v)
+        return graph
+    return graph
+
+
+def clique_chain(k: int, length: int) -> nx.Graph:
+    """A chain of ``length`` k-cliques, consecutive cliques fully joined.
+
+    Vertex connectivity is exactly ``k`` (cutting one clique's nodes
+    separates the chain) and the diameter is ``length - 1``. With
+    ``n = k * length``, this realizes diameter ``Θ(n/k)`` — the extremal
+    regime for Theorem 1.1's tree-diameter bound.
+    """
+    if k < 1 or length < 1:
+        raise GraphValidationError("clique_chain requires k >= 1, length >= 1")
+    graph = nx.Graph()
+    for block in range(length):
+        members = [block * k + i for i in range(k)]
+        graph.add_nodes_from(members)
+        graph.add_edges_from(itertools.combinations(members, 2))
+        if block > 0:
+            prev = [(block - 1) * k + i for i in range(k)]
+            graph.add_edges_from(
+                (u, v) for u in prev for v in members
+            )
+    return graph
+
+
+def fat_cycle(width: int, length: int) -> nx.Graph:
+    """A cycle of ``length`` super-nodes, each a clique of ``width`` nodes.
+
+    Consecutive super-nodes are fully joined, so every vertex cut must
+    remove two full super-nodes: vertex connectivity is ``2 * width``
+    (for ``length >= 4``) while the diameter is ``⌊length/2⌋``.
+    """
+    if width < 1 or length < 3:
+        raise GraphValidationError("fat_cycle requires width >= 1, length >= 3")
+    graph = nx.Graph()
+    for block in range(length):
+        members = [block * width + i for i in range(width)]
+        graph.add_nodes_from(members)
+        graph.add_edges_from(itertools.combinations(members, 2))
+    for block in range(length):
+        cur = [block * width + i for i in range(width)]
+        nxt = [((block + 1) % length) * width + i for i in range(width)]
+        graph.add_edges_from((u, v) for u in cur for v in nxt)
+    return graph
+
+
+def hypercube(dimension: int) -> nx.Graph:
+    """The d-dimensional hypercube: n = 2^d, connectivity exactly d."""
+    if dimension < 1:
+        raise GraphValidationError("hypercube requires dimension >= 1")
+    return _relabel_to_ints(nx.hypercube_graph(dimension))
+
+
+def torus_grid(rows: int, cols: int) -> nx.Graph:
+    """A 2D torus (wrap-around grid): 4-regular, connectivity 4."""
+    if rows < 3 or cols < 3:
+        raise GraphValidationError("torus_grid requires rows, cols >= 3")
+    return _relabel_to_ints(nx.grid_2d_graph(rows, cols, periodic=True))
+
+
+def random_regular_connected(
+    degree: int, n: int, rng: RngLike = None, max_tries: int = 50
+) -> nx.Graph:
+    """A connected random ``degree``-regular graph.
+
+    Random regular graphs are w.h.p. ``degree``-connected expanders,
+    making them the canonical "high connectivity, low diameter" family.
+    Retries until connected (failure is exponentially unlikely).
+    """
+    rand = ensure_rng(rng)
+    if degree * n % 2 != 0:
+        raise GraphValidationError("degree * n must be even")
+    if degree >= n:
+        raise GraphValidationError("degree must be < n")
+    for _ in range(max_tries):
+        graph = nx.random_regular_graph(degree, n, seed=rand.randrange(2**32))
+        if nx.is_connected(graph):
+            return graph
+    raise GraphValidationError(
+        f"could not generate a connected {degree}-regular graph on {n} nodes"
+    )
+
+
+def gnp_connected(
+    n: int, p: float, rng: RngLike = None, max_tries: int = 50
+) -> nx.Graph:
+    """A connected Erdős–Rényi G(n, p) sample (resampled until connected)."""
+    rand = ensure_rng(rng)
+    for _ in range(max_tries):
+        graph = nx.gnp_random_graph(n, p, seed=rand.randrange(2**32))
+        if nx.is_connected(graph):
+            return graph
+    raise GraphValidationError(
+        f"could not generate a connected G({n}, {p}) sample; p too small?"
+    )
+
+
+def circulant_expander(n: int, jumps: Optional[list] = None) -> nx.Graph:
+    """A circulant graph C_n(jumps): node ``i`` joins ``i ± j`` for each jump.
+
+    With jumps spread multiplicatively (the default: 1, 2, 4, …, ⌊√n⌋)
+    the graph is a decent constant-degree expander: small diameter at
+    connectivity ``2·|jumps|`` — the "well-connected but sparse" regime
+    the paper's broadcast corollaries shine in.
+    """
+    if n < 3:
+        raise GraphValidationError("n must be >= 3")
+    if jumps is None:
+        jumps = []
+        j = 1
+        while j * j <= n:
+            jumps.append(j)
+            j *= 2
+    jumps = sorted(set(int(j) for j in jumps))
+    if not jumps or jumps[0] < 1 or jumps[-1] >= (n + 1) // 2 + 1:
+        raise GraphValidationError("jumps must lie in [1, n/2]")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for i in range(n):
+        for j in jumps:
+            graph.add_edge(i, (i + j) % n)
+    return graph
+
+
+def barbell_bottleneck(k: int, blob_size: int) -> nx.Graph:
+    """Two Harary blobs joined by a k-matching: the worst-case cut.
+
+    Vertex and edge connectivity are exactly ``k`` (the matching is the
+    unique minimum cut), while both sides are much better connected
+    internally — the adversarial instance for broadcast throughput (all
+    inter-blob flow crosses the k bridge edges) and the shape of the
+    Appendix G lower-bound topology.
+    """
+    if k < 1:
+        raise GraphValidationError("k must be >= 1")
+    if blob_size < k + 1:
+        raise GraphValidationError("blob_size must exceed k")
+    internal = min(2 * k, blob_size - 1)
+    left = harary_graph(internal, blob_size)
+    right = nx.relabel_nodes(
+        harary_graph(internal, blob_size),
+        {i: i + blob_size for i in range(blob_size)},
+    )
+    graph = nx.Graph()
+    graph.update(left)
+    graph.update(right)
+    for i in range(k):
+        graph.add_edge(i, blob_size + i)
+    return graph
+
+
+def random_geometric_connected(
+    n: int, radius: float, rng: RngLike = None, max_tries: int = 50
+) -> nx.Graph:
+    """A connected random geometric graph (unit square, Euclidean radius).
+
+    Geometric graphs have *local* structure — large diameter, strongly
+    non-uniform cuts — the opposite end of the spectrum from expanders,
+    which stresses the D-dependent terms of the round bounds.
+    """
+    if n < 2:
+        raise GraphValidationError("n must be >= 2")
+    if radius <= 0:
+        raise GraphValidationError("radius must be positive")
+    rand = ensure_rng(rng)
+    for _ in range(max_tries):
+        graph = nx.random_geometric_graph(
+            n, radius, seed=rand.randrange(2**32)
+        )
+        if nx.is_connected(graph):
+            for node in graph.nodes():
+                graph.nodes[node].pop("pos", None)
+            return graph
+    raise GraphValidationError(
+        f"no connected geometric sample at n={n}, radius={radius}; "
+        "increase the radius"
+    )

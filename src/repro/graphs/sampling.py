@@ -1,0 +1,91 @@
+"""Random sampling primitives (Section 5.2 and [12]).
+
+Two samplers drive the paper's reductions:
+
+* :func:`karger_edge_partition` — Karger's random edge partition
+  [31, Theorem 2.1]: placing every edge of a graph with edge connectivity
+  ``λ`` uniformly into one of ``η`` subgraphs, with ``λ/η ≥ Θ(log n / ε²)``,
+  yields subgraphs each with edge connectivity ``(λ/η)(1 ± ε)`` w.h.p.
+  Section 5.2 uses this to reduce general-λ spanning tree packing to the
+  ``λ = O(log n)`` case.
+* :func:`sample_vertices` — the vertex sampling of [12]: each vertex kept
+  with probability ``p``; the remaining connectivity ``κ`` governs the
+  integral dominating tree packing size ``Ω(κ / log² n)``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Set
+
+import networkx as nx
+
+from repro.errors import GraphValidationError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def karger_edge_partition(
+    graph: nx.Graph, parts: int, rng: RngLike = None
+) -> List[nx.Graph]:
+    """Partition edges uniformly at random into ``parts`` spanning subgraphs.
+
+    Each returned subgraph carries *all* nodes of ``graph`` (so that a
+    spanning tree of a part, when connected, spans the original graph) and
+    a disjoint share of the edges. The union of the parts' edge sets is
+    exactly ``graph``'s edge set.
+    """
+    if parts < 1:
+        raise GraphValidationError("parts must be >= 1")
+    rand = ensure_rng(rng)
+    subgraphs = []
+    for _ in range(parts):
+        part = nx.Graph()
+        part.add_nodes_from(graph.nodes())
+        subgraphs.append(part)
+    for u, v in graph.edges():
+        subgraphs[rand.randrange(parts)].add_edge(u, v)
+    return subgraphs
+
+
+def choose_karger_parts(lam: int, n: int, epsilon: float = 0.25) -> int:
+    """Number of parts η so that λ/η ∈ [20·ln n/ε², 60·ln n/ε²] (Section 5.2).
+
+    Returns 1 when λ is already O(log n) (no split needed). Uses the
+    paper's constants with natural logarithms.
+    """
+    import math
+
+    if lam < 1:
+        raise GraphValidationError("lam must be >= 1")
+    threshold = 20.0 * math.log(max(n, 2)) / (epsilon**2)
+    if lam <= 3 * threshold:
+        return 1
+    # Pick η = floor(λ / (2·threshold)), which puts λ/η in [2t, 3t] ⊂ [t, 3t].
+    eta = max(1, int(lam // (2 * threshold)))
+    return eta
+
+
+def sample_vertices(
+    graph: nx.Graph, p: float = 0.5, rng: RngLike = None
+) -> Set[Hashable]:
+    """Keep each vertex independently with probability ``p`` ([12])."""
+    if not 0.0 <= p <= 1.0:
+        raise GraphValidationError("p must be in [0, 1]")
+    rand = ensure_rng(rng)
+    return {v for v in graph.nodes() if rand.random() < p}
+
+
+def partition_vertices(
+    graph: nx.Graph, parts: int, rng: RngLike = None
+) -> List[Set[Hashable]]:
+    """Assign each vertex uniformly to one of ``parts`` disjoint groups.
+
+    The random-layering step behind the integral dominating tree packing
+    (Section 1.2, "Integral Tree Packings") starts from such a partition.
+    """
+    if parts < 1:
+        raise GraphValidationError("parts must be >= 1")
+    rand = ensure_rng(rng)
+    groups: List[Set[Hashable]] = [set() for _ in range(parts)]
+    for v in graph.nodes():
+        groups[rand.randrange(parts)].add(v)
+    return groups

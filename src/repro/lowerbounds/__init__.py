@@ -1,0 +1,29 @@
+"""Appendix G: lower-bound construction and two-party reduction.
+
+* :mod:`repro.lowerbounds.construction` — the weighted family ``H(X,Y)``
+  and its unweighted blow-up ``G(X,Y)`` (Section G.1), whose vertex-cut
+  structure encodes set disjointness (Lemmas G.3/G.4).
+* :mod:`repro.lowerbounds.disjointness` — set-disjointness instances and
+  the Alice/Bob round-by-round simulation of Lemmas G.5/G.6, with exact
+  bit accounting (``≤ 2·B·T`` bits for T simulated rounds).
+"""
+
+from repro.lowerbounds.construction import (
+    LowerBoundInstance,
+    build_g_xy,
+    build_h_xy,
+)
+from repro.lowerbounds.disjointness import (
+    TwoPartySimulation,
+    decide_disjointness_via_connectivity,
+    simulate_protocol_two_party,
+)
+
+__all__ = [
+    "LowerBoundInstance",
+    "build_h_xy",
+    "build_g_xy",
+    "TwoPartySimulation",
+    "simulate_protocol_two_party",
+    "decide_disjointness_via_connectivity",
+]

@@ -1,0 +1,202 @@
+"""The lower-bound graph family of Appendix G.1.
+
+``H(X, Y)`` for sets ``X, Y ⊆ [h]``:
+
+* ``h + 1`` paths (numbered ``0..h``), each of ``2ℓ`` *heavy* nodes of
+  weight ``w``: nodes ``(p, q)`` for ``p ∈ {0..h}``, ``q ∈ [2ℓ]``;
+* left encoding: for ``x ∈ X``, a weight-1 node ``u_x`` adjacent to
+  ``(0,1)`` and ``(x,1)``; for ``x ∉ X`` a direct edge ``(0,1)–(x,1)``;
+* right encoding symmetric with ``v_y``, ``(0,2ℓ)`` and ``(y,2ℓ)``;
+* diameter gadget: nodes ``a`` (adjacent to all ``u_x`` and all ``(p,q)``
+  with ``q ≤ ℓ``) and ``b`` (all ``v_y`` and ``q > ℓ``), plus edge ``a–b``.
+
+``G(X, Y)`` replaces every heavy node by a ``w``-clique and every edge by
+a complete bipartite graph (Section G.1, transformation 1–2).
+
+Lemma G.3/G.4: if ``X ∩ Y = ∅`` every vertex cut has size ≥ ``w``; if
+``X ∩ Y = {z}`` the unique minimum cut is ``{a, b, u_z, v_z}`` of size 4;
+and the diameter is ≤ 3. Benchmark E13 verifies all of this exhaustively
+over instance grids with the exact oracles.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import FrozenSet, Hashable, List, Set, Tuple
+
+import networkx as nx
+
+from repro.errors import GraphValidationError
+
+
+@dataclass(frozen=True)
+class LowerBoundInstance:
+    """A constructed instance with the landmarks the reduction needs."""
+
+    graph: nx.Graph
+    h: int
+    ell: int
+    w: int
+    x_set: FrozenSet[int]
+    y_set: FrozenSet[int]
+    node_a: Hashable
+    node_b: Hashable
+
+    @property
+    def intersection(self) -> FrozenSet[int]:
+        return self.x_set & self.y_set
+
+    def left_nodes(self) -> Set[Hashable]:
+        """V'_A(0) = {a} ∪ V_X ∪ {(p,q): q < 2ℓ} — what Alice knows."""
+        return {
+            v
+            for v in self.graph.nodes()
+            if v != self.node_b
+            and not (_is_right_encoding(v) or _is_right_end(v, self.ell))
+        }
+
+    def right_nodes(self) -> Set[Hashable]:
+        """V'_B(0) = {b} ∪ V_Y ∪ {(p,q): q > 1} — what Bob knows."""
+        return {
+            v
+            for v in self.graph.nodes()
+            if v != self.node_a
+            and not (_is_left_encoding(v) or _is_left_end(v))
+        }
+
+
+def _is_left_encoding(v: Hashable) -> bool:
+    return isinstance(v, tuple) and len(v) == 2 and v[0] == "u"
+
+
+def _is_right_encoding(v: Hashable) -> bool:
+    return isinstance(v, tuple) and len(v) == 2 and v[0] == "v"
+
+
+def _is_left_end(v: Hashable) -> bool:
+    # Heavy node (p, 1, copy) or weighted node (p, 1).
+    return (
+        isinstance(v, tuple)
+        and len(v) in (2, 3)
+        and isinstance(v[0], int)
+        and v[1] == 1
+    )
+
+
+def _is_right_end(v: Hashable, ell: int) -> bool:
+    return (
+        isinstance(v, tuple)
+        and len(v) in (2, 3)
+        and isinstance(v[0], int)
+        and v[1] == 2 * ell
+    )
+
+
+def build_h_xy(h: int, ell: int, x_set, y_set) -> LowerBoundInstance:
+    """The weighted prototype ``H(X, Y)`` (weights as node attributes).
+
+    Heavy nodes carry ``weight=w`` conceptually; here ``w`` is symbolic
+    (attribute ``heavy=True``) since ``H`` is only used for inspection —
+    the reduction runs on the blow-up ``G(X, Y)``.
+    """
+    x_fs, y_fs = frozenset(x_set), frozenset(y_set)
+    _validate_sets(h, x_fs, y_fs)
+    if ell < 1:
+        raise GraphValidationError("ell must be >= 1")
+    graph = nx.Graph()
+    for p in range(h + 1):
+        for q in range(1, 2 * ell + 1):
+            graph.add_node((p, q), heavy=True)
+            if q > 1:
+                graph.add_edge((p, q - 1), (p, q))
+    graph.add_node("a", heavy=False)
+    graph.add_node("b", heavy=False)
+    graph.add_edge("a", "b")
+    _add_encoding(graph, h, ell, x_fs, y_fs)
+    for p in range(h + 1):
+        for q in range(1, 2 * ell + 1):
+            graph.add_edge((p, q), "a" if q <= ell else "b")
+    return LowerBoundInstance(
+        graph=graph,
+        h=h,
+        ell=ell,
+        w=1,
+        x_set=x_fs,
+        y_set=y_fs,
+        node_a="a",
+        node_b="b",
+    )
+
+
+def _add_encoding(graph: nx.Graph, h: int, ell: int, x_fs, y_fs) -> None:
+    for x in range(1, h + 1):
+        if x in x_fs:
+            graph.add_node(("u", x), heavy=False)
+            graph.add_edge(("u", x), (0, 1))
+            graph.add_edge(("u", x), (x, 1))
+        else:
+            graph.add_edge((0, 1), (x, 1))
+        if x in y_fs:
+            graph.add_node(("v", x), heavy=False)
+            graph.add_edge(("v", x), (0, 2 * ell))
+            graph.add_edge(("v", x), (x, 2 * ell))
+        else:
+            graph.add_edge((0, 2 * ell), (x, 2 * ell))
+    for x in x_fs:
+        graph.add_edge(("u", x), "a")
+    for y in y_fs:
+        graph.add_edge(("v", y), "b")
+
+
+def build_g_xy(h: int, ell: int, w: int, x_set, y_set) -> LowerBoundInstance:
+    """The unweighted blow-up ``G(X, Y)``: heavy nodes become w-cliques,
+    edges become complete bipartite graphs."""
+    x_fs, y_fs = frozenset(x_set), frozenset(y_set)
+    _validate_sets(h, x_fs, y_fs)
+    if ell < 1 or w < 1:
+        raise GraphValidationError("ell and w must be >= 1")
+    proto = build_h_xy(h, ell, x_fs, y_fs)
+    graph = nx.Graph()
+
+    def copies(v: Hashable) -> List[Hashable]:
+        if proto.graph.nodes[v].get("heavy"):
+            p, q = v
+            return [(p, q, c) for c in range(w)]
+        return [v]
+
+    for v in proto.graph.nodes():
+        members = copies(v)
+        graph.add_nodes_from(members)
+        graph.add_edges_from(itertools.combinations(members, 2))
+    for v1, v2 in proto.graph.edges():
+        graph.add_edges_from(
+            (a, b) for a in copies(v1) for b in copies(v2)
+        )
+    return LowerBoundInstance(
+        graph=graph,
+        h=h,
+        ell=ell,
+        w=w,
+        x_set=x_fs,
+        y_set=y_fs,
+        node_a="a",
+        node_b="b",
+    )
+
+
+def _validate_sets(h: int, x_fs: FrozenSet[int], y_fs: FrozenSet[int]) -> None:
+    if h < 1:
+        raise GraphValidationError("h must be >= 1")
+    universe = set(range(1, h + 1))
+    if not (x_fs <= universe and y_fs <= universe):
+        raise GraphValidationError("X and Y must be subsets of [h] = {1..h}")
+
+
+def expected_min_cut(instance: LowerBoundInstance) -> Tuple[int, Set[Hashable]]:
+    """Lemma G.4's prediction: (cut size, the cut when |X∩Y| = 1)."""
+    inter = instance.intersection
+    if len(inter) == 1:
+        z = next(iter(inter))
+        return 4, {instance.node_a, instance.node_b, ("u", z), ("v", z)}
+    return instance.w, set()

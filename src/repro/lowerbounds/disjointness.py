@@ -1,0 +1,183 @@
+"""Two-party simulation and the disjointness reduction (Appendix G.2).
+
+Lemma G.5/G.6: Alice (knowing the initial states of ``V'_A(0)``) and Bob
+(``V'_B(0)``) can jointly simulate ``T ≤ ℓ`` rounds of any distributed
+protocol on ``G(X, Y)`` in which nodes ``a`` and ``b`` send ``≤ B``-bit
+local broadcasts, by exchanging only those two nodes' messages —
+``≤ 2·B·T`` bits total. The knowledge frontier shrinks by one path
+column per round, exactly as in the induction of the lemma.
+
+:func:`simulate_protocol_two_party` executes that simulation concretely:
+it runs a round-based protocol twice — once from Alice's side, once from
+Bob's — where each party only ever evaluates nodes it provably knows, and
+the *only* cross-party information is the payload of ``a``'s and ``b``'s
+messages (bit-counted). The result certifies the 2BT bound and that both
+parties reconstruct the states the lemma promises.
+
+:func:`decide_disjointness_via_connectivity` closes the reduction loop of
+Theorem G.2: deciding ``X ∩ Y = ∅`` by thresholding the vertex
+connectivity of ``G(X, Y)`` (cut 4 vs ≥ w, Lemma G.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.errors import ProtocolError
+from repro.graphs.connectivity import vertex_connectivity
+from repro.lowerbounds.construction import LowerBoundInstance
+from repro.simulator.message import payload_bits
+
+# A protocol is a function: (node, round, inbox {neighbor: payload}) ->
+# payload broadcast to all neighbors (or None). It must be deterministic
+# given the shared randomness (we fix seeds outside).
+Protocol = Callable[[Hashable, int, Dict[Hashable, object]], object]
+
+
+@dataclass
+class TwoPartySimulation:
+    """Outcome of the Lemma G.6 simulation."""
+
+    rounds: int
+    bits_exchanged: int
+    bit_budget: int            # 2·B·T with B = max a/b message bits seen
+    alice_states: Dict[Hashable, Dict[Hashable, object]]
+    bob_states: Dict[Hashable, Dict[Hashable, object]]
+
+    @property
+    def within_budget(self) -> bool:
+        return self.bits_exchanged <= self.bit_budget
+
+
+def _knowledge_frontier(
+    instance: LowerBoundInstance, rounds: int
+) -> Tuple[List[Set[Hashable]], List[Set[Hashable]]]:
+    """V'_A(r), V'_B(r) for r = 0..rounds (the lemma's shrinking sets)."""
+    ell = instance.ell
+
+    def column(v: Hashable) -> Optional[int]:
+        if isinstance(v, tuple) and len(v) in (2, 3) and isinstance(v[0], int):
+            return v[1]
+        return None
+
+    alice_sets, bob_sets = [], []
+    base_a = instance.left_nodes()
+    base_b = instance.right_nodes()
+    for r in range(rounds + 1):
+        alice_sets.append(
+            {v for v in base_a if column(v) is None or column(v) < 2 * ell - r}
+        )
+        bob_sets.append(
+            {v for v in base_b if column(v) is None or column(v) > r + 1}
+        )
+    return alice_sets, bob_sets
+
+
+def simulate_protocol_two_party(
+    instance: LowerBoundInstance,
+    protocol: Protocol,
+    rounds: int,
+) -> TwoPartySimulation:
+    """Run the Alice/Bob simulation of Lemma G.6 for ``rounds ≤ ℓ − 1``.
+
+    Internally the full protocol execution is computed once (ground
+    truth); Alice's and Bob's views are then *replayed* strictly from
+    their knowledge sets plus the exchanged a/b messages, and checked
+    against ground truth — a discrepancy would mean the lemma's induction
+    failed, and raises :class:`ProtocolError`.
+    """
+    if rounds > instance.ell:
+        raise ProtocolError("Lemma G.6 requires T <= ell")
+    graph = instance.graph
+    node_a, node_b = instance.node_a, instance.node_b
+    alice_sets, bob_sets = _knowledge_frontier(instance, rounds)
+
+    # Ground-truth execution (payload of every node per round).
+    sent: List[Dict[Hashable, object]] = []
+    inboxes: Dict[Hashable, Dict[Hashable, object]] = {
+        v: {} for v in graph.nodes()
+    }
+    max_ab_bits = 1
+    bits_exchanged = 0
+    for r in range(rounds):
+        outgoing = {v: protocol(v, r, inboxes[v]) for v in graph.nodes()}
+        sent.append(outgoing)
+        for special in (node_a, node_b):
+            payload = outgoing[special]
+            bits = payload_bits(payload) if payload is not None else 1
+            max_ab_bits = max(max_ab_bits, bits)
+            # The only cross-party traffic: a's message to Bob, b's to Alice.
+            bits_exchanged += bits
+        inboxes = {v: {} for v in graph.nodes()}
+        for v in graph.nodes():
+            payload = outgoing[v]
+            if payload is None:
+                continue
+            for u in graph.neighbors(v):
+                inboxes[u][v] = payload
+
+    # Alice's replay: she may only read nodes in V'_A(r) at round r; the
+    # messages of b reach her via the exchanged transcript.
+    def replay(party_sets: List[Set[Hashable]], other_special: Hashable):
+        states: Dict[Hashable, Dict[Hashable, object]] = {
+            v: {} for v in graph.nodes()
+        }
+        for r in range(rounds):
+            known = party_sets[r]
+            outgoing = {}
+            for v in known:
+                outgoing[v] = protocol(v, r, states[v])
+            outgoing[other_special] = sent[r][other_special]
+            next_states: Dict[Hashable, Dict[Hashable, object]] = {
+                v: {} for v in graph.nodes()
+            }
+            for v in party_sets[r + 1] if r + 1 < len(party_sets) else known:
+                for u in graph.neighbors(v):
+                    if u in outgoing and outgoing[u] is not None:
+                        next_states[v][u] = outgoing[u]
+            states = next_states
+        return states
+
+    alice_states = replay(alice_sets, node_b)
+    bob_states = replay(bob_sets, node_a)
+
+    # Consistency check against ground truth on the final knowledge sets.
+    final_alice = alice_sets[rounds] if rounds < len(alice_sets) else set()
+    for v in final_alice:
+        if alice_states[v] != inboxes[v]:
+            raise ProtocolError(
+                f"Alice's replayed state of {v!r} diverged — the Lemma G.6 "
+                "induction was violated"
+            )
+    final_bob = bob_sets[rounds] if rounds < len(bob_sets) else set()
+    for v in final_bob:
+        if bob_states[v] != inboxes[v]:
+            raise ProtocolError(
+                f"Bob's replayed state of {v!r} diverged — the Lemma G.6 "
+                "induction was violated"
+            )
+
+    return TwoPartySimulation(
+        rounds=rounds,
+        bits_exchanged=bits_exchanged,
+        bit_budget=2 * max_ab_bits * rounds,
+        alice_states=alice_states,
+        bob_states=bob_states,
+    )
+
+
+def decide_disjointness_via_connectivity(
+    instance: LowerBoundInstance, threshold: Optional[int] = None
+) -> bool:
+    """Theorem G.2's decision step: ``X ∩ Y = ∅`` iff κ(G(X,Y)) > threshold.
+
+    Default threshold 4 (the Lemma G.4 gap: 4 vs ≥ w). Only valid under
+    the promise ``|X ∩ Y| ≤ 1``.
+    """
+    if threshold is None:
+        threshold = 4
+    kappa = vertex_connectivity(instance.graph)
+    return kappa > threshold

@@ -1,0 +1,35 @@
+"""Distributed building blocks implemented as simulator node programs.
+
+These are the substrate routines the paper's constructions invoke:
+
+* :mod:`flooding` — extremum flooding (leader election, global min/max).
+* :mod:`bfs` — BFS tree construction (the ``O(D)`` preprocessing of
+  Section 2 that gives every node ``n`` and a diameter estimate).
+* :mod:`subgraph_flood` — extremum flooding restricted to a subgraph; the
+  workhorse behind component identification (the Theorem B.2 twin) and
+  in-fragment aggregation.
+* :mod:`convergecast` — aggregate up / broadcast down a rooted tree.
+* :mod:`boruvka` — distributed minimum spanning tree via Borůvka phases
+  (our substitute for Kutten–Peleg [37]; see DESIGN.md Section 2).
+"""
+
+from repro.simulator.algorithms.exchange import exchange_once
+from repro.simulator.algorithms.flooding import flood_extremum, elect_leader
+from repro.simulator.algorithms.bfs import build_bfs_tree
+from repro.simulator.algorithms.subgraph_flood import (
+    identify_components,
+    subgraph_extremum,
+)
+from repro.simulator.algorithms.convergecast import converge_sum
+from repro.simulator.algorithms.boruvka import distributed_mst
+
+__all__ = [
+    "exchange_once",
+    "flood_extremum",
+    "elect_leader",
+    "build_bfs_tree",
+    "identify_components",
+    "subgraph_extremum",
+    "converge_sum",
+    "distributed_mst",
+]

@@ -1,0 +1,49 @@
+"""One-round neighbor exchange.
+
+Many steps of Appendix B are of the form "each node sends X to all its
+neighbors" (class numbers, component ids, activity flags). This helper
+runs exactly one such round and returns, for every node, the map of
+neighbor → received payload.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Tuple
+
+from repro.simulator.message import Message
+from repro.simulator.network import Network
+from repro.simulator.node import Context, NodeProgram
+from repro.simulator.runner import Model, SimulationResult, simulate
+
+
+class ExchangeOnceProgram(NodeProgram):
+    """Broadcast a payload once; collect the neighbors' payloads."""
+
+    def __init__(self, payload: Any) -> None:
+        self._payload = payload
+
+    def on_start(self, ctx: Context):
+        return self._payload
+
+    def on_round(self, ctx: Context, inbox: Dict[Hashable, Message]):
+        ctx.halt({sender: message.payload for sender, message in inbox.items()})
+        return None
+
+
+def exchange_once(
+    network: Network,
+    payloads: Dict[Hashable, Any],
+    model: Model = Model.V_CONGEST,
+) -> Tuple[Dict[Hashable, Dict[Hashable, Any]], SimulationResult]:
+    """Every node broadcasts ``payloads[node]``; returns what each heard.
+
+    The returned outer dict maps node → {neighbor: payload}. Nodes with a
+    ``None`` payload stay silent (their neighbors simply don't hear them).
+    """
+    result = simulate(
+        network,
+        lambda node: ExchangeOnceProgram(payloads.get(node)),
+        model=model,
+    )
+    heard = {node: result.outputs[node] or {} for node in network.nodes}
+    return heard, result

@@ -1,0 +1,69 @@
+"""The O(D) preprocessing of Section 2.
+
+"By using a simple and standard BFS tree approach, in O(D) rounds, nodes
+can learn the number of nodes in the network n, and also a
+2-approximation of the diameter D. Our algorithms assume this knowledge
+to be ready for them."
+
+:func:`network_preprocessing` runs exactly that composite: leader
+election (max-id flood), a BFS wave from the leader, a convergecast
+counting the nodes, and the depth-based diameter estimate
+``depth ≤ D ≤ 2·depth``. Returns the learned values plus the combined
+metrics, so callers can fold the preprocessing cost into their round
+reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.simulator.algorithms.bfs import BfsTree, build_bfs_tree
+from repro.simulator.algorithms.convergecast import converge_sum
+from repro.simulator.algorithms.flooding import elect_leader
+from repro.simulator.metrics import SimulationMetrics
+from repro.simulator.network import Network
+
+
+@dataclass(frozen=True)
+class PreprocessingResult:
+    """What every node knows after the Section 2 preprocessing."""
+
+    leader: Hashable
+    n: int
+    diameter_lower: int   # BFS depth from the leader
+    diameter_upper: int   # 2 × depth — the promised 2-approximation
+    bfs: BfsTree
+    metrics: SimulationMetrics
+
+    def diameter_estimate_valid(self, true_diameter: int) -> bool:
+        """Whether the 2-approximation brackets the true diameter."""
+        return self.diameter_lower <= true_diameter <= self.diameter_upper
+
+
+def network_preprocessing(network: Network) -> PreprocessingResult:
+    """Elect a leader, build its BFS tree, count nodes, estimate D."""
+    metrics = SimulationMetrics()
+    leader, election = elect_leader(network)
+    metrics.merge(election.metrics)
+    metrics.record_phase("leader-election", election.metrics.rounds)
+
+    bfs, bfs_result = build_bfs_tree(network, leader)
+    metrics.merge(bfs_result.metrics)
+    metrics.record_phase("bfs", bfs_result.metrics.rounds)
+
+    count, count_result = converge_sum(
+        network, bfs, {v: 1 for v in network.nodes}
+    )
+    metrics.merge(count_result.metrics)
+    metrics.record_phase("count-convergecast", count_result.metrics.rounds)
+
+    depth = bfs.depth
+    return PreprocessingResult(
+        leader=leader,
+        n=count,
+        diameter_lower=depth,
+        diameter_upper=2 * depth,
+        bfs=bfs,
+        metrics=metrics,
+    )

@@ -1,0 +1,137 @@
+"""Fault injection for the round simulator.
+
+The paper's model is synchronous and reliable; its w.h.p. guarantees say
+nothing about crashes or loss. The test suite nevertheless needs to
+*exercise failure paths*: that the Appendix E tester flags packings
+broken by silent nodes, that quiescence-based protocols stall (rather
+than return wrong answers silently) when the network misbehaves, and
+that retransmitting primitives tolerate loss. This module provides the
+machinery:
+
+* :class:`FaultPlan` — a declarative schedule of crash rounds and an
+  i.i.d. message drop probability, consumed by
+  :class:`~repro.simulator.runner.SyncRunner`.
+* :class:`RetransmittingFloodProgram` — a loss-tolerant extremum flood
+  (rebroadcasts every round for a fixed horizon), the positive control
+  showing the fault plumbing composes with real protocols.
+
+A crashed node stops executing and transmitting from its crash round
+onward (crash-stop; no recovery). Drops are per-message, decided by the
+plan's own generator so runs are reproducible under a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional
+
+from repro.errors import GraphValidationError
+from repro.simulator.message import Message
+from repro.simulator.network import Network
+from repro.simulator.node import Context, NodeProgram
+from repro.simulator.runner import Model, SimulationResult, SyncRunner
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class FaultPlan:
+    """A reproducible schedule of crash-stop and message-loss faults.
+
+    ``crash_rounds`` maps node → first round at which the node is dead
+    (``0`` kills it before its ``on_start`` traffic is delivered).
+    ``drop_probability`` applies independently to every (message,
+    receiver) pair of non-crashed senders.
+    """
+
+    drop_probability: float = 0.0
+    crash_rounds: Dict[Hashable, int] = field(default_factory=dict)
+    rng: RngLike = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise GraphValidationError(
+                "drop_probability must lie in [0, 1]"
+            )
+        for node, crash_round in self.crash_rounds.items():
+            if crash_round < 0:
+                raise GraphValidationError(
+                    f"crash round for {node!r} must be >= 0"
+                )
+        self._rand = ensure_rng(self.rng)
+
+    def is_crashed(self, node: Hashable, round_no: int) -> bool:
+        """Whether ``node`` is dead during ``round_no``."""
+        crash_round = self.crash_rounds.get(node)
+        return crash_round is not None and round_no >= crash_round
+
+    def should_drop(self) -> bool:
+        """Decide one message delivery (stateful; call once per delivery)."""
+        if self.drop_probability <= 0.0:
+            return False
+        return self._rand.random() < self.drop_probability
+
+
+class RetransmittingFloodProgram(NodeProgram):
+    """Extremum flood that rebroadcasts every round for ``horizon`` rounds.
+
+    Unlike the quiescence-driven
+    :class:`~repro.simulator.algorithms.flooding.ExtremumFloodProgram`,
+    this program keeps transmitting its current best whether or not it
+    improved, so any individual message loss is repaired by the next
+    round's retransmission. With drop probability ``p`` and horizon
+    ``h ≥ D / (1 − p)`` plus slack, the flood completes w.h.p.
+    """
+
+    def __init__(self, value: Any, horizon: int, minimize: bool = True) -> None:
+        if horizon < 1:
+            raise GraphValidationError("horizon must be >= 1")
+        self._best = value
+        self._horizon = horizon
+        self._minimize = minimize
+
+    def _better(self, candidate: Any) -> bool:
+        if self._best is None:
+            return candidate is not None
+        if candidate is None:
+            return False
+        if self._minimize:
+            return candidate < self._best
+        return candidate > self._best
+
+    def on_start(self, ctx: Context):
+        ctx.output = self._best
+        return self._best
+
+    def on_round(self, ctx: Context, inbox: Dict[Hashable, Message]):
+        for message in inbox.values():
+            if self._better(message.payload):
+                self._best = message.payload
+        ctx.output = self._best
+        if ctx.round >= self._horizon:
+            ctx.halt(self._best)
+            return None
+        return self._best
+
+
+def simulate_with_faults(
+    network: Network,
+    program_factory,
+    fault_plan: FaultPlan,
+    model: Model = Model.V_CONGEST,
+    max_rounds: int = 100_000,
+    bits_per_message: Optional[int] = None,
+    rng: RngLike = None,
+) -> SimulationResult:
+    """Run a simulation under a :class:`FaultPlan`.
+
+    Thin wrapper over :class:`~repro.simulator.runner.SyncRunner` with the
+    plan attached; see the runner for semantics of the return value.
+    """
+    runner = SyncRunner(
+        network,
+        model=model,
+        bits_per_message=bits_per_message,
+        rng=rng,
+        fault_plan=fault_plan,
+    )
+    return runner.run(program_factory, max_rounds=max_rounds)

@@ -1,0 +1,58 @@
+"""Message payloads and their bit-size accounting.
+
+The CONGEST models bound message size at ``O(log n)`` *bits*, so the
+simulator needs a concrete bit-cost for whatever Python value a node
+program sends. Payloads are restricted to a small algebra of primitives
+(ints, bools, short strings, None, floats) and tuples thereof; this keeps
+cost estimation honest and prevents programs from smuggling unbounded
+state inside one "message".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.errors import ModelViolationError
+
+_FLOAT_BITS = 64
+_TAG_BITS = 2  # per-element structural overhead
+
+
+def payload_bits(payload: Any) -> int:
+    """Bit size of a message payload.
+
+    Ints cost their two's-complement width, bools and None one bit,
+    floats 64 bits, strings 8 bits per character, and tuples/lists the sum
+    of their elements plus a small structural tag per element. Any other
+    type is rejected.
+    """
+    if payload is None or isinstance(payload, bool):
+        return 1
+    if isinstance(payload, int):
+        return max(1, payload.bit_length() + 1)
+    if isinstance(payload, float):
+        return _FLOAT_BITS
+    if isinstance(payload, str):
+        return 8 * len(payload) + _TAG_BITS
+    if isinstance(payload, (tuple, list)):
+        return sum(payload_bits(item) + _TAG_BITS for item in payload)
+    if isinstance(payload, frozenset):
+        return sum(payload_bits(item) + _TAG_BITS for item in payload)
+    raise ModelViolationError(
+        f"unsupported payload type {type(payload).__name__}; messages must be "
+        "built from ints, floats, bools, strings, None, and tuples of those"
+    )
+
+
+@dataclass(frozen=True)
+class Message:
+    """A delivered message: sender id, payload, and its bit size."""
+
+    sender: Hashable
+    payload: Any
+    bits: int
+
+    @classmethod
+    def build(cls, sender: Hashable, payload: Any) -> "Message":
+        return cls(sender=sender, payload=payload, bits=payload_bits(payload))

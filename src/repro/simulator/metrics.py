@@ -1,0 +1,124 @@
+"""Round / message / bit accounting for simulations.
+
+Every :func:`repro.simulator.runner.simulate` call produces a
+:class:`SimulationMetrics`; composite algorithms accumulate several runs
+with :meth:`SimulationMetrics.merge`. The experiments (E4, E5) read round
+counts from here.
+
+A *meta-round* (Section 3.1) is ``Θ(log n)`` real rounds — the cost of
+simulating one round of the virtual graph on the real graph. Helpers here
+convert between the two so the distributed CDS-packing driver can report
+both units.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class SimulationMetrics:
+    """Mutable counters for one or more chained simulation runs."""
+
+    rounds: int = 0
+    messages: int = 0
+    bits: int = 0
+    max_message_bits: int = 0
+    runs: int = 0
+    phase_rounds: Dict[str, int] = field(default_factory=dict)
+
+    def record_round(self, messages: int, bits: int, max_bits: int) -> None:
+        """Account one executed round."""
+        self.rounds += 1
+        self.messages += messages
+        self.bits += bits
+        if max_bits > self.max_message_bits:
+            self.max_message_bits = max_bits
+
+    def record_phase(self, name: str, rounds: int) -> None:
+        """Attribute ``rounds`` to a named phase (for per-phase reporting)."""
+        self.phase_rounds[name] = self.phase_rounds.get(name, 0) + rounds
+
+    def merge(self, other: "SimulationMetrics") -> "SimulationMetrics":
+        """Fold another run's counters into this one (returns self)."""
+        self.rounds += other.rounds
+        self.messages += other.messages
+        self.bits += other.bits
+        self.max_message_bits = max(self.max_message_bits, other.max_message_bits)
+        self.runs += max(1, other.runs)
+        for name, rounds in other.phase_rounds.items():
+            self.phase_rounds[name] = self.phase_rounds.get(name, 0) + rounds
+        return self
+
+    def meta_rounds(self, n: int) -> int:
+        """Round count expressed in meta-rounds of ``Θ(log n)`` rounds."""
+        factor = max(1, math.ceil(math.log2(max(n, 2))))
+        return math.ceil(self.rounds / factor)
+
+
+@dataclass(frozen=True)
+class AnalyticRoundCost:
+    """An analytic round bound for a subroutine we substitute.
+
+    Where the paper invokes an external optimal routine (Kutten–Peleg MST,
+    Ghaffari–Kuhn min-cut), our simulator runs a simpler correct substitute;
+    alongside the measured rounds we report the cited routine's analytic
+    bound so complexity-shape plots can use either (DESIGN.md Section 5).
+    """
+
+    name: str
+    rounds: float
+
+    @staticmethod
+    def kutten_peleg_mst(n: int, diameter: int) -> "AnalyticRoundCost":
+        """O(D + sqrt(n) log* n) of [37] (log* ≈ small constant)."""
+        log_star = _log_star(n)
+        return AnalyticRoundCost(
+            "kutten-peleg-mst", diameter + math.sqrt(n) * log_star
+        )
+
+    @staticmethod
+    def thurimella_components(n: int, diameter: int, d_prime: int) -> "AnalyticRoundCost":
+        """O(min{D', D + sqrt(n) log* n}) of Theorem B.2."""
+        log_star = _log_star(n)
+        return AnalyticRoundCost(
+            "thurimella-components",
+            min(d_prime, diameter + math.sqrt(n) * log_star),
+        )
+
+    @staticmethod
+    def ghaffari_kuhn_mincut(n: int, diameter: int) -> "AnalyticRoundCost":
+        """O((D + sqrt(n) log* n) log^2 n log log n) of [21]."""
+        log_star = _log_star(n)
+        log_n = max(1.0, math.log2(max(n, 2)))
+        return AnalyticRoundCost(
+            "ghaffari-kuhn-mincut",
+            (diameter + math.sqrt(n) * log_star)
+            * log_n**2
+            * max(1.0, math.log2(log_n + 1)),
+        )
+
+
+def _log_star(n: int) -> int:
+    """Iterated logarithm (base 2) of ``n``."""
+    count = 0
+    value = float(max(n, 1))
+    while value > 1.0:
+        value = math.log2(value) if value > 1 else 0.0
+        count += 1
+        if count > 10:
+            break
+    return max(1, count)
+
+
+@dataclass
+class RoundReport:
+    """Measured + analytic round costs for a composite algorithm run."""
+
+    measured: SimulationMetrics
+    analytic: List[AnalyticRoundCost] = field(default_factory=list)
+
+    def analytic_total(self) -> float:
+        return sum(cost.rounds for cost in self.analytic)

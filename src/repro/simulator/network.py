@@ -1,0 +1,83 @@
+"""Network topology container for the simulator.
+
+Wraps a :class:`networkx.Graph` with the pieces every node program needs:
+stable neighbor lists, ``n``, a diameter estimate, and random node ids
+(the paper notes nodes can generate ``4 log n``-bit random ids in one
+round; we provide them up front, deterministic under a seed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+import networkx as nx
+
+from repro.errors import GraphValidationError
+from repro.utils.mathutil import ceil_log2
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class Network:
+    """A static undirected topology for synchronous simulation."""
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        rng: RngLike = None,
+        require_connected: bool = True,
+    ) -> None:
+        if graph.number_of_nodes() == 0:
+            raise GraphValidationError("network must have at least one node")
+        if require_connected and not nx.is_connected(graph):
+            raise GraphValidationError("network graph must be connected")
+        self._graph = graph
+        self._nodes: List[Hashable] = list(graph.nodes())
+        self._neighbors: Dict[Hashable, Tuple[Hashable, ...]] = {
+            v: tuple(graph.neighbors(v)) for v in self._nodes
+        }
+        rand = ensure_rng(rng)
+        # 4·log n random bits per id (Section 2); distinct w.h.p., and we
+        # re-draw on collision so ids are distinct with certainty.
+        id_bits = 4 * max(1, ceil_log2(max(2, len(self._nodes))))
+        used = set()
+        self._ids: Dict[Hashable, int] = {}
+        for v in self._nodes:
+            while True:
+                candidate = rand.getrandbits(id_bits)
+                if candidate not in used:
+                    used.add(candidate)
+                    self._ids[v] = candidate
+                    break
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying topology (do not mutate during a run)."""
+        return self._graph
+
+    @property
+    def nodes(self) -> List[Hashable]:
+        return list(self._nodes)
+
+    @property
+    def n(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def m(self) -> int:
+        return self._graph.number_of_edges()
+
+    def neighbors(self, node: Hashable) -> Tuple[Hashable, ...]:
+        return self._neighbors[node]
+
+    def degree(self, node: Hashable) -> int:
+        return len(self._neighbors[node])
+
+    def node_id(self, node: Hashable) -> int:
+        """The node's random O(log n)-bit identifier."""
+        return self._ids[node]
+
+    def diameter(self) -> int:
+        """Exact diameter (cached)."""
+        if not hasattr(self, "_diameter"):
+            self._diameter = nx.diameter(self._graph)
+        return self._diameter

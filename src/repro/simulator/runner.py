@@ -1,0 +1,238 @@
+"""Synchronous lock-step executor with model enforcement.
+
+:func:`simulate` runs one :class:`~repro.simulator.node.NodeProgram` per
+node until every node halts or the network goes quiescent (a full round
+with no traffic and no new halts), or ``max_rounds`` elapses.
+
+Model enforcement:
+
+* ``Model.V_CONGEST`` — a program must return a single payload (or
+  ``None``); the runner broadcasts it to all neighbors. Returning a dict
+  raises :class:`~repro.errors.ModelViolationError`.
+* ``Model.E_CONGEST`` — a program may return a dict of per-neighbor
+  payloads (or a bare payload as broadcast shorthand, or ``None``).
+
+Every payload is size-checked against the ``O(log n)``-bit budget
+(``bits_per_message``); oversized messages raise
+:class:`~repro.errors.ModelViolationError` — an intentional crash, since a
+protocol that needs bigger messages is *not* a CONGEST protocol.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, Optional
+
+from repro.errors import ModelViolationError, SimulationError
+from repro.simulator.message import Message, payload_bits
+from repro.simulator.metrics import SimulationMetrics
+from repro.simulator.network import Network
+from repro.simulator.node import Context, NodeProgram
+from repro.utils.mathutil import ceil_log2
+from repro.utils.rng import RngLike, ensure_rng, fresh_seed
+
+
+class Model(enum.Enum):
+    """The two congestion models of Section 1.2."""
+
+    V_CONGEST = "v-congest"
+    E_CONGEST = "e-congest"
+
+
+def default_message_budget(n: int, factor: int = 32, slack: int = 128) -> int:
+    """Concrete ``O(log n)`` bit budget: ``factor·⌈log₂ n⌉ + slack``.
+
+    The paper's messages carry constantly many ids/values of ``O(log n)``
+    bits each (component ids are triples, proposals carry an id, a
+    component id, and a random value), so a generous constant factor is
+    the honest instantiation.
+    """
+    return factor * max(1, ceil_log2(max(2, n))) + slack
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    outputs: Dict[Hashable, Any]
+    metrics: SimulationMetrics
+    halted: bool
+
+    def output_of(self, node: Hashable) -> Any:
+        return self.outputs[node]
+
+
+class SyncRunner:
+    """Executes programs in synchronized rounds over a :class:`Network`."""
+
+    def __init__(
+        self,
+        network: Network,
+        model: Model = Model.V_CONGEST,
+        bits_per_message: Optional[int] = None,
+        rng: RngLike = None,
+        fault_plan=None,
+    ) -> None:
+        self.network = network
+        self.model = model
+        self.bits_per_message = (
+            bits_per_message
+            if bits_per_message is not None
+            else default_message_budget(network.n)
+        )
+        self._rng = ensure_rng(rng)
+        # Optional repro.simulator.faults.FaultPlan; None = reliable run.
+        self.fault_plan = fault_plan
+
+    def run(
+        self,
+        program_factory: Callable[[Hashable], NodeProgram],
+        max_rounds: int = 100000,
+        quiescence_halts: bool = True,
+    ) -> SimulationResult:
+        """Run one program per node to completion.
+
+        ``program_factory(node)`` builds the local algorithm for ``node``.
+        Terminates when all nodes halt, or (if ``quiescence_halts``) after
+        a fully silent round. Raises :class:`SimulationError` if
+        ``max_rounds`` is exceeded — runaway protocols are bugs.
+        """
+        net = self.network
+        programs: Dict[Hashable, NodeProgram] = {}
+        contexts: Dict[Hashable, Context] = {}
+        for node in net.nodes:
+            contexts[node] = Context(
+                node=node,
+                node_id=net.node_id(node),
+                neighbors=net.neighbors(node),
+                n=net.n,
+                rng=random.Random(fresh_seed(self._rng)),
+            )
+            programs[node] = program_factory(node)
+
+        metrics = SimulationMetrics(runs=1)
+        # outbound[v] = validated traffic produced by v this round.
+        outbound: Dict[Hashable, Dict[Hashable, Message]] = {}
+        for node in net.nodes:
+            ctx = contexts[node]
+            raw = programs[node].on_start(ctx)
+            outbound[node] = self._validate(node, ctx, raw)
+
+        for round_no in range(1, max_rounds + 1):
+            inboxes: Dict[Hashable, Dict[Hashable, Message]] = {
+                node: {} for node in net.nodes
+            }
+            round_messages = 0
+            round_bits = 0
+            round_max_bits = 0
+            plan = self.fault_plan
+            for sender, traffic in outbound.items():
+                if plan is not None and plan.is_crashed(sender, round_no):
+                    continue
+                for receiver, message in traffic.items():
+                    if plan is not None and plan.should_drop():
+                        continue
+                    inboxes[receiver][sender] = message
+                    round_messages += 1
+                    round_bits += message.bits
+                    if message.bits > round_max_bits:
+                        round_max_bits = message.bits
+            if round_messages or any(not contexts[v].halted for v in net.nodes):
+                metrics.record_round(round_messages, round_bits, round_max_bits)
+
+            any_traffic = round_messages > 0
+            all_halted = True
+            next_outbound: Dict[Hashable, Dict[Hashable, Message]] = {}
+            for node in net.nodes:
+                ctx = contexts[node]
+                if ctx.halted:
+                    next_outbound[node] = {}
+                    continue
+                if plan is not None and plan.is_crashed(node, round_no):
+                    # Crash-stop: no execution, no traffic; counts as
+                    # terminated so live nodes can still end the run.
+                    next_outbound[node] = {}
+                    continue
+                ctx.round = round_no
+                raw = programs[node].on_round(ctx, inboxes[node])
+                if ctx.halted:
+                    next_outbound[node] = {}
+                else:
+                    next_outbound[node] = self._validate(node, ctx, raw)
+                    all_halted = False
+            outbound = next_outbound
+
+            if all_halted:
+                return SimulationResult(
+                    outputs={v: contexts[v].output for v in net.nodes},
+                    metrics=metrics,
+                    halted=True,
+                )
+            if (
+                quiescence_halts
+                and not any_traffic
+                and not any(traffic for traffic in outbound.values())
+            ):
+                return SimulationResult(
+                    outputs={v: contexts[v].output for v in net.nodes},
+                    metrics=metrics,
+                    halted=False,
+                )
+        raise SimulationError(
+            f"simulation did not terminate within {max_rounds} rounds"
+        )
+
+    def _validate(
+        self, node: Hashable, ctx: Context, raw: Any
+    ) -> Dict[Hashable, Message]:
+        """Turn a program's return value into per-receiver messages,
+        enforcing the model's congestion rules."""
+        if raw is None:
+            return {}
+        neighbors = ctx.neighbors
+        if isinstance(raw, dict):
+            if self.model is Model.V_CONGEST:
+                raise ModelViolationError(
+                    f"node {node!r} attempted per-neighbor messages in "
+                    "V-CONGEST; only a single local broadcast is allowed"
+                )
+            traffic = {}
+            for receiver, payload in raw.items():
+                if receiver not in neighbors:
+                    raise ModelViolationError(
+                        f"node {node!r} addressed non-neighbor {receiver!r}"
+                    )
+                if payload is None:
+                    continue
+                message = Message.build(node, payload)
+                self._check_size(node, message)
+                traffic[receiver] = message
+            return traffic
+        # Bare payload: broadcast to all neighbors (legal in both models).
+        message = Message.build(node, raw)
+        self._check_size(node, message)
+        return {receiver: message for receiver in neighbors}
+
+    def _check_size(self, node: Hashable, message: Message) -> None:
+        if message.bits > self.bits_per_message:
+            raise ModelViolationError(
+                f"node {node!r} sent a {message.bits}-bit message; budget is "
+                f"{self.bits_per_message} bits (O(log n))"
+            )
+
+
+def simulate(
+    network: Network,
+    program_factory: Callable[[Hashable], NodeProgram],
+    model: Model = Model.V_CONGEST,
+    max_rounds: int = 100000,
+    bits_per_message: Optional[int] = None,
+    rng: RngLike = None,
+) -> SimulationResult:
+    """One-shot convenience wrapper around :class:`SyncRunner`."""
+    runner = SyncRunner(
+        network, model=model, bits_per_message=bits_per_message, rng=rng
+    )
+    return runner.run(program_factory, max_rounds=max_rounds)

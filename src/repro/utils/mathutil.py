@@ -1,0 +1,44 @@
+"""Small integer/math helpers used across the library."""
+
+from __future__ import annotations
+
+import math
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling division for non-negative integers."""
+    if b <= 0:
+        raise ValueError("divisor must be positive")
+    return -(-a // b)
+
+
+def ilog2(n: int) -> int:
+    """Floor of log2(n) for n >= 1."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return n.bit_length() - 1
+
+
+def ceil_log2(n: int) -> int:
+    """Ceiling of log2(n) for n >= 1 (0 for n == 1)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return (n - 1).bit_length()
+
+
+def int_log(n: int, base: float = math.e) -> float:
+    """Natural (or ``base``) logarithm of ``max(n, 2)``.
+
+    The paper's bounds all carry ``log n`` factors that are meaningless for
+    n < 2; clamping keeps ratio computations well-defined on tiny graphs.
+    """
+    return math.log(max(n, 2), base)
+
+
+def whp_repeats(n: int, c: float = 1.0) -> int:
+    """Number of independent repetitions giving failure probability n^-c.
+
+    For an event with constant success probability, ``Θ(log n)`` repeats
+    amplify to with-high-probability success; this returns a concrete count.
+    """
+    return max(1, math.ceil(c * math.log(max(n, 2)) / math.log(2)))

@@ -1,0 +1,49 @@
+"""Randomness plumbing.
+
+All randomized algorithms in the library take a ``rng`` argument that may be
+``None`` (use a fresh nondeterministic generator), an ``int`` seed, or an
+existing :class:`random.Random` instance. This module centralizes that
+coercion so every algorithm is reproducible under an explicit seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Union
+
+RngLike = Union[None, int, random.Random]
+
+_SEED_SPACE = 2**63
+
+
+def ensure_rng(rng: RngLike = None) -> random.Random:
+    """Coerce ``rng`` into a :class:`random.Random` instance.
+
+    ``None`` yields a fresh generator seeded from OS entropy; an ``int``
+    yields a deterministic generator; a :class:`random.Random` is returned
+    unchanged (so state is shared with the caller).
+    """
+    if rng is None:
+        return random.Random()
+    if isinstance(rng, random.Random):
+        return rng
+    if isinstance(rng, bool) or not isinstance(rng, int):
+        raise TypeError(f"rng must be None, int, or random.Random, got {type(rng)!r}")
+    return random.Random(rng)
+
+
+def fresh_seed(rng: random.Random) -> int:
+    """Draw a seed suitable for constructing an independent child generator."""
+    return rng.randrange(_SEED_SPACE)
+
+
+def spawn_rngs(rng: RngLike, count: int) -> List[random.Random]:
+    """Create ``count`` independent child generators from ``rng``.
+
+    Used when an experiment fans out into repeated trials that must not
+    share generator state (e.g. parallel parameter sweeps).
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    parent = ensure_rng(rng)
+    return [random.Random(fresh_seed(parent)) for _ in range(count)]

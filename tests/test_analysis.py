@@ -1,0 +1,96 @@
+"""Sweep utilities (repro.analysis)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.sweeps import (
+    SweepResult,
+    TrialRecord,
+    aggregate,
+    loglog_slope,
+    sweep,
+)
+
+
+def _toy_metric(n, rng=None):
+    return {"value": float(n * n), "noise": float(rng or 0)}
+
+
+class TestSweep:
+    def test_grid_times_trials(self):
+        grid = [{"n": 2}, {"n": 3}]
+        result = sweep(_toy_metric, grid, trials=3, rng=1)
+        assert len(result.records) == 6
+        assert len(result.points()) == 2
+
+    def test_values_recorded(self):
+        result = sweep(_toy_metric, [{"n": 4}], trials=1, rng=2)
+        record = result.records[0]
+        assert record.param("n") == 4
+        assert record.value("value") == 16.0
+
+    def test_deterministic_under_seed(self):
+        r1 = sweep(_toy_metric, [{"n": 2}], trials=2, rng=9)
+        r2 = sweep(_toy_metric, [{"n": 2}], trials=2, rng=9)
+        assert [t.seed for t in r1.records] == [t.seed for t in r2.records]
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ValueError):
+            sweep(_toy_metric, [{"n": 2}], trials=0)
+
+    def test_aggregate(self):
+        result = sweep(_toy_metric, [{"n": 2}, {"n": 5}], trials=2, rng=3)
+        rows = aggregate(result, "value")
+        assert len(rows) == 2
+        point, mean, lo, hi = rows[1]
+        assert mean == lo == hi == 25.0
+
+
+class TestLogLogSlope:
+    def test_exact_power_law(self):
+        xs = [1, 2, 4, 8]
+        ys = [3 * x**2 for x in xs]
+        assert loglog_slope(xs, ys) == pytest.approx(2.0)
+
+    def test_linear(self):
+        xs = [10, 20, 40]
+        ys = [5 * x for x in xs]
+        assert loglog_slope(xs, ys) == pytest.approx(1.0)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            loglog_slope([1], [2])
+        with pytest.raises(ValueError):
+            loglog_slope([1, -1], [2, 3])
+        with pytest.raises(ValueError):
+            loglog_slope([2, 2], [3, 4])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    exponent=st.floats(0.25, 4.0),
+    scale=st.floats(0.1, 100.0),
+)
+def test_slope_recovers_exponent_property(exponent, scale):
+    xs = [2.0, 4.0, 8.0, 16.0]
+    ys = [scale * x**exponent for x in xs]
+    assert loglog_slope(xs, ys) == pytest.approx(exponent, rel=1e-6)
+
+
+class TestSweepWithLibrary:
+    def test_packing_sweep_end_to_end(self):
+        """A realistic sweep: packing size across k on Harary graphs."""
+        from repro.core.cds_packing import construct_cds_packing
+        from repro.graphs.generators import harary_graph
+
+        def run(k, rng=None):
+            g = harary_graph(k, 20)
+            result = construct_cds_packing(g, k, rng=rng)
+            return {"size": result.size, "trees": len(result.packing)}
+
+        result = sweep(run, [{"k": 3}, {"k": 5}], trials=2, rng=11)
+        rows = aggregate(result, "size")
+        assert all(mean > 0 for _, mean, _, _ in rows)

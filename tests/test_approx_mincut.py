@@ -1,0 +1,108 @@
+"""Tests for the Karger sparsification min-cut approximation ([32])."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.baselines.approx_mincut import (
+    sample_probability,
+    sparsified_min_cut,
+)
+from repro.baselines.mincut import edge_connectivity_exact
+from repro.errors import GraphValidationError
+from repro.graphs.generators import harary_graph, hypercube, torus_grid
+
+
+class TestSampleProbability:
+    def test_caps_at_one(self):
+        assert sample_probability(10, 1, 0.5) == 1.0
+
+    def test_decreases_with_connectivity(self):
+        low = sample_probability(1000, 10, 0.5)
+        high = sample_probability(1000, 100, 0.5)
+        assert high < low <= 1.0
+
+    def test_decreases_with_epsilon(self):
+        tight = sample_probability(1000, 100, 0.2)
+        loose = sample_probability(1000, 100, 0.8)
+        assert loose < tight
+
+    def test_rejects_bad_floor(self):
+        with pytest.raises(GraphValidationError):
+            sample_probability(10, 0, 0.5)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(GraphValidationError):
+            sample_probability(10, 4, 0.0)
+        with pytest.raises(GraphValidationError):
+            sample_probability(10, 4, 1.0)
+
+
+class TestSparsifiedMinCut:
+    def test_exact_on_small_graphs(self):
+        """At this scale p saturates to 1: exact answers, verifying the
+        plumbing end to end."""
+        for graph in [harary_graph(4, 14), hypercube(3), torus_grid(3, 4)]:
+            result = sparsified_min_cut(graph, epsilon=0.5, rng=1)
+            assert result.estimate == edge_connectivity_exact(graph)
+            assert result.sample_probability == 1.0
+            assert result.compression == 1.0
+
+    def test_cut_side_is_nontrivial(self):
+        graph = harary_graph(4, 16)
+        result = sparsified_min_cut(graph, epsilon=0.5, rng=2)
+        assert 0 < len(result.cut_side) < graph.number_of_nodes()
+
+    def test_sparsification_kicks_in_on_dense_graphs(self):
+        """K_60 has λ = 59 ≫ the sampling threshold: the skeleton must
+        be strictly smaller and the estimate within (1 ± ε)·λ."""
+        graph = nx.complete_graph(60)
+        lam = graph.number_of_nodes() - 1
+        result = sparsified_min_cut(graph, epsilon=0.5, rng=3)
+        assert result.sample_probability < 1.0
+        assert result.skeleton_edges < result.original_edges
+        assert 0.4 * lam <= result.estimate <= 1.6 * lam
+
+    def test_estimate_scales_by_probability(self):
+        graph = nx.complete_graph(50)
+        result = sparsified_min_cut(graph, epsilon=0.6, rng=4)
+        assert result.estimate == pytest.approx(
+            result.skeleton_cut_value / result.sample_probability
+        )
+
+    def test_explicit_floor_of_one_is_exact(self):
+        graph = harary_graph(6, 18)
+        result = sparsified_min_cut(
+            graph, epsilon=0.5, connectivity_floor=1, rng=5
+        )
+        assert result.estimate == edge_connectivity_exact(graph)
+
+    def test_rejects_disconnected(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (2, 3)])
+        with pytest.raises(GraphValidationError):
+            sparsified_min_cut(graph)
+
+    def test_rejects_single_node(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        with pytest.raises(GraphValidationError):
+            sparsified_min_cut(graph)
+
+    def test_deterministic_under_seed(self):
+        graph = nx.complete_graph(40)
+        first = sparsified_min_cut(graph, epsilon=0.5, rng=9)
+        second = sparsified_min_cut(graph, epsilon=0.5, rng=9)
+        assert first.estimate == second.estimate
+        assert first.skeleton_edges == second.skeleton_edges
+
+    def test_approximation_quality_over_trials(self):
+        """Mean relative error across seeds stays within ε on K_50."""
+        graph = nx.complete_graph(50)
+        lam = 49
+        errors = []
+        for seed in range(8):
+            result = sparsified_min_cut(graph, epsilon=0.5, rng=seed)
+            errors.append(abs(result.estimate - lam) / lam)
+        assert sum(errors) / len(errors) <= 0.5

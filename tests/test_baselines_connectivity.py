@@ -1,0 +1,212 @@
+"""Tests for the exact connectivity baselines (Even–Tarjan, Stoer–Wagner)."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.mincut import (
+    crossing_edges,
+    edge_connectivity_exact,
+    stoer_wagner_min_cut,
+)
+from repro.baselines.vertex_connectivity_exact import (
+    even_tarjan_vertex_connectivity,
+    local_vertex_connectivity_flow,
+)
+from repro.errors import GraphValidationError
+from repro.graphs.generators import (
+    clique_chain,
+    fat_cycle,
+    harary_graph,
+    hypercube,
+    torus_grid,
+)
+
+_hyp = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestLocalVertexConnectivity:
+    def test_path_graph_has_single_path(self):
+        graph = nx.path_graph(6)
+        assert local_vertex_connectivity_flow(graph, 0, 5) == 1
+
+    def test_cycle_has_two_paths(self):
+        graph = nx.cycle_graph(8)
+        assert local_vertex_connectivity_flow(graph, 0, 4) == 2
+
+    def test_complete_graph_adjacent_pair(self):
+        graph = nx.complete_graph(6)
+        assert local_vertex_connectivity_flow(graph, 0, 1) == 5
+
+    def test_adjacent_pair_in_sparse_graph(self):
+        graph = nx.path_graph(4)
+        assert local_vertex_connectivity_flow(graph, 1, 2) == 1
+
+    def test_rejects_identical_terminals(self):
+        with pytest.raises(GraphValidationError):
+            local_vertex_connectivity_flow(nx.path_graph(3), 1, 1)
+
+    def test_rejects_missing_terminal(self):
+        with pytest.raises(GraphValidationError):
+            local_vertex_connectivity_flow(nx.path_graph(3), 0, 99)
+
+    @_hyp
+    @given(seed=st.integers(0, 10_000))
+    def test_matches_networkx_local(self, seed):
+        rng = random.Random(seed)
+        graph = nx.gnp_random_graph(9, 0.5, seed=rng.randint(0, 10**6))
+        if not nx.is_connected(graph):
+            return
+        nodes = sorted(graph.nodes())
+        s, t = rng.sample(nodes, 2)
+        expected = nx.connectivity.local_node_connectivity(graph, s, t)
+        assert local_vertex_connectivity_flow(graph, s, t) == expected
+
+
+class TestEvenTarjan:
+    @pytest.mark.parametrize(
+        "builder,expected",
+        [
+            (lambda: nx.path_graph(7), 1),
+            (lambda: nx.cycle_graph(9), 2),
+            (lambda: nx.complete_graph(5), 4),
+            (lambda: hypercube(4), 4),
+            (lambda: harary_graph(4, 16), 4),
+            (lambda: harary_graph(5, 17), 5),
+            (lambda: clique_chain(4, 4), 4),
+            (lambda: fat_cycle(3, 5), 6),
+            (lambda: torus_grid(4, 5), 4),
+            (lambda: nx.petersen_graph(), 3),
+            (lambda: nx.complete_bipartite_graph(3, 7), 3),
+        ],
+    )
+    def test_known_families(self, builder, expected):
+        value, _ = even_tarjan_vertex_connectivity(builder())
+        assert value == expected
+
+    def test_disconnected_graph_is_zero(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (2, 3)])
+        assert even_tarjan_vertex_connectivity(graph) == (0, None)
+
+    def test_single_node(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        assert even_tarjan_vertex_connectivity(graph) == (0, None)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphValidationError):
+            even_tarjan_vertex_connectivity(nx.Graph())
+
+    def test_complete_graph_has_no_cut(self):
+        value, cut = even_tarjan_vertex_connectivity(
+            nx.complete_graph(6), with_cut=True
+        )
+        assert value == 5
+        assert cut is None
+
+    def test_returned_cut_disconnects(self):
+        graph = clique_chain(3, 4)
+        value, cut = even_tarjan_vertex_connectivity(graph, with_cut=True)
+        assert cut is not None
+        assert len(cut) == value
+        remainder = graph.copy()
+        remainder.remove_nodes_from(cut)
+        assert remainder.number_of_nodes() > 0
+        assert not nx.is_connected(remainder)
+
+    def test_star_cut_is_center(self):
+        graph = nx.star_graph(5)
+        value, cut = even_tarjan_vertex_connectivity(graph, with_cut=True)
+        assert value == 1
+        assert cut == {0}
+
+    @_hyp
+    @given(seed=st.integers(0, 10_000), n=st.integers(4, 11))
+    def test_matches_networkx_global(self, seed, n):
+        graph = nx.gnp_random_graph(n, 0.5, seed=seed)
+        if graph.number_of_nodes() and nx.is_connected(graph):
+            value, _ = even_tarjan_vertex_connectivity(graph)
+            assert value == nx.node_connectivity(graph)
+
+
+class TestStoerWagner:
+    @pytest.mark.parametrize(
+        "builder,expected",
+        [
+            (lambda: nx.path_graph(6), 1),
+            (lambda: nx.cycle_graph(7), 2),
+            (lambda: nx.complete_graph(6), 5),
+            (lambda: hypercube(3), 3),
+            (lambda: harary_graph(4, 14), 4),
+            (lambda: torus_grid(4, 4), 4),
+            (lambda: nx.petersen_graph(), 3),
+        ],
+    )
+    def test_known_families(self, builder, expected):
+        graph = builder()
+        value, side = stoer_wagner_min_cut(graph)
+        assert int(value) == expected
+        assert 0 < len(side) < graph.number_of_nodes()
+
+    def test_cut_side_certifies_value(self):
+        graph = clique_chain(4, 5)
+        value, side = stoer_wagner_min_cut(graph)
+        assert len(crossing_edges(graph, side)) == int(value)
+
+    def test_weighted_cut(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "b", weight=3.0)
+        graph.add_edge("b", "c", weight=1.5)
+        graph.add_edge("a", "c", weight=1.0)
+        value, side = stoer_wagner_min_cut(graph)
+        assert value == pytest.approx(2.5)
+        assert side in ({"c"}, {"a", "b"})
+
+    def test_rejects_disconnected(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (2, 3)])
+        with pytest.raises(GraphValidationError):
+            stoer_wagner_min_cut(graph)
+
+    def test_rejects_single_node(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        with pytest.raises(GraphValidationError):
+            stoer_wagner_min_cut(graph)
+
+    def test_rejects_negative_weight(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, weight=-2.0)
+        with pytest.raises(GraphValidationError):
+            stoer_wagner_min_cut(graph)
+
+    def test_edge_connectivity_exact_disconnected(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (2, 3)])
+        assert edge_connectivity_exact(graph) == 0
+
+    @_hyp
+    @given(seed=st.integers(0, 10_000), n=st.integers(4, 12))
+    def test_matches_networkx_edge_connectivity(self, seed, n):
+        graph = nx.gnp_random_graph(n, 0.5, seed=seed)
+        if graph.number_of_nodes() and nx.is_connected(graph):
+            assert edge_connectivity_exact(graph) == nx.edge_connectivity(graph)
+
+    def test_cut_value_matches_crossing_weight_randomized(self):
+        rng = random.Random(7)
+        for _ in range(10):
+            graph = nx.gnp_random_graph(10, 0.5, seed=rng.randint(0, 10**6))
+            if not nx.is_connected(graph):
+                continue
+            value, side = stoer_wagner_min_cut(graph)
+            assert len(crossing_edges(graph, side)) == int(value)

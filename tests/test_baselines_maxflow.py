@@ -1,0 +1,178 @@
+"""Unit + property tests for the Dinic max-flow baseline."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.maxflow import FlowNetwork, max_flow, min_cut
+from repro.errors import GraphValidationError
+
+
+def _diamond() -> FlowNetwork:
+    """s → {a, b} → t with asymmetric capacities and a cross edge."""
+    net = FlowNetwork()
+    net.add_edge("s", "a", 10)
+    net.add_edge("s", "b", 5)
+    net.add_edge("a", "b", 15)
+    net.add_edge("a", "t", 4)
+    net.add_edge("b", "t", 9)
+    return net
+
+
+class TestFlowNetworkBasics:
+    def test_single_arc(self):
+        net = FlowNetwork()
+        net.add_edge("s", "t", 7)
+        assert net.max_flow("s", "t") == 7
+
+    def test_serial_arcs_bottleneck(self):
+        net = FlowNetwork()
+        net.add_edge("s", "m", 9)
+        net.add_edge("m", "t", 3)
+        assert net.max_flow("s", "t") == 3
+
+    def test_parallel_arcs_add(self):
+        net = FlowNetwork()
+        net.add_edge("s", "t", 2)
+        net.add_edge("s", "t", 3)
+        assert net.max_flow("s", "t") == 5
+
+    def test_diamond_value(self):
+        assert _diamond().max_flow("s", "t") == 13
+
+    def test_no_path_means_zero(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 4)
+        net.add_edge("t", "b", 4)  # arc *out of* t; no s→t path
+        assert net.max_flow("s", "t") == 0
+
+    def test_antiparallel_arcs(self):
+        net = FlowNetwork()
+        net.add_edge("s", "t", 6)
+        net.add_edge("t", "s", 2)
+        assert net.max_flow("s", "t") == 6
+
+    def test_zero_capacity_arc(self):
+        net = FlowNetwork()
+        net.add_edge("s", "t", 0)
+        assert net.max_flow("s", "t") == 0
+
+    def test_reset_flow_allows_reuse(self):
+        net = _diamond()
+        assert net.max_flow("s", "t") == 13
+        net.reset_flow()
+        assert net.max_flow("s", "t") == 13
+
+    def test_arc_count_excludes_twins(self):
+        assert _diamond().arc_count == 5
+
+    def test_rejects_negative_capacity(self):
+        net = FlowNetwork()
+        with pytest.raises(GraphValidationError):
+            net.add_edge("s", "t", -1)
+
+    def test_rejects_self_loop(self):
+        net = FlowNetwork()
+        with pytest.raises(GraphValidationError):
+            net.add_edge("s", "s", 1)
+
+    def test_rejects_equal_terminals(self):
+        net = _diamond()
+        with pytest.raises(GraphValidationError):
+            net.max_flow("s", "s")
+
+    def test_rejects_unknown_terminal(self):
+        net = _diamond()
+        with pytest.raises(GraphValidationError):
+            net.max_flow("s", "missing")
+
+
+class TestMinCut:
+    def test_cut_separates_and_matches_value(self):
+        net = _diamond()
+        value, side = min_cut(net, "s", "t")
+        assert value == 13
+        assert "s" in side
+        assert "t" not in side
+
+    def test_cut_capacity_equals_flow_value(self):
+        """Duality check on a random directed network."""
+        rng = random.Random(42)
+        for _ in range(25):
+            n = rng.randint(4, 10)
+            arcs = []
+            net = FlowNetwork()
+            nodes = list(range(n))
+            for u in nodes:
+                for v in nodes:
+                    if u != v and rng.random() < 0.4:
+                        capacity = rng.randint(1, 9)
+                        net.add_edge(u, v, capacity)
+                        arcs.append((u, v, capacity))
+            if not net.has_node(0) or not net.has_node(n - 1):
+                continue
+            value, side = min_cut(net, 0, n - 1)
+            crossing = sum(
+                capacity
+                for u, v, capacity in arcs
+                if u in side and v not in side
+            )
+            assert crossing == value
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(0, 10_000), n=st.integers(4, 12))
+def test_matches_networkx_on_random_digraphs(seed, n):
+    """Flow value agrees with networkx's independent implementation."""
+    rng = random.Random(seed)
+    net = FlowNetwork()
+    nx_graph = nx.DiGraph()
+    nx_graph.add_nodes_from(range(n))
+    for u in range(n):
+        for v in range(n):
+            if u != v and rng.random() < 0.35:
+                capacity = rng.randint(1, 12)
+                net.add_edge(u, v, capacity)
+                nx_graph.add_edge(u, v, capacity=capacity)
+    net.node_index(0)
+    net.node_index(n - 1)
+    expected = nx.maximum_flow_value(nx_graph, 0, n - 1)
+    assert net.max_flow(0, n - 1) == expected
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(0, 10_000))
+def test_unit_capacity_flow_equals_edge_disjoint_paths(seed):
+    """On unit capacities the flow counts edge-disjoint paths (Menger)."""
+    rng = random.Random(seed)
+    graph = nx.gnp_random_graph(10, 0.45, seed=rng.randint(0, 10**6))
+    if not nx.is_connected(graph):
+        return
+    net = FlowNetwork()
+    for u, v in graph.edges():
+        net.add_edge(u, v, 1)
+        net.add_edge(v, u, 1)
+    expected = len(list(nx.edge_disjoint_paths(graph, 0, 9)))
+    assert net.max_flow(0, 9) == expected
+
+
+def test_long_path_does_not_recurse():
+    """A 5000-arc path exercises the iterative blocking-flow DFS."""
+    net = FlowNetwork()
+    length = 5000
+    for i in range(length):
+        net.add_edge(i, i + 1, 2)
+    assert net.max_flow(0, length) == 2

@@ -1,0 +1,96 @@
+"""Tree-routed broadcast schedulers (Appendix A, Corollaries 1.4/1.5)."""
+
+import networkx as nx
+import pytest
+
+from repro.apps.broadcast import (
+    assign_messages_to_trees,
+    edge_broadcast,
+    vertex_broadcast,
+)
+from repro.core.cds_packing import construct_cds_packing
+from repro.core.spanning_packing import MwuParameters, fractional_spanning_tree_packing
+from repro.errors import GraphValidationError
+from repro.graphs.generators import harary_graph
+
+FAST = MwuParameters(epsilon=0.25, beta_factor=3.0)
+
+
+@pytest.fixture(scope="module")
+def dom_packing():
+    g = harary_graph(6, 24)
+    return construct_cds_packing(g, 6, rng=101).packing
+
+
+@pytest.fixture(scope="module")
+def span_packing():
+    g = harary_graph(5, 18)
+    return fractional_spanning_tree_packing(g, params=FAST, rng=102).packing
+
+
+class TestAssignment:
+    def test_messages_all_assigned(self, dom_packing):
+        assignment = assign_messages_to_trees(dom_packing.trees, 50, rng=1)
+        assert len(assignment) == 50
+        assert all(0 <= t < len(dom_packing.trees) for t in assignment.values())
+
+    def test_weight_proportionality_rough(self, dom_packing):
+        """With equal weights, assignment is near-uniform over trees."""
+        assignment = assign_messages_to_trees(dom_packing.trees, 600, rng=2)
+        counts = [0] * len(dom_packing.trees)
+        for t in assignment.values():
+            counts[t] += 1
+        expected = 600 / len(counts)
+        assert all(0.4 * expected <= c <= 2.0 * expected for c in counts)
+
+    def test_empty_packing_rejected(self, dom_packing):
+        with pytest.raises(GraphValidationError):
+            assign_messages_to_trees([], 3)
+
+
+class TestVertexBroadcast:
+    def test_all_messages_delivered(self, dom_packing):
+        sources = {i: i % 24 for i in range(12)}
+        out = vertex_broadcast(dom_packing, sources, rng=3)
+        assert out.n_messages == 12
+        assert out.rounds > 0
+
+    def test_throughput_scales_with_load(self, dom_packing):
+        """More messages => proportionally more rounds (steady throughput),
+        the Corollary 1.4 shape."""
+        small = vertex_broadcast(dom_packing, {i: i % 24 for i in range(8)}, rng=4)
+        large = vertex_broadcast(dom_packing, {i: i % 24 for i in range(32)}, rng=4)
+        assert large.rounds <= 10 * small.rounds
+        assert large.throughput >= 0.5 * small.throughput
+
+    def test_vertex_congestion_counted(self, dom_packing):
+        out = vertex_broadcast(dom_packing, {0: 0, 1: 5}, rng=5)
+        assert out.max_vertex_congestion >= 1
+        assert sum(out.node_transmissions.values()) >= 2
+
+    def test_single_message(self, dom_packing):
+        out = vertex_broadcast(dom_packing, {0: 7}, rng=6)
+        assert out.rounds >= 1
+        assert out.throughput <= 1.0
+
+
+class TestEdgeBroadcast:
+    def test_all_messages_delivered(self, span_packing):
+        sources = {i: i % 18 for i in range(10)}
+        out = edge_broadcast(span_packing, sources, rng=7)
+        assert out.n_messages == 10
+        assert out.rounds > 0
+
+    def test_edge_congestion_counted(self, span_packing):
+        out = edge_broadcast(span_packing, {0: 0, 1: 9}, rng=8)
+        assert out.max_edge_congestion >= 1
+
+    def test_rounds_reasonable(self, span_packing):
+        """Completion within a small multiple of N/size + diameter."""
+        n_messages = 12
+        out = edge_broadcast(
+            span_packing, {i: i % 18 for i in range(n_messages)}, rng=9
+        )
+        g = span_packing.graph
+        bound = 20 * (n_messages / max(span_packing.size, 1) + nx.diameter(g) + 1)
+        assert out.rounds <= bound

@@ -1,0 +1,115 @@
+"""Tests for the ``repro`` command-line interface."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.cli import build_parser, main, parse_graph_spec
+from repro.errors import GraphValidationError
+
+
+class TestGraphSpecParsing:
+    @pytest.mark.parametrize(
+        "spec,nodes",
+        [
+            ("harary:4,16", 16),
+            ("clique_chain:3,4", 12),
+            ("hypercube:3", 8),
+            ("torus:3,4", 12),
+            ("complete:7", 7),
+            ("regular:4,10", 10),
+            ("regular:4,10,3", 10),
+            ("gnp:12,0.5", 12),
+        ],
+    )
+    def test_valid_specs(self, spec, nodes):
+        graph = parse_graph_spec(spec)
+        assert graph.number_of_nodes() == nodes
+        assert nx.is_connected(graph)
+
+    def test_fat_cycle_spec(self):
+        graph = parse_graph_spec("fat_cycle:3,5")
+        assert graph.number_of_nodes() == 15
+
+    def test_unknown_family(self):
+        with pytest.raises(GraphValidationError):
+            parse_graph_spec("mystery:1,2")
+
+    def test_wrong_arity(self):
+        with pytest.raises(GraphValidationError):
+            parse_graph_spec("harary:4")
+
+    def test_non_integer_argument(self):
+        with pytest.raises(GraphValidationError):
+            parse_graph_spec("harary:4,abc")
+
+    def test_gnp_needs_probability(self):
+        with pytest.raises(GraphValidationError):
+            parse_graph_spec("gnp:12")
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "PODC 2014" in out
+        assert "repro.baselines" in out
+
+    def test_connectivity(self, capsys):
+        assert main(["connectivity", "harary:4,12"]) == 0
+        out = capsys.readouterr().out
+        assert "vertex connectivity k = 4" in out
+        assert "edge connectivity   λ = 4" in out
+
+    def test_pack_cds(self, capsys):
+        assert main(["pack-cds", "harary:4,16", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "packing size" in out
+        assert "verification: OK" in out
+
+    def test_pack_cds_verbose_lists_trees(self, capsys):
+        assert main(
+            ["pack-cds", "harary:4,16", "--seed", "3", "--verbose"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "tree " in out
+
+    def test_pack_spanning(self, capsys):
+        assert main(["pack-spanning", "hypercube:3", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Tutte bound" in out
+        assert "verification: OK" in out
+
+    def test_broadcast(self, capsys):
+        assert main(
+            ["broadcast", "harary:4,16", "--messages", "8", "--seed", "7"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+
+    def test_experiments_lists_index(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in ("E1", "E7", "E13", "E17", "E19"):
+            assert exp_id in out
+
+    def test_report(self, capsys):
+        assert main(["report", "harary:4,12", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "# repro measurement report" in out
+        assert "| harary:4,12 |" in out
+
+    def test_error_exit_code(self, capsys):
+        assert main(["connectivity", "mystery:1"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0

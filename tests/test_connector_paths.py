@@ -1,0 +1,88 @@
+"""Connector paths (Section 4.1): Lemma 4.3 abundance + minimality rules."""
+
+import networkx as nx
+import pytest
+
+from repro.core.connector_paths import (
+    component_connector_profile,
+    count_disjoint_connector_paths,
+    long_connector_pairs,
+    short_connector_internals,
+)
+from repro.graphs.connectivity import is_dominating_set, vertex_connectivity
+from repro.graphs.generators import harary_graph
+
+
+def _dominating_two_component_class(graph, rng_seed=3):
+    """Build a dominating class with >= 2 components for testing."""
+    import random
+
+    rand = random.Random(rng_seed)
+    nodes = list(graph.nodes())
+    # Two antipodal balls: works on Harary-style circulants.
+    n = len(nodes)
+    comp_a = {nodes[i] for i in range(0, n // 4)}
+    comp_b = {nodes[i] for i in range(n // 2, n // 2 + n // 4)}
+    members = comp_a | comp_b
+    assert is_dominating_set(graph, members)
+    return members, comp_a, comp_b
+
+
+class TestShortConnectors:
+    def test_simple_path_case(self):
+        # 0 - 1 - 2: class {0, 2}; vertex 1 is a short connector internal.
+        g = nx.path_graph(3)
+        internals = short_connector_internals(g, {0}, {0, 2})
+        assert internals == {1}
+
+    def test_internal_must_be_outside_class(self):
+        g = nx.path_graph(4)
+        internals = short_connector_internals(g, {0}, {0, 1, 3})
+        assert 1 not in internals
+
+    def test_no_shorts_when_far(self):
+        g = nx.path_graph(5)  # 0-1-2-3-4, class {0,4}: distance 4
+        internals = short_connector_internals(g, {0}, {0, 4})
+        assert internals == set()
+
+
+class TestLongConnectors:
+    def test_two_hop_bridge(self):
+        g = nx.path_graph(4)  # 0-1-2-3, class {0,3}
+        pairs = long_connector_pairs(g, {0}, {0, 3})
+        assert (1, 2) in pairs
+
+    def test_minimality_condition_c(self):
+        # Diamond: 0-1, 1-3, 0-2, 2-3 and extra 1-0', where both 1 and 2
+        # see both sides -> they are short connectors, not long ones.
+        g = nx.Graph([(0, 1), (1, 3), (0, 2), (2, 3)])
+        pairs = long_connector_pairs(g, {0}, {0, 3})
+        assert pairs == []
+        shorts = short_connector_internals(g, {0}, {0, 3})
+        assert shorts == {1, 2}
+
+
+class TestAbundanceLemma:
+    @pytest.mark.parametrize("k,n", [(4, 16), (6, 24)])
+    def test_lemma_4_3_bound(self, k, n):
+        """A dominating class with two components has >= k disjoint
+        connector paths for each component (Lemma 4.3)."""
+        g = harary_graph(k, n)
+        members, comp_a, comp_b = _dominating_two_component_class(g)
+        for comp in (comp_a, comp_b):
+            count = count_disjoint_connector_paths(g, comp, members)
+            assert count.total >= k, (
+                f"component has only {count.total} < k={k} connector paths"
+            )
+
+    def test_profile_empty_for_connected_class(self):
+        g = harary_graph(4, 12)
+        members = set(g.nodes())
+        assert component_connector_profile(g, members) == []
+
+    def test_profile_covers_all_components(self):
+        g = harary_graph(4, 16)
+        members, comp_a, comp_b = _dominating_two_component_class(g)
+        profile = component_connector_profile(g, members)
+        comps = {frozenset(c) for c, _ in profile}
+        assert frozenset(comp_a) in comps and frozenset(comp_b) in comps

@@ -1,0 +1,79 @@
+"""Appendix G.2: the two-party simulation and the reduction loop."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.lowerbounds.construction import build_g_xy
+from repro.lowerbounds.disjointness import (
+    decide_disjointness_via_connectivity,
+    simulate_protocol_two_party,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return build_g_xy(h=3, ell=3, w=5, x_set={1, 2}, y_set={2})
+
+
+def _counter_protocol(node, rnd, inbox):
+    """Every node broadcasts the number of messages it heard last round."""
+    return ("c", len(inbox))
+
+
+def _silent_protocol(node, rnd, inbox):
+    return None
+
+
+class TestTwoPartySimulation:
+    def test_bits_within_2bt(self, instance):
+        sim = simulate_protocol_two_party(instance, _counter_protocol, rounds=3)
+        assert sim.within_budget
+        assert sim.bits_exchanged <= sim.bit_budget
+
+    def test_silent_protocol_minimal_bits(self, instance):
+        sim = simulate_protocol_two_party(instance, _silent_protocol, rounds=2)
+        # A silent a/b still costs 1 accounting bit per round each.
+        assert sim.bits_exchanged == 4
+
+    def test_rounds_beyond_ell_rejected(self, instance):
+        with pytest.raises(ProtocolError):
+            simulate_protocol_two_party(
+                instance, _counter_protocol, rounds=instance.ell + 1
+            )
+
+    def test_replay_matches_ground_truth(self, instance):
+        """The consistency check inside the simulator (Lemma G.6's
+        induction) must hold — it raises on divergence."""
+        simulate_protocol_two_party(instance, _counter_protocol, rounds=2)
+
+    def test_bits_scale_linearly_with_rounds(self, instance):
+        s1 = simulate_protocol_two_party(instance, _counter_protocol, rounds=1)
+        s3 = simulate_protocol_two_party(instance, _counter_protocol, rounds=3)
+        assert s3.bits_exchanged >= 2 * s1.bits_exchanged
+
+
+class TestReduction:
+    def test_decides_intersecting(self):
+        inst = build_g_xy(h=4, ell=2, w=6, x_set={1, 4}, y_set={2, 4})
+        assert decide_disjointness_via_connectivity(inst) is False
+
+    def test_decides_disjoint(self):
+        inst = build_g_xy(h=4, ell=2, w=6, x_set={1, 3}, y_set={2, 4})
+        assert decide_disjointness_via_connectivity(inst) is True
+
+    def test_grid_of_instances(self):
+        """The reduction decides every promise instance on a small grid."""
+        import itertools
+
+        h = 3
+        subsets = [
+            frozenset(c)
+            for r in range(h + 1)
+            for c in itertools.combinations(range(1, h + 1), r)
+        ]
+        for x_set, y_set in itertools.product(subsets, subsets):
+            if len(x_set & y_set) > 1:
+                continue
+            inst = build_g_xy(h=h, ell=1, w=6, x_set=x_set, y_set=y_set)
+            verdict = decide_disjointness_via_connectivity(inst)
+            assert verdict == (not (x_set & y_set))

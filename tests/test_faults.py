@@ -1,0 +1,189 @@
+"""Failure-injection tests: crash-stop and message loss in the simulator."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphValidationError
+from repro.graphs.generators import harary_graph
+from repro.simulator.algorithms.flooding import flood_extremum
+from repro.simulator.faults import (
+    FaultPlan,
+    RetransmittingFloodProgram,
+    simulate_with_faults,
+)
+from repro.simulator.network import Network
+from repro.simulator.runner import Model, simulate
+
+
+class TestFaultPlan:
+    def test_defaults_are_benign(self):
+        plan = FaultPlan()
+        assert not plan.is_crashed("v", 10)
+        assert not plan.should_drop()
+
+    def test_crash_schedule(self):
+        plan = FaultPlan(crash_rounds={"v": 3})
+        assert not plan.is_crashed("v", 2)
+        assert plan.is_crashed("v", 3)
+        assert plan.is_crashed("v", 99)
+        assert not plan.is_crashed("u", 99)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(GraphValidationError):
+            FaultPlan(drop_probability=1.5)
+
+    def test_rejects_negative_crash_round(self):
+        with pytest.raises(GraphValidationError):
+            FaultPlan(crash_rounds={"v": -1})
+
+    def test_drop_decisions_reproducible(self):
+        first = FaultPlan(drop_probability=0.5, rng=7)
+        second = FaultPlan(drop_probability=0.5, rng=7)
+        assert [first.should_drop() for _ in range(50)] == [
+            second.should_drop() for _ in range(50)
+        ]
+
+    def test_certain_drop(self):
+        plan = FaultPlan(drop_probability=1.0, rng=0)
+        assert all(plan.should_drop() for _ in range(10))
+
+
+class TestCrashInjection:
+    def test_crashed_node_goes_silent(self):
+        """Crash the minimum-value node of a path before its first
+        transmission: its value must never spread."""
+        graph = nx.path_graph(6)
+        network = Network(graph, rng=1)
+        values = {v: 100 + v for v in graph.nodes()}
+        values[0] = 1  # the global minimum, held by the node we kill
+        plan = FaultPlan(crash_rounds={0: 1})
+        result = simulate_with_faults(
+            network,
+            lambda v: RetransmittingFloodProgram(values[v], horizon=15),
+            plan,
+        )
+        assert result.output_of(5) == 101  # min among survivors
+        assert result.output_of(1) == 101
+
+    def test_crash_mid_protocol_partitions_knowledge(self):
+        """Killing the middle of a path at round 2 lets the minimum cross
+        only partway."""
+        graph = nx.path_graph(7)
+        network = Network(graph, rng=1)
+        values = {v: 50 + v for v in graph.nodes()}
+        values[0] = 1
+        plan = FaultPlan(crash_rounds={3: 2})
+        result = simulate_with_faults(
+            network,
+            lambda v: RetransmittingFloodProgram(values[v], horizon=20),
+            plan,
+        )
+        # Node 2 heard the minimum before the crash barrier formed…
+        assert result.output_of(2) == 1
+        # …but node 6 can never hear it (node 3 died holding it); the
+        # best value past the barrier is node 3's own 53, which escaped
+        # to node 4 in round 1 before the round-2 crash.
+        assert result.output_of(6) == 53
+
+    def test_crash_at_round_zero_suppresses_start_traffic(self):
+        graph = nx.path_graph(3)
+        network = Network(graph, rng=1)
+        plan = FaultPlan(crash_rounds={1: 0})
+        result = simulate_with_faults(
+            network,
+            lambda v: RetransmittingFloodProgram(v, horizon=8),
+            plan,
+        )
+        # Node 1's value (the middle node) never reaches the ends; each
+        # endpoint only ever sees its own value.
+        assert result.output_of(0) == 0
+        assert result.output_of(2) == 2
+
+    def test_live_nodes_still_halt(self):
+        graph = nx.cycle_graph(8)
+        network = Network(graph, rng=1)
+        plan = FaultPlan(crash_rounds={0: 1, 1: 1})
+        result = simulate_with_faults(
+            network,
+            lambda v: RetransmittingFloodProgram(v, horizon=10),
+            plan,
+        )
+        assert result.halted
+
+
+class TestDropInjection:
+    def test_quiescence_flood_can_stall_under_loss(self):
+        """The non-retransmitting flood drops its one chance to forward —
+        downstream nodes keep their stale value (the failure mode the
+        retransmitting variant exists to fix)."""
+        graph = nx.path_graph(8)
+        network = Network(graph, rng=1)
+        values = {v: 100 + v for v in graph.nodes()}
+        values[0] = 1
+        plan = FaultPlan(drop_probability=1.0, rng=3)
+        from repro.simulator.algorithms.flooding import ExtremumFloodProgram
+
+        result = simulate_with_faults(
+            network,
+            lambda v: ExtremumFloodProgram(values[v]),
+            plan,
+        )
+        assert result.output_of(7) == 107  # never learned the minimum
+
+    def test_retransmission_defeats_heavy_loss(self):
+        """50% i.i.d. loss with a generous horizon still floods a Harary
+        graph completely."""
+        graph = harary_graph(4, 16)
+        network = Network(graph, rng=1)
+        values = {v: v for v in graph.nodes()}
+        plan = FaultPlan(drop_probability=0.5, rng=5)
+        result = simulate_with_faults(
+            network,
+            lambda v: RetransmittingFloodProgram(values[v], horizon=60),
+            plan,
+        )
+        for v in graph.nodes():
+            assert result.output_of(v) == 0
+
+    def test_zero_probability_matches_reliable_run(self):
+        graph = harary_graph(4, 12)
+        network = Network(graph, rng=1)
+        values = {v: v for v in graph.nodes()}
+        faulty = simulate_with_faults(
+            network,
+            lambda v: RetransmittingFloodProgram(values[v], horizon=12),
+            FaultPlan(drop_probability=0.0, rng=9),
+        )
+        reliable = flood_extremum(network, values)
+        for v in graph.nodes():
+            assert faulty.output_of(v) == reliable.output_of(v)
+
+
+class TestRetransmittingProgram:
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(GraphValidationError):
+            RetransmittingFloodProgram(1, horizon=0)
+
+    def test_reliable_flood_matches_plain_flood(self):
+        graph = nx.cycle_graph(9)
+        network = Network(graph, rng=2)
+        values = {v: (v * 7) % 9 for v in graph.nodes()}
+        result = simulate(
+            network,
+            lambda v: RetransmittingFloodProgram(values[v], horizon=12),
+            model=Model.V_CONGEST,
+        )
+        assert all(result.output_of(v) == 0 for v in graph.nodes())
+
+    def test_maximize_mode(self):
+        graph = nx.path_graph(5)
+        network = Network(graph, rng=2)
+        result = simulate(
+            network,
+            lambda v: RetransmittingFloodProgram(
+                v, horizon=10, minimize=False
+            ),
+        )
+        assert all(result.output_of(v) == 4 for v in graph.nodes())

@@ -1,0 +1,115 @@
+"""Unit tests for the figure renderers (repro.analysis.figures)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.analysis.figures import (
+    BridgingFigure,
+    ConnectorFigure,
+    LowerBoundFigure,
+    figure1_bridging_graph,
+    figure2_connector_paths,
+    figure3_construction,
+)
+from repro.graphs.generators import harary_graph
+from repro.lowerbounds.construction import build_g_xy, build_h_xy
+
+
+class TestFigure1:
+    def test_structure_and_render(self):
+        fig = figure1_bridging_graph(
+            harary_graph(6, 30), n_classes=12, layers=6, rng=3
+        )
+        assert fig.layer == 4
+        assert len(fig.components_per_class) == 12
+        assert fig.excess_after <= fig.excess_before
+        assert fig.matched >= 0
+        assert fig.random_type2 >= 0
+        text = fig.render()
+        assert "[Figure 1]" in text
+        assert f"layer {fig.layer}" in text
+        assert "maximal matching" in text
+
+    def test_deterministic_under_seed(self):
+        graph = harary_graph(4, 20)
+        first = figure1_bridging_graph(graph, n_classes=8, layers=6, rng=7)
+        second = figure1_bridging_graph(graph, n_classes=8, layers=6, rng=7)
+        assert first.render() == second.render()
+
+    def test_render_lists_all_classes(self):
+        fig = figure1_bridging_graph(
+            harary_graph(4, 16), n_classes=5, layers=6, rng=1
+        )
+        text = fig.render()
+        for class_id in range(5):
+            assert f"class {class_id}:" in text
+
+
+class TestFigure2:
+    def test_counts_match_inputs(self):
+        graph = harary_graph(4, 20)
+        members = set(range(0, 20, 2))  # every other node
+        component = {0, 2, 4}
+        fig = figure2_connector_paths(graph, component, members)
+        assert fig.component_size == 3
+        assert fig.class_size == 10
+        text = fig.render()
+        assert "[Figure 2]" in text
+        assert "short connector paths" in text
+        assert "long connector paths" in text
+
+    def test_internals_disjoint_from_class(self):
+        graph = harary_graph(4, 20)
+        members = set(range(0, 20, 2))
+        component = {0, 2}
+        fig = figure2_connector_paths(graph, component, members)
+        for internal in fig.short_internals:
+            assert internal not in members
+        for u, w in fig.long_pairs:
+            assert u not in members
+            assert w not in members
+
+    def test_long_pairs_rendered(self):
+        """The render lists up to six long paths in C --- u --- w --- C'
+        caption format when any exist."""
+        fig = ConnectorFigure(
+            component_size=2,
+            class_size=4,
+            short_internals=[],
+            long_pairs=[(10, 11), (12, 13)],
+        )
+        text = fig.render()
+        assert "10 (type 2)" in text
+        assert "13 (type 3)" in text
+
+
+class TestFigure3:
+    def test_weighted_instance(self):
+        inst = build_h_xy(5, 4, {1, 2}, {2, 4})
+        fig = figure3_construction(inst)
+        assert fig.h == 5
+        assert fig.ell == 4
+        assert fig.n_heavy == (5 + 1) * (2 * 4)
+        assert fig.n_encoding == len({1, 2}) + len({2, 4})
+        assert fig.diameter <= 3
+        text = fig.render()
+        assert "[Figure 3]" in text
+        assert "X = [1, 2]" in text
+        assert "Y = [2, 4]" in text
+
+    def test_blown_up_instance(self):
+        inst = build_g_xy(4, 3, 3, {1}, {1})
+        fig = figure3_construction(inst)
+        assert fig.w == 3
+        assert fig.diameter <= 3
+        # Heavy clique nodes: (h+1) paths × 2ℓ columns × w copies.
+        assert fig.n_heavy == (4 + 1) * (2 * 3) * 3
+
+    def test_gadget_degrees_cover_halves(self):
+        inst = build_h_xy(4, 4, {1, 3}, {2})
+        fig = figure3_construction(inst)
+        # a and b each cover roughly half the heavy nodes plus their
+        # encoding nodes and each other.
+        assert fig.degree_a + fig.degree_b >= fig.n_heavy

@@ -1,0 +1,115 @@
+"""Generators must hit their advertised connectivity/diameter parameters."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphValidationError
+from repro.graphs.connectivity import edge_connectivity, vertex_connectivity
+from repro.graphs.generators import (
+    clique_chain,
+    fat_cycle,
+    gnp_connected,
+    harary_graph,
+    hypercube,
+    random_k_connected,
+    random_regular_connected,
+    torus_grid,
+)
+
+
+class TestHarary:
+    @pytest.mark.parametrize("k,n", [(2, 8), (3, 9), (4, 20), (5, 12), (6, 15)])
+    def test_connectivity_exact(self, k, n):
+        g = harary_graph(k, n)
+        assert vertex_connectivity(g) == k
+        assert edge_connectivity(g) == k
+
+    @pytest.mark.parametrize("k,n", [(2, 10), (4, 11)])
+    def test_edge_count_minimal(self, k, n):
+        g = harary_graph(k, n)
+        assert g.number_of_edges() == -(-k * n // 2)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(GraphValidationError):
+            harary_graph(1, 10)
+        with pytest.raises(GraphValidationError):
+            harary_graph(5, 5)
+
+
+class TestCliqueChain:
+    def test_connectivity_is_k(self):
+        g = clique_chain(4, 6)
+        assert vertex_connectivity(g) == 4
+
+    def test_diameter_is_length_minus_one(self):
+        g = clique_chain(3, 7)
+        assert nx.diameter(g) == 6
+
+    def test_node_count(self):
+        assert clique_chain(5, 4).number_of_nodes() == 20
+
+    def test_single_block_is_clique(self):
+        g = clique_chain(4, 1)
+        assert g.number_of_edges() == 6
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(GraphValidationError):
+            clique_chain(0, 3)
+
+
+class TestFatCycle:
+    def test_connectivity_twice_width(self):
+        g = fat_cycle(2, 6)
+        assert vertex_connectivity(g) == 4
+
+    def test_diameter(self):
+        g = fat_cycle(2, 8)
+        assert nx.diameter(g) == 4
+
+    def test_rejects_short_cycle(self):
+        with pytest.raises(GraphValidationError):
+            fat_cycle(2, 2)
+
+
+class TestHypercubeAndTorus:
+    @pytest.mark.parametrize("d", [2, 3, 4])
+    def test_hypercube_connectivity(self, d):
+        g = hypercube(d)
+        assert g.number_of_nodes() == 2**d
+        assert vertex_connectivity(g) == d
+
+    def test_torus_connectivity(self):
+        g = torus_grid(4, 5)
+        assert vertex_connectivity(g) == 4
+
+    def test_integer_labels(self):
+        g = hypercube(3)
+        assert set(g.nodes()) == set(range(8))
+
+
+class TestRandomFamilies:
+    def test_random_regular_connected(self):
+        g = random_regular_connected(4, 20, rng=3)
+        assert nx.is_connected(g)
+        assert all(d == 4 for _, d in g.degree())
+
+    def test_random_regular_rejects_odd_product(self):
+        with pytest.raises(GraphValidationError):
+            random_regular_connected(3, 9, rng=1)
+
+    def test_random_k_connected_at_least_k(self):
+        g = random_k_connected(24, 4, rng=5)
+        assert vertex_connectivity(g) >= 4
+
+    def test_random_k_connected_small_n_complete(self):
+        g = random_k_connected(4, 5, rng=1)
+        assert g.number_of_edges() == 6
+
+    def test_gnp_connected(self):
+        g = gnp_connected(20, 0.3, rng=2)
+        assert nx.is_connected(g)
+
+    def test_determinism_under_seed(self):
+        g1 = random_regular_connected(4, 16, rng=42)
+        g2 = random_regular_connected(4, 16, rng=42)
+        assert set(g1.edges()) == set(g2.edges())

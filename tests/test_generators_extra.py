@@ -1,0 +1,139 @@
+"""Tests for the extended graph families (expander/bottleneck/geometric)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphValidationError
+from repro.graphs.connectivity import edge_connectivity, vertex_connectivity
+from repro.graphs.generators import (
+    barbell_bottleneck,
+    circulant_expander,
+    random_geometric_connected,
+)
+
+
+class TestCirculantExpander:
+    def test_default_jumps_structure(self):
+        graph = circulant_expander(32)
+        assert graph.number_of_nodes() == 32
+        assert nx.is_connected(graph)
+        # jumps 1, 2, 4 → 6-regular → connectivity 6 for circulants.
+        degrees = {d for _, d in graph.degree()}
+        assert degrees == {6}
+        assert vertex_connectivity(graph) == 6
+
+    def test_small_diameter(self):
+        graph = circulant_expander(64)
+        assert nx.diameter(graph) <= 10
+
+    def test_explicit_jumps(self):
+        graph = circulant_expander(12, jumps=[1, 3])
+        assert vertex_connectivity(graph) == 4
+        assert graph.has_edge(0, 3)
+        assert graph.has_edge(0, 11)
+
+    def test_duplicate_jumps_deduplicated(self):
+        graph = circulant_expander(10, jumps=[1, 1, 2])
+        assert {d for _, d in graph.degree()} == {4}
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(GraphValidationError):
+            circulant_expander(2)
+
+    def test_rejects_bad_jumps(self):
+        with pytest.raises(GraphValidationError):
+            circulant_expander(10, jumps=[0])
+        with pytest.raises(GraphValidationError):
+            circulant_expander(10, jumps=[9])
+
+
+class TestBarbellBottleneck:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_connectivity_is_exactly_k(self, k):
+        graph = barbell_bottleneck(k, 12)
+        assert vertex_connectivity(graph) == k
+        assert edge_connectivity(graph) == k
+
+    def test_bridge_edges_are_the_min_cut(self):
+        k, blob = 3, 12
+        graph = barbell_bottleneck(k, blob)
+        without_bridges = graph.copy()
+        without_bridges.remove_edges_from(
+            [(i, blob + i) for i in range(k)]
+        )
+        assert not nx.is_connected(without_bridges)
+
+    def test_blobs_are_internally_better_connected(self):
+        graph = barbell_bottleneck(2, 10)
+        left = graph.subgraph(range(10))
+        assert vertex_connectivity(left.copy()) > 2
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(GraphValidationError):
+            barbell_bottleneck(0, 10)
+        with pytest.raises(GraphValidationError):
+            barbell_bottleneck(5, 5)
+
+
+class TestRandomGeometric:
+    def test_connected_and_clean(self):
+        graph = random_geometric_connected(30, 0.3, rng=1)
+        assert nx.is_connected(graph)
+        assert graph.number_of_nodes() == 30
+        # Position attributes are stripped (payload-size hygiene).
+        for _, data in graph.nodes(data=True):
+            assert "pos" not in data
+
+    def test_deterministic_under_seed(self):
+        first = random_geometric_connected(25, 0.3, rng=9)
+        second = random_geometric_connected(25, 0.3, rng=9)
+        assert set(first.edges()) == set(second.edges())
+
+    def test_larger_radius_denser(self):
+        sparse = random_geometric_connected(30, 0.25, rng=3)
+        dense = random_geometric_connected(30, 0.6, rng=3)
+        assert dense.number_of_edges() > sparse.number_of_edges()
+
+    def test_impossible_radius_raises(self):
+        with pytest.raises(GraphValidationError):
+            random_geometric_connected(50, 0.01, rng=1, max_tries=3)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(GraphValidationError):
+            random_geometric_connected(1, 0.5)
+        with pytest.raises(GraphValidationError):
+            random_geometric_connected(10, 0.0)
+
+
+class TestFamiliesThroughThePipeline:
+    """The new families must flow through the main decomposition APIs."""
+
+    def test_cds_packing_on_circulant(self):
+        from repro.core.cds_packing import fractional_cds_packing
+
+        graph = circulant_expander(24)
+        result = fractional_cds_packing(graph, rng=3)
+        result.packing.verify()
+        assert result.packing.size > 0
+
+    def test_spanning_packing_on_barbell(self):
+        from repro.core.spanning_packing import fractional_spanning_tree_packing
+
+        graph = barbell_bottleneck(3, 10)
+        packing = fractional_spanning_tree_packing(graph, rng=5).packing
+        packing.verify()
+        # λ = 3 → Tutte bound 1; the packing cannot beat λ.
+        assert 0 < packing.size <= 3
+
+    def test_vc_approx_on_geometric(self):
+        from repro.core.vertex_connectivity import (
+            approximate_vertex_connectivity,
+        )
+        from repro.graphs.connectivity import vertex_connectivity
+
+        graph = random_geometric_connected(24, 0.35, rng=7)
+        k = vertex_connectivity(graph)
+        estimate = approximate_vertex_connectivity(graph, rng=7)
+        assert estimate.contains(k)

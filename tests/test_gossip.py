@@ -1,0 +1,46 @@
+"""Gossiping (Appendix A / Corollary A.1)."""
+
+import pytest
+
+from repro.apps.gossip import gossip, place_messages
+from repro.core.cds_packing import construct_cds_packing
+from repro.errors import GraphValidationError
+from repro.graphs.generators import harary_graph
+
+
+@pytest.fixture(scope="module")
+def packing():
+    g = harary_graph(6, 24)
+    return construct_cds_packing(g, 6, rng=111).packing
+
+
+class TestPlacement:
+    def test_respects_cap(self):
+        placement = place_messages(list(range(10)), 20, max_per_node=2, rng=1)
+        loads = {}
+        for v in placement.values():
+            loads[v] = loads.get(v, 0) + 1
+        assert max(loads.values()) <= 2
+
+    def test_rejects_impossible(self):
+        with pytest.raises(GraphValidationError):
+            place_messages(list(range(3)), 10, max_per_node=2, rng=1)
+
+
+class TestGossip:
+    def test_default_all_to_all(self, packing):
+        outcome = gossip(packing, rng=2)
+        assert outcome.n_messages == 24
+        assert outcome.rounds > 0
+
+    def test_reference_bound_shape(self, packing):
+        """Corollary A.1: rounds = Õ(η + (N+n)/σ); the measured slowdown
+        over the un-log'd reference stays modest."""
+        outcome = gossip(packing, rng=3)
+        assert outcome.slowdown <= 25
+
+    def test_larger_n_messages(self, packing):
+        small = gossip(packing, n_messages=8, max_per_node=2, rng=4)
+        large = gossip(packing, n_messages=40, max_per_node=3, rng=4)
+        assert large.rounds >= small.rounds * 0.5
+        assert large.n_messages == 40

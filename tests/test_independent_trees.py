@@ -1,0 +1,115 @@
+"""Vertex independent trees (Section 1.4.1 / Zehavi–Itai)."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphValidationError
+from repro.core.independent_trees import (
+    attach_leaves,
+    independent_trees_from_packing,
+    verify_vertex_independent,
+)
+from repro.core.integral_packing import integral_cds_packing
+from repro.core.tree_packing import (
+    DominatingTreePacking,
+    WeightedTree,
+    spanning_tree_of,
+)
+from repro.graphs.generators import fat_cycle, harary_graph
+
+
+class TestAttachLeaves:
+    def test_attaches_all_nodes(self):
+        g = nx.cycle_graph(8)
+        tree = nx.path_graph(7)  # dominates the cycle
+        spanning = attach_leaves(g, tree)
+        assert set(spanning.nodes()) == set(g.nodes())
+        assert nx.is_tree(spanning)
+
+    def test_keeps_tree_edges(self):
+        g = nx.cycle_graph(6)
+        tree = nx.path_graph(5)
+        spanning = attach_leaves(g, tree)
+        for e in tree.edges():
+            assert spanning.has_edge(*e)
+
+    def test_leaf_attachment_uses_graph_edges(self):
+        g = nx.cycle_graph(6)
+        tree = nx.path_graph(5)
+        spanning = attach_leaves(g, tree)
+        for e in spanning.edges():
+            assert g.has_edge(*e)
+
+
+class TestIndependentTrees:
+    def test_disjoint_packing_yields_independent_trees(self):
+        """Two vertex-disjoint dominating triples of K6 become two
+        vertex independent spanning trees — verified exactly."""
+        g = nx.complete_graph(6)
+        arc_a = spanning_tree_of(g, [0, 1, 2])
+        arc_b = spanning_tree_of(g, [3, 4, 5])
+        packing = DominatingTreePacking(
+            g,
+            [
+                WeightedTree(tree=arc_a, weight=1.0, class_id=0),
+                WeightedTree(tree=arc_b, weight=1.0, class_id=1),
+            ],
+        )
+        packing.verify()
+        assert packing.is_vertex_disjoint()
+        trees = independent_trees_from_packing(packing, root=0)
+        assert len(trees) == 2
+        assert verify_vertex_independent(g, trees, root=0)
+
+    def test_rejects_overlapping_packing(self):
+        g = nx.cycle_graph(6)
+        t1 = spanning_tree_of(g, [0, 1, 2, 3])
+        t2 = spanning_tree_of(g, [2, 3, 4, 5])
+        packing = DominatingTreePacking(
+            g,
+            [
+                WeightedTree(tree=t1, weight=0.5, class_id=0),
+                WeightedTree(tree=t2, weight=0.5, class_id=1),
+            ],
+        )
+        with pytest.raises(GraphValidationError):
+            independent_trees_from_packing(packing, root=0)
+
+    def test_rejects_foreign_root(self):
+        g = nx.cycle_graph(6)
+        t = spanning_tree_of(g, [0, 1, 2, 3, 4])
+        packing = DominatingTreePacking(
+            g, [WeightedTree(tree=t, weight=1.0, class_id=0)]
+        )
+        with pytest.raises(GraphValidationError):
+            independent_trees_from_packing(packing, root=99)
+
+    def test_pipeline_from_integral_packing(self):
+        """The full Section 1.4.1 pipeline: integral packing -> vertex
+        independent trees, for every root."""
+        g = fat_cycle(4, 5)  # k = 8
+        result = integral_cds_packing(g, rng=31)
+        trees = independent_trees_from_packing(
+            result.packing, root=next(iter(g.nodes()))
+        )
+        assert verify_vertex_independent(g, trees, next(iter(g.nodes())))
+
+
+class TestVerifier:
+    def test_detects_shared_internal(self):
+        # Two identical spanning trees share all internal vertices.
+        g = harary_graph(4, 10)
+        t = spanning_tree_of(g)
+        # A path through internals exists unless the tree is a star.
+        if max(dict(t.degree()).values()) < 9:
+            assert not verify_vertex_independent(g, [t, t.copy()], root=0)
+
+    def test_accepts_single_tree(self):
+        g = nx.cycle_graph(5)
+        t = spanning_tree_of(g)
+        assert verify_vertex_independent(g, [t], root=0)
+
+    def test_rejects_non_spanning_member(self):
+        g = nx.cycle_graph(5)
+        partial = spanning_tree_of(g, [0, 1, 2])
+        assert not verify_vertex_independent(g, [partial], root=0)

@@ -1,0 +1,63 @@
+"""Integral tree packings (Section 1.2): vertex-disjoint CDSs and
+edge-disjoint spanning trees."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphValidationError, PackingConstructionError
+from repro.core.integral_packing import (
+    integral_cds_packing,
+    integral_spanning_packing,
+)
+from repro.graphs.connectivity import edge_connectivity
+from repro.graphs.generators import fat_cycle, harary_graph, random_regular_connected
+
+
+class TestIntegralCds:
+    def test_packing_vertex_disjoint_and_valid(self):
+        g = harary_graph(8, 30)
+        result = integral_cds_packing(g, rng=91)
+        result.packing.verify()
+        assert result.packing.is_vertex_disjoint()
+        assert all(t.weight == 1.0 for t in result.packing)
+
+    def test_trees_dominate(self):
+        g = fat_cycle(4, 5)  # k = 8
+        result = integral_cds_packing(g, rng=92)
+        result.packing.verify()
+        assert result.size >= 1
+
+    def test_rejects_disconnected(self):
+        g = nx.Graph([(0, 1), (2, 3)])
+        with pytest.raises(GraphValidationError):
+            integral_cds_packing(g)
+
+    def test_low_connectivity_still_returns_one(self):
+        g = nx.cycle_graph(12)
+        result = integral_cds_packing(g, rng=93)
+        assert result.size >= 1
+
+
+class TestIntegralSpanning:
+    def test_edge_disjoint_spanning_trees(self):
+        g = harary_graph(10, 24)
+        packing = integral_spanning_packing(g, rng=94)
+        packing.verify()
+        assert packing.is_edge_disjoint()
+        assert all(t.weight == 1.0 for t in packing)
+
+    def test_size_positive_for_high_lambda(self):
+        g = random_regular_connected(10, 24, rng=95)
+        packing = integral_spanning_packing(g, rng=96)
+        assert len(packing) >= 1
+
+    def test_size_bounded_by_tutte(self):
+        """At most ⌊λ/...⌋ — certainly <= λ edge-disjoint spanning trees."""
+        g = harary_graph(6, 18)
+        packing = integral_spanning_packing(g, rng=97)
+        assert len(packing) <= edge_connectivity(g)
+
+    def test_rejects_disconnected(self):
+        g = nx.Graph([(0, 1), (2, 3)])
+        with pytest.raises(GraphValidationError):
+            integral_spanning_packing(g)

@@ -1,0 +1,87 @@
+"""Tests for the distributed integral spanning tree packing."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.core.integral_packing import integral_spanning_packing
+from repro.core.integral_packing_distributed import (
+    distributed_integral_spanning_packing,
+)
+from repro.errors import GraphValidationError, PackingConstructionError
+from repro.graphs.connectivity import edge_connectivity
+from repro.graphs.generators import fat_cycle, harary_graph
+
+
+class TestDistributedIntegralSpanning:
+    def test_valid_edge_disjoint_packing(self):
+        graph = harary_graph(8, 24)
+        result = distributed_integral_spanning_packing(graph, rng=3)
+        result.packing.verify()
+        assert result.packing.is_edge_disjoint()
+        assert result.size >= 1
+        for wt in result.packing.trees:
+            assert wt.weight == 1.0
+            assert nx.is_tree(wt.tree)
+            assert set(wt.tree.nodes()) == set(graph.nodes())
+
+    def test_size_tracks_connectivity(self):
+        low = distributed_integral_spanning_packing(
+            harary_graph(4, 24), rng=5
+        ).size
+        high = distributed_integral_spanning_packing(
+            harary_graph(16, 24), rng=5
+        ).size
+        assert high >= low
+
+    def test_round_accounting_present(self):
+        graph = fat_cycle(3, 5)
+        result = distributed_integral_spanning_packing(graph, rng=7)
+        assert result.total_rounds >= 1
+        assert result.total_rounds == 1 + result.mst_rounds.total_rounds
+        assert result.connected_parts <= result.parts
+
+    def test_matches_centralized_twin_shape(self):
+        """Same split rule: distributed and centralized variants produce
+        comparable sizes on the same input."""
+        graph = harary_graph(12, 30)
+        distributed = distributed_integral_spanning_packing(graph, rng=11)
+        centralized = integral_spanning_packing(graph, rng=11)
+        assert abs(distributed.size - len(centralized.trees)) <= 2
+
+    def test_part_count_formula(self):
+        graph = harary_graph(10, 26)
+        lam = edge_connectivity(graph)
+        result = distributed_integral_spanning_packing(
+            graph, parts_factor=0.5, rng=13
+        )
+        expected = max(1, int(0.5 * lam / math.log(26)))
+        assert result.parts == expected
+
+    def test_single_part_degenerates_to_one_tree(self):
+        graph = harary_graph(4, 16)  # λ/ln n < 2 → one part
+        result = distributed_integral_spanning_packing(graph, rng=1)
+        assert result.parts == 1
+        assert result.size == 1
+
+    def test_rejects_disconnected(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (2, 3)])
+        with pytest.raises(GraphValidationError):
+            distributed_integral_spanning_packing(graph)
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(GraphValidationError):
+            distributed_integral_spanning_packing(
+                harary_graph(4, 12), parts_factor=0.0
+            )
+
+    def test_explicit_lambda_respected(self):
+        graph = harary_graph(8, 24)
+        result = distributed_integral_spanning_packing(
+            graph, lam=8, parts_factor=1.0, rng=17
+        )
+        assert result.parts == max(1, int(8 / math.log(24)))

@@ -1,0 +1,82 @@
+"""End-to-end flows crossing the whole stack (the README scenarios)."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.apps.broadcast import vertex_broadcast
+from repro.apps.gossip import gossip
+from repro.core.cds_packing import fractional_cds_packing
+from repro.core.packing_tester import cds_partition_test_centralized
+from repro.core.spanning_packing import MwuParameters, fractional_spanning_tree_packing
+from repro.core.vertex_connectivity import approximate_vertex_connectivity
+from repro.graphs.connectivity import (
+    edge_connectivity,
+    is_connected_dominating_set,
+    vertex_connectivity,
+)
+from repro.graphs.generators import harary_graph, random_regular_connected
+
+FAST = MwuParameters(epsilon=0.25, beta_factor=3.0)
+
+
+class TestFullVertexPipeline:
+    def test_pack_then_estimate_then_gossip(self):
+        """The paper's pipeline: decompose -> approximate k -> disseminate."""
+        g = harary_graph(6, 30)
+        k = vertex_connectivity(g)
+
+        result = fractional_cds_packing(g, k=k, rng=201)
+        result.packing.verify()
+        for wt in result.packing:
+            assert is_connected_dominating_set(g, wt.tree.nodes())
+
+        est = approximate_vertex_connectivity(g, rng=202)
+        assert est.contains(k)
+
+        outcome = gossip(result.packing, rng=203)
+        assert outcome.rounds > 0
+        # Information-theoretic floor: N messages over at most k per round.
+        assert outcome.rounds >= outcome.n_messages / (k + 1) - 1
+
+    def test_packing_survives_tester(self):
+        """A produced packing projected to a partition sample passes the
+        deterministic tester for the classes it claims."""
+        g = harary_graph(6, 24)
+        result = fractional_cds_packing(g, k=6, rng=204)
+        for wt in result.packing:
+            assert is_connected_dominating_set(g, set(wt.tree.nodes()))
+
+
+class TestFullEdgePipeline:
+    def test_pack_then_verify_then_account(self):
+        g = random_regular_connected(6, 20, rng=205)
+        lam = edge_connectivity(g)
+        result = fractional_spanning_tree_packing(g, params=FAST, rng=206)
+        result.packing.verify()
+        assert result.size <= lam + 1e-9
+        target = max(1, math.ceil((lam - 1) / 2))
+        assert result.size >= 0.5 * target
+
+    def test_edge_loads_and_membership(self):
+        g = harary_graph(5, 18)
+        result = fractional_spanning_tree_packing(g, params=FAST, rng=207)
+        per_edge = result.packing.trees_per_edge()
+        n = g.number_of_nodes()
+        # Theorem 1.3: each edge in O(log^3 n) trees (generous constant).
+        bound = 60 * math.log(n) ** 3
+        assert max(per_edge.values()) <= bound
+
+
+class TestCrossDriverAgreement:
+    def test_both_drivers_certify_same_graph(self):
+        from repro.core.cds_packing import construct_cds_packing
+        from repro.core.cds_packing_distributed import distributed_cds_packing
+
+        g = harary_graph(4, 16)
+        central = construct_cds_packing(g, 4, rng=208)
+        dist = distributed_cds_packing(g, 4, rng=208)
+        k = vertex_connectivity(g)
+        assert central.size <= k + 1e-9
+        assert dist.result.size <= k + 1e-9

@@ -1,0 +1,95 @@
+"""Appendix G.1 construction: Lemmas G.3 and G.4 verified exactly."""
+
+import itertools
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphValidationError
+from repro.graphs.connectivity import min_vertex_cut, vertex_connectivity
+from repro.lowerbounds.construction import (
+    build_g_xy,
+    build_h_xy,
+    expected_min_cut,
+)
+
+
+class TestHConstruction:
+    def test_node_inventory(self):
+        inst = build_h_xy(h=3, ell=2, x_set={1}, y_set={2})
+        g = inst.graph
+        # (h+1)·2ℓ path nodes + a + b + |X| + |Y|
+        assert g.number_of_nodes() == 4 * 4 + 2 + 1 + 1
+
+    def test_diameter_at_most_three(self):
+        inst = build_h_xy(h=4, ell=3, x_set={1, 2}, y_set={2, 3})
+        assert nx.diameter(inst.graph) <= 3
+
+    def test_encoding_edges(self):
+        inst = build_h_xy(h=3, ell=2, x_set={2}, y_set=set())
+        g = inst.graph
+        assert g.has_edge(("u", 2), (0, 1))
+        assert g.has_edge(("u", 2), (2, 1))
+        assert not g.has_edge((0, 1), (2, 1))  # x in X: no direct edge
+        assert g.has_edge((0, 1), (1, 1))      # x not in X: direct edge
+
+    def test_rejects_bad_sets(self):
+        with pytest.raises(GraphValidationError):
+            build_h_xy(h=3, ell=2, x_set={5}, y_set=set())
+
+
+class TestGBlowup:
+    def test_heavy_nodes_become_cliques(self):
+        inst = build_g_xy(h=2, ell=1, w=3, x_set=set(), y_set=set())
+        g = inst.graph
+        clique = [(0, 1, c) for c in range(3)]
+        for a, b in itertools.combinations(clique, 2):
+            assert g.has_edge(a, b)
+
+    def test_lemma_g4_intersection_case(self):
+        """|X∩Y| = 1: κ = 4 and the min cut is {a, b, u_z, v_z}."""
+        inst = build_g_xy(h=3, ell=2, w=5, x_set={1, 2}, y_set={2, 3})
+        assert vertex_connectivity(inst.graph) == 4
+        cut = min_vertex_cut(inst.graph)
+        size, expected = expected_min_cut(inst)
+        assert size == 4
+        assert cut == expected
+
+    def test_lemma_g4_disjoint_case(self):
+        """X∩Y = ∅: every vertex cut has size >= w."""
+        inst = build_g_xy(h=3, ell=2, w=5, x_set={1}, y_set={3})
+        assert vertex_connectivity(inst.graph) >= 5
+
+    def test_diameter_at_most_three(self):
+        inst = build_g_xy(h=3, ell=2, w=4, x_set={1, 3}, y_set={2, 3})
+        assert nx.diameter(inst.graph) <= 3
+
+    @pytest.mark.parametrize("h", [2, 3])
+    def test_exhaustive_small_grid(self, h):
+        """Exhaustively verify the cut dichotomy over all promise instances
+        on a small universe (E13 in miniature)."""
+        universe = list(range(1, h + 1))
+        subsets = [
+            frozenset(c)
+            for r in range(h + 1)
+            for c in itertools.combinations(universe, r)
+        ]
+        for x_set in subsets:
+            for y_set in subsets:
+                inter = x_set & y_set
+                if len(inter) > 1:
+                    continue  # outside the promise
+                inst = build_g_xy(h=h, ell=1, w=5, x_set=x_set, y_set=y_set)
+                kappa = vertex_connectivity(inst.graph)
+                if len(inter) == 1:
+                    assert kappa == 4, (x_set, y_set)
+                else:
+                    assert kappa >= 5, (x_set, y_set)
+
+    def test_frontier_sets(self):
+        inst = build_g_xy(h=2, ell=2, w=2, x_set={1}, y_set={2})
+        left, right = inst.left_nodes(), inst.right_nodes()
+        assert inst.node_a in left and inst.node_b not in left
+        assert inst.node_b in right and inst.node_a not in right
+        # Overlap covers the middle columns.
+        assert left | right == set(inst.graph.nodes())

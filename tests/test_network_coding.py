@@ -1,0 +1,234 @@
+"""Tests for the RLNC comparison baseline (experiment E17 machinery)."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.network_coding import (
+    CodedBroadcastOutcome,
+    Gf2Basis,
+    coded_packet_bits,
+    compare_with_tree_broadcast,
+    rlnc_gossip,
+    routed_packet_bits,
+)
+from repro.core.cds_packing import fractional_cds_packing
+from repro.errors import GraphValidationError
+from repro.graphs.generators import harary_graph
+
+
+class TestGf2Basis:
+    def test_insert_grows_rank(self):
+        basis = Gf2Basis(4)
+        assert basis.insert(0b0001)
+        assert basis.insert(0b0010)
+        assert basis.rank == 2
+
+    def test_duplicate_insert_rejected(self):
+        basis = Gf2Basis(4)
+        basis.insert(0b0101)
+        assert not basis.insert(0b0101)
+        assert basis.rank == 1
+
+    def test_linear_combination_rejected(self):
+        basis = Gf2Basis(4)
+        basis.insert(0b0011)
+        basis.insert(0b0101)
+        assert not basis.insert(0b0110)  # xor of the two rows
+        assert basis.rank == 2
+
+    def test_contains(self):
+        basis = Gf2Basis(5)
+        basis.insert(0b00111)
+        basis.insert(0b01001)
+        assert basis.contains(0b01110)
+        assert not basis.contains(0b10000)
+
+    def test_zero_vector_always_contained(self):
+        basis = Gf2Basis(3)
+        assert basis.contains(0)
+        assert not basis.insert(0)
+
+    def test_full_rank_detection(self):
+        basis = Gf2Basis(3)
+        for vector in (0b001, 0b011, 0b111):
+            basis.insert(vector)
+        assert basis.is_full
+        assert basis.contains(0b101)
+
+    def test_oversized_vector_rejected(self):
+        basis = Gf2Basis(3)
+        with pytest.raises(GraphValidationError):
+            basis.insert(0b1000)
+
+    def test_bad_dimension_rejected(self):
+        with pytest.raises(GraphValidationError):
+            Gf2Basis(0)
+
+    def test_random_combination_in_span(self):
+        rng = random.Random(0)
+        basis = Gf2Basis(6)
+        basis.insert(0b000111)
+        basis.insert(0b101010)
+        for _ in range(20):
+            assert basis.contains(basis.random_combination(rng))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        vectors=st.lists(st.integers(1, 2**8 - 1), min_size=1, max_size=12)
+    )
+    def test_rank_matches_gaussian_elimination(self, vectors):
+        """Basis rank equals the rank computed by naive elimination."""
+        basis = Gf2Basis(8)
+        for vector in vectors:
+            basis.insert(vector)
+        rows = list(vectors)
+        rank = 0
+        for bit in reversed(range(8)):
+            pivot = next(
+                (r for r in rows if r.bit_length() - 1 == bit), None
+            )
+            if pivot is None:
+                continue
+            rank += 1
+            rows = [
+                (r ^ pivot) if (r >> bit) & 1 and r != pivot else r
+                for r in rows
+                if r != pivot
+            ]
+            rows = [r for r in rows if r]
+        assert basis.rank == rank
+
+
+class TestRlncGossip:
+    def test_completes_on_cycle(self):
+        graph = nx.cycle_graph(8)
+        out = rlnc_gossip(graph, {i: i for i in range(4)}, rng=1)
+        assert out.n_messages == 4
+        assert out.slots >= 1
+
+    def test_single_message_single_source(self):
+        graph = nx.path_graph(5)
+        out = rlnc_gossip(graph, {0: 2}, rng=2)
+        assert out.slots >= 1
+        # Distance from node 2 to the path ends is 2: at least 2 slots.
+        assert out.slots >= 2
+
+    def test_coefficient_overhead_charged(self):
+        graph = nx.complete_graph(6)
+        n_messages = 40
+        out = rlnc_gossip(
+            graph,
+            {i: i % 6 for i in range(n_messages)},
+            payload_bits=16,
+            budget_bits=16,
+            rng=3,
+        )
+        assert out.packet_bits == n_messages + 16
+        assert out.rounds_per_packet == (n_messages + 16 + 15) // 16
+        assert out.rounds == out.slots * out.rounds_per_packet
+
+    def test_throughput_decreases_with_message_count(self):
+        """The paper's point: coefficients cap coded throughput."""
+        graph = harary_graph(6, 18)
+        small = rlnc_gossip(
+            graph, {i: i % 18 for i in range(6)}, budget_bits=32, rng=4
+        )
+        large = rlnc_gossip(
+            graph, {i: i % 18 for i in range(96)}, budget_bits=32, rng=4
+        )
+        assert large.rounds_per_packet > small.rounds_per_packet
+
+    def test_rejects_empty_sources(self):
+        with pytest.raises(GraphValidationError):
+            rlnc_gossip(nx.path_graph(3), {}, rng=0)
+
+    def test_rejects_disconnected_graph(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (2, 3)])
+        with pytest.raises(GraphValidationError):
+            rlnc_gossip(graph, {0: 0}, rng=0)
+
+    def test_rejects_unknown_source_node(self):
+        with pytest.raises(GraphValidationError):
+            rlnc_gossip(nx.path_graph(3), {0: 99}, rng=0)
+
+    def test_rejects_non_contiguous_ids(self):
+        with pytest.raises(GraphValidationError):
+            rlnc_gossip(nx.path_graph(3), {5: 0}, rng=0)
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(GraphValidationError):
+            rlnc_gossip(nx.path_graph(3), {0: 0}, budget_bits=0, rng=0)
+
+    def test_deterministic_under_seed(self):
+        graph = harary_graph(4, 12)
+        sources = {i: i for i in range(6)}
+        first = rlnc_gossip(graph, sources, rng=7)
+        second = rlnc_gossip(graph, sources, rng=7)
+        assert first.slots == second.slots
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(0, 1000), n_messages=st.integers(1, 10))
+    def test_always_terminates_on_connected_graphs(self, seed, n_messages):
+        graph = harary_graph(4, 14)
+        sources = {i: i % 14 for i in range(n_messages)}
+        out = rlnc_gossip(graph, sources, rng=seed)
+        assert out.slots <= 2000
+
+
+class TestPacketArithmetic:
+    def test_coded_packet_bits(self):
+        assert coded_packet_bits(100, 32) == 132
+
+    def test_routed_packet_bits_logarithmic(self):
+        assert routed_packet_bits(1024, 32) == 10 + 32
+        assert routed_packet_bits(2, 32) == 1 + 32
+
+
+class TestComparison:
+    def test_comparison_runs_and_reports(self):
+        graph = harary_graph(6, 24)
+        result = fractional_cds_packing(graph, rng=3)
+        comparison = compare_with_tree_broadcast(
+            graph, result.packing, {i: i for i in range(12)}, rng=9
+        )
+        assert comparison.n_messages == 12
+        assert comparison.coded_throughput > 0
+        assert comparison.tree_throughput > 0
+        assert comparison.tree_advantage == pytest.approx(
+            comparison.tree_throughput / comparison.coded_throughput
+        )
+
+    def test_large_message_count_erodes_coding(self):
+        """With many messages the coefficient overhead dominates and the
+        tree advantage grows — the paper's qualitative crossover."""
+        graph = harary_graph(6, 24)
+        result = fractional_cds_packing(graph, rng=3)
+        few = compare_with_tree_broadcast(
+            graph,
+            result.packing,
+            {i: i % 24 for i in range(24)},
+            budget_bits=24,
+            rng=11,
+        )
+        many = compare_with_tree_broadcast(
+            graph,
+            result.packing,
+            {i: i % 24 for i in range(480)},
+            budget_bits=24,
+            rng=11,
+        )
+        assert many.coded.rounds_per_packet > few.coded.rounds_per_packet
+        assert many.tree_advantage > few.tree_advantage
+        # At 20·n messages the coefficient overhead has flipped the race.
+        assert many.tree_advantage > 1.0

@@ -1,0 +1,59 @@
+"""Oblivious routing congestion competitiveness (Corollary 1.6)."""
+
+import math
+
+import pytest
+
+from repro.apps.oblivious_routing import (
+    edge_congestion_report,
+    vertex_congestion_report,
+)
+from repro.core.cds_packing import construct_cds_packing
+from repro.core.spanning_packing import MwuParameters, fractional_spanning_tree_packing
+from repro.graphs.generators import harary_graph
+
+FAST = MwuParameters(epsilon=0.25, beta_factor=3.0)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    g = harary_graph(6, 24)
+    dom = construct_cds_packing(g, 6, rng=121).packing
+    span = fractional_spanning_tree_packing(g, params=FAST, rng=122).packing
+    sources = {i: i % 24 for i in range(24)}
+    return g, dom, span, sources
+
+
+class TestVertexCongestion:
+    def test_report_fields(self, instance):
+        g, dom, _, sources = instance
+        rep = vertex_congestion_report(dom, sources, k=6, rng=1)
+        assert rep.measured >= 1
+        assert rep.lower_bound >= 1
+        assert rep.n_messages == 24
+
+    def test_competitiveness_within_log_factor(self, instance):
+        """Corollary 1.6a: O(log n)-competitive vertex congestion; allow a
+        generous constant."""
+        g, dom, _, sources = instance
+        rep = vertex_congestion_report(dom, sources, k=6, rng=2)
+        n = g.number_of_nodes()
+        assert rep.competitiveness <= 30 * math.log(n)
+
+    def test_lower_bound_uses_cut(self, instance):
+        g, dom, _, sources = instance
+        rep = vertex_congestion_report(dom, sources, k=6, rng=3)
+        assert rep.lower_bound >= len(sources) / 6 - 1e-9
+
+
+class TestEdgeCongestion:
+    def test_competitiveness_constant_ish(self, instance):
+        """Corollary 1.6b: O(1)-competitive edge congestion."""
+        g, _, span, sources = instance
+        rep = edge_congestion_report(span, sources, lam=6, rng=4)
+        assert rep.competitiveness <= 30
+
+    def test_lower_bound_sane(self, instance):
+        g, _, span, sources = instance
+        rep = edge_congestion_report(span, sources, lam=6, rng=5)
+        assert rep.lower_bound >= len(sources) / 6 - 1e-9

@@ -1,0 +1,108 @@
+"""The Appendix E tester: one-sided error, fault detection, round costs."""
+
+import networkx as nx
+import pytest
+
+from repro.core.packing_tester import (
+    cds_partition_test_centralized,
+    distributed_cds_partition_test,
+)
+from repro.graphs.generators import harary_graph
+from repro.simulator.network import Network
+
+
+def _good_partition(graph, t=2):
+    """Alternate nodes around the circulant: each class is a CDS for
+    Harary graphs with k >= 2t."""
+    return {v: v % t for v in graph.nodes()}
+
+
+@pytest.fixture
+def good_instance():
+    g = harary_graph(6, 24)
+    class_of = _good_partition(g, 2)
+    # sanity: both halves of the circulant are CDSs
+    rep = cds_partition_test_centralized(g, class_of, 2)
+    assert rep.passed
+    return g, class_of
+
+
+class TestCentralized:
+    def test_accepts_valid_partition(self, good_instance):
+        g, class_of = good_instance
+        rep = cds_partition_test_centralized(g, class_of, 2)
+        assert rep.passed and rep.domination_ok and rep.connectivity_ok
+
+    def test_detects_missing_class(self):
+        g = harary_graph(4, 12)
+        class_of = {v: 0 for v in g.nodes()}
+        rep = cds_partition_test_centralized(g, class_of, 2)
+        assert not rep.passed
+        assert 1 in rep.failing_classes
+
+    def test_detects_domination_failure(self):
+        g = nx.path_graph(10)
+        class_of = {v: (0 if v < 9 else 1) for v in g.nodes()}
+        rep = cds_partition_test_centralized(g, class_of, 2)
+        assert not rep.passed
+        assert not rep.domination_ok
+
+    def test_detects_disconnection(self):
+        g = nx.cycle_graph(8)
+        # class 1 = two antipodal nodes: dominating-ish? no—but surely
+        # disconnected; class reported either way.
+        class_of = {v: (1 if v in (0, 4) else 0) for v in g.nodes()}
+        rep = cds_partition_test_centralized(g, class_of, 2)
+        assert not rep.passed
+        assert 1 in rep.failing_classes
+
+    def test_rejects_wrong_domain(self):
+        g = nx.cycle_graph(4)
+        from repro.errors import GraphValidationError
+
+        with pytest.raises(GraphValidationError):
+            cds_partition_test_centralized(g, {0: 0}, 1)
+
+
+class TestDistributed:
+    def test_accepts_valid_partition(self, good_instance):
+        g, class_of = good_instance
+        net = Network(g, rng=51)
+        rep = distributed_cds_partition_test(net, class_of, 2, rng=52)
+        assert rep.passed
+        assert rep.rounds > 0
+
+    def test_one_sided_error_on_valid(self, good_instance):
+        """A valid partition is never rejected, for any seed."""
+        g, class_of = good_instance
+        net = Network(g, rng=53)
+        for seed in range(5):
+            rep = distributed_cds_partition_test(net, class_of, 2, rng=seed)
+            assert rep.passed
+
+    def test_detects_disconnection_whp(self):
+        """An injected split class is detected (E11's fault injection)."""
+        g = harary_graph(6, 24)
+        class_of = _good_partition(g, 2)
+        # Move two antipodal nodes into a third, disconnected class.
+        class_of[0] = 2
+        class_of[12] = 2
+        net = Network(g, rng=54)
+        rep = distributed_cds_partition_test(net, class_of, 3, rng=55)
+        assert not rep.passed
+
+    def test_detects_domination_failure(self):
+        g = nx.path_graph(12)
+        class_of = {v: 0 for v in g.nodes()}
+        class_of[0] = 1
+        net = Network(g, rng=56)
+        rep = distributed_cds_partition_test(net, class_of, 2, rng=57)
+        assert not rep.passed
+        assert not rep.domination_ok
+
+    def test_agrees_with_centralized(self, good_instance):
+        g, class_of = good_instance
+        net = Network(g, rng=58)
+        central = cds_partition_test_centralized(g, class_of, 2)
+        dist = distributed_cds_partition_test(net, class_of, 2, rng=59)
+        assert central.passed == dist.passed

@@ -1,0 +1,136 @@
+"""Tests for the Lemma 5.1 pipelined upcast primitive."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphValidationError
+from repro.graphs.generators import clique_chain, harary_graph
+from repro.simulator.algorithms.bfs import build_bfs_tree
+from repro.simulator.algorithms.pipelined_upcast import (
+    parallel_upcast_rounds,
+    pipelined_upcast,
+)
+from repro.simulator.network import Network
+
+
+def _network(graph, seed=1):
+    return Network(graph, rng=seed)
+
+
+class TestPipelinedUpcast:
+    def test_all_items_arrive(self):
+        network = _network(nx.path_graph(8))
+        items = {v: [(0, ("item", v))] for v in range(8)}
+        result = pipelined_upcast(network, items)
+        assert sorted(item for _, item in result.collected) == sorted(
+            ("item", v) for v in range(8)
+        )
+
+    def test_streams_are_separable(self):
+        network = _network(harary_graph(4, 12))
+        items = {
+            v: [(stream, (stream, v)) for stream in range(3)]
+            for v in network.nodes
+        }
+        result = pipelined_upcast(network, items)
+        for stream in range(3):
+            assert len(result.items_of_stream(stream)) == 12
+
+    def test_rounds_within_pipeline_bound(self):
+        """Measured rounds ≤ depth + total items (+ small constant) —
+        the pipelining claim of Lemma 5.1."""
+        for graph in [
+            nx.path_graph(12),
+            harary_graph(4, 16),
+            clique_chain(3, 4),
+        ]:
+            network = _network(graph)
+            items = {v: [(0, v), (1, v)] for v in network.nodes}
+            result = pipelined_upcast(network, items)
+            assert result.rounds <= result.pipeline_bound + 2
+
+    def test_pipelining_beats_sequential(self):
+        """η streams share the tree: total rounds must be far below η
+        separate upcasts (η · (depth + per-stream items))."""
+        network = _network(nx.path_graph(16))
+        streams = 4
+        items = {
+            v: [(stream, v) for stream in range(streams)]
+            for v in network.nodes
+        }
+        result = pipelined_upcast(network, items)
+        sequential = streams * (result.tree_depth + 16)
+        assert result.rounds < sequential
+
+    def test_empty_holders_allowed(self):
+        network = _network(nx.cycle_graph(6))
+        result = pipelined_upcast(network, {0: [(0, "only")]})
+        assert result.total_items == 1
+        assert result.collected[0][1] == "only"
+
+    def test_no_items_at_all(self):
+        network = _network(nx.path_graph(4))
+        result = pipelined_upcast(network, {})
+        assert result.total_items == 0
+        assert result.collected == []
+
+    def test_items_already_at_root(self):
+        network = _network(nx.path_graph(4))
+        root = min(network.nodes, key=network.node_id)
+        result = pipelined_upcast(network, {root: [(0, "here")]}, root=root)
+        assert result.collected == [(0, "here")]
+
+    def test_explicit_root_and_prebuilt_tree(self):
+        network = _network(harary_graph(4, 10))
+        tree, _ = build_bfs_tree(network, 3)
+        items = {v: [(0, v)] for v in network.nodes}
+        result = pipelined_upcast(network, items, bfs_tree=tree)
+        assert result.root == 3
+        assert result.total_items == 10
+
+    def test_root_tree_mismatch_rejected(self):
+        network = _network(nx.path_graph(5))
+        tree, _ = build_bfs_tree(network, 0)
+        with pytest.raises(GraphValidationError):
+            pipelined_upcast(network, {}, root=4, bfs_tree=tree)
+
+    def test_unknown_holder_rejected(self):
+        network = _network(nx.path_graph(4))
+        with pytest.raises(GraphValidationError):
+            pipelined_upcast(network, {99: [(0, "x")]})
+
+    def test_malformed_item_rejected(self):
+        network = _network(nx.path_graph(4))
+        with pytest.raises(GraphValidationError):
+            pipelined_upcast(network, {0: [(0, "x", "extra")]})
+
+    def test_heavier_streams_scale_linearly(self):
+        """Doubling total items roughly doubles the item term (the D
+        term stays fixed) — the shape behind Õ(D + √(nλ))."""
+        network = _network(nx.path_graph(10))
+        light = pipelined_upcast(
+            network, {v: [(0, v)] for v in network.nodes}
+        )
+        heavy = pipelined_upcast(
+            network,
+            {v: [(s, v) for s in range(4)] for s_ in [0] for v in network.nodes},
+        )
+        assert heavy.total_items == 4 * light.total_items
+        assert heavy.rounds > light.rounds
+        assert heavy.rounds <= heavy.pipeline_bound + 2
+
+
+class TestAnalyticBound:
+    def test_value(self):
+        assert parallel_upcast_rounds(5, [10, 20]) == 35
+
+    def test_empty_streams(self):
+        assert parallel_upcast_rounds(7, []) == 7
+
+    def test_rejects_negative(self):
+        with pytest.raises(GraphValidationError):
+            parallel_upcast_rounds(-1, [])
+        with pytest.raises(GraphValidationError):
+            parallel_upcast_rounds(1, [-2])

@@ -1,0 +1,109 @@
+"""Tests for the point-to-point oblivious routing contrast ([24])."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.apps.point_to_point import (
+    adversarial_grid_demands,
+    grid_competitiveness,
+    grid_graph,
+    row_column_route,
+    staircase_route,
+    vertex_congestion_of_routes,
+)
+from repro.errors import GraphValidationError
+
+
+class TestRoutes:
+    def test_row_column_route_is_a_grid_path(self):
+        graph = grid_graph(6)
+        route = row_column_route((0, 1), (4, 5))
+        assert route[0] == (0, 1)
+        assert route[-1] == (4, 5)
+        for a, b in zip(route, route[1:]):
+            assert graph.has_edge(a, b)
+
+    def test_row_column_handles_all_quadrants(self):
+        for target in [(0, 0), (0, 5), (5, 0), (5, 5), (2, 3)]:
+            route = row_column_route((2, 2), target)
+            assert route[-1] == target
+
+    def test_route_to_self_is_singleton(self):
+        assert row_column_route((3, 3), (3, 3)) == [(3, 3)]
+
+    def test_staircase_route_valid(self):
+        graph = grid_graph(8)
+        route = staircase_route((0, 2), (7, 5), bend_row=4)
+        assert route[0] == (0, 2)
+        assert route[-1] == (7, 5)
+        assert (4, 2) in route and (4, 5) in route
+        for a, b in zip(route, route[1:]):
+            assert graph.has_edge(a, b)
+
+    def test_congestion_counter(self):
+        routes = [[(0, 0), (0, 1)], [(0, 1), (0, 2)], [(1, 0)]]
+        assert vertex_congestion_of_routes(routes) == 2
+
+    def test_congestion_of_nothing(self):
+        assert vertex_congestion_of_routes([]) == 0
+
+
+class TestAdversarialDemands:
+    def test_reversal_permutation_default(self):
+        demands = adversarial_grid_demands(5)
+        assert demands[0] == ((0, 0), (4, 4))
+        assert demands[4] == ((0, 4), (4, 0))
+
+    def test_random_permutation_under_seed(self):
+        first = adversarial_grid_demands(6, rng=3)
+        second = adversarial_grid_demands(6, rng=3)
+        assert first == second
+        targets = sorted(t[1] for _, t in first)
+        assert targets == list(range(6))
+
+
+class TestCompetitiveness:
+    def test_oblivious_congestion_equals_side(self):
+        """Under the reversal permutation, the middle of row 0 carries
+        every message: congestion exactly √n."""
+        for side in (4, 8, 12):
+            report = grid_competitiveness(side)
+            assert report.oblivious_congestion == side
+
+    def test_offline_congestion_is_constant(self):
+        reports = [grid_competitiveness(side) for side in (4, 8, 12, 16)]
+        assert all(r.offline_congestion <= 3 for r in reports)
+
+    def test_competitiveness_grows_linearly_in_side(self):
+        """The measurable content of the Θ(√n) lower bound of [24]."""
+        small = grid_competitiveness(4)
+        large = grid_competitiveness(16)
+        assert large.competitiveness >= 3.5 * small.competitiveness
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(GraphValidationError):
+            grid_competitiveness(1)
+
+    def test_broadcast_routing_escapes_the_bound(self):
+        """The same grid, routed by the Corollary 1.6 broadcast scheme,
+        stays within O(log n)·lower-bound — the contrast the paper
+        draws."""
+        import math
+
+        from repro.apps.oblivious_routing import vertex_congestion_report
+        from repro.core.cds_packing import fractional_cds_packing
+        from repro.graphs.connectivity import vertex_connectivity
+
+        side = 5
+        graph = nx.convert_node_labels_to_integers(grid_graph(side))
+        k = vertex_connectivity(graph)
+        result = fractional_cds_packing(graph, rng=3)
+        sources = {i: i % graph.number_of_nodes() for i in range(25)}
+        report = vertex_congestion_report(
+            result.packing, sources, k, rng=5
+        )
+        n = graph.number_of_nodes()
+        # generous constant; the claim is the log n *shape*
+        assert report.competitiveness <= 30 * math.log(n)

@@ -1,0 +1,90 @@
+"""Section 2 preprocessing and the Luby MIS substrate ([3], [39])."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import clique_chain, harary_graph
+from repro.simulator.algorithms.luby_mis import (
+    is_maximal_independent_set,
+    luby_mis,
+)
+from repro.simulator.algorithms.preprocessing import network_preprocessing
+from repro.simulator.network import Network
+
+
+class TestPreprocessing:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: harary_graph(4, 18),
+            lambda: clique_chain(3, 6),
+            lambda: nx.cycle_graph(11),
+        ],
+    )
+    def test_count_and_diameter_bracket(self, builder):
+        g = builder()
+        net = Network(g, rng=61)
+        pre = network_preprocessing(net)
+        assert pre.n == g.number_of_nodes()
+        assert pre.diameter_estimate_valid(nx.diameter(g))
+
+    def test_rounds_linear_in_diameter(self):
+        g = clique_chain(3, 10)  # diameter 9
+        net = Network(g, rng=62)
+        pre = network_preprocessing(net)
+        d = nx.diameter(g)
+        assert pre.metrics.rounds <= 8 * d + 20
+
+    def test_leader_agreed(self):
+        g = harary_graph(4, 12)
+        net = Network(g, rng=63)
+        pre = network_preprocessing(net)
+        assert pre.leader in net.nodes
+        assert pre.bfs.root == pre.leader
+
+    def test_phase_breakdown(self):
+        g = nx.cycle_graph(9)
+        net = Network(g, rng=64)
+        pre = network_preprocessing(net)
+        assert set(pre.metrics.phase_rounds) == {
+            "leader-election",
+            "bfs",
+            "count-convergecast",
+        }
+
+
+class TestLubyMis:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_mis_valid_on_cycle(self, seed):
+        g = nx.cycle_graph(12)
+        net = Network(g, rng=seed)
+        mis, _ = luby_mis(net)
+        assert is_maximal_independent_set(g, mis)
+
+    def test_mis_valid_on_dense(self):
+        g = harary_graph(6, 20)
+        net = Network(g, rng=5)
+        mis, _ = luby_mis(net)
+        assert is_maximal_independent_set(g, mis)
+
+    def test_complete_graph_singleton(self):
+        g = nx.complete_graph(8)
+        net = Network(g, rng=6)
+        mis, _ = luby_mis(net)
+        assert len(mis) == 1
+
+    def test_rounds_logarithmic_shape(self):
+        g = nx.cycle_graph(40)
+        net = Network(g, rng=7)
+        mis, result = luby_mis(net)
+        assert is_maximal_independent_set(g, mis)
+        # 2 rounds per phase, O(log n) phases w.h.p.; generous cap.
+        assert result.metrics.rounds <= 20 * (40).bit_length()
+
+    def test_checker_rejects_dependent_set(self):
+        g = nx.path_graph(4)
+        assert not is_maximal_independent_set(g, {0, 1})
+
+    def test_checker_rejects_non_maximal(self):
+        g = nx.path_graph(5)
+        assert not is_maximal_independent_set(g, {0})

@@ -1,0 +1,101 @@
+"""Hypothesis property tests over the core invariants."""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.cds_packing import construct_cds_packing
+from repro.core.spanning_packing import MwuParameters, mwu_spanning_packing
+from repro.graphs.connectivity import (
+    is_connected_dominating_set,
+    vertex_connectivity,
+)
+from repro.graphs.generators import harary_graph
+from repro.graphs.sampling import karger_edge_partition
+from repro.graphs.union_find import UnionFind
+
+FAST = MwuParameters(epsilon=0.3, beta_factor=4.0, max_iterations=400)
+
+_slow = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@_slow
+@given(
+    k=st.sampled_from([3, 4, 5]),
+    n=st.integers(12, 26),
+    seed=st.integers(0, 10_000),
+)
+def test_cds_packing_always_valid(k, n, seed):
+    """Whatever the Harary instance and seed, the returned packing is a
+    valid fractional dominating tree packing with size <= k."""
+    if n <= k:
+        n = k + 7
+    g = harary_graph(k, n)
+    result = construct_cds_packing(g, k, rng=seed)
+    result.packing.verify()
+    assert result.size <= vertex_connectivity(g) + 1e-9
+    for wt in result.packing:
+        assert is_connected_dominating_set(g, wt.tree.nodes())
+
+
+@_slow
+@given(
+    k=st.sampled_from([4, 5, 6]),
+    n=st.integers(12, 22),
+    seed=st.integers(0, 10_000),
+)
+def test_mwu_edge_capacity_invariant(k, n, seed):
+    """MWU never exceeds per-edge capacity after normalization, and every
+    tree in the collection is a spanning tree."""
+    if n <= k:
+        n = k + 8
+    g = harary_graph(k, n)
+    normalized, trace, target = mwu_spanning_packing(g, params=FAST)
+    loads = {}
+    for tree_edges, weight in normalized:
+        t = nx.Graph()
+        t.add_nodes_from(g.nodes())
+        t.add_edges_from(tuple(e) for e in tree_edges)
+        assert nx.is_tree(t)
+        for e in tree_edges:
+            loads[e] = loads.get(e, 0.0) + weight
+    assert max(loads.values()) <= 1.0 + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(parts=st.integers(1, 5), seed=st.integers(0, 10_000))
+def test_karger_partition_preserves_total_connectivity_bound(parts, seed):
+    """Σ_i λ(H_i) <= λ(G) can FAIL in general, but Σ λ_i <= λ always holds
+    for the *cut* witnessing λ: every part's connectivity is bounded by
+    its share of the global min cut — so the sum never exceeds λ."""
+    from repro.graphs.connectivity import edge_connectivity
+
+    g = harary_graph(6, 16)
+    lam = edge_connectivity(g)
+    subs = karger_edge_partition(g, parts, rng=seed)
+    sub_lams = [edge_connectivity(s) for s in subs]
+    assert sum(sub_lams) <= lam
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 12), st.integers(0, 12)), max_size=30
+    )
+)
+def test_union_find_component_count_invariant(ops):
+    """n_components + (successful unions) == n, always."""
+    uf = UnionFind(range(13))
+    successes = 0
+    for a, b in ops:
+        if uf.union(a, b):
+            successes += 1
+    assert uf.n_components + successes == 13

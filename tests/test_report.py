@@ -1,0 +1,71 @@
+"""Tests for the markdown report generator."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.analysis.report import (
+    full_report,
+    measure_graph,
+    render_markdown_table,
+)
+from repro.graphs.generators import harary_graph
+
+
+class TestMarkdownTable:
+    def test_basic_shape(self):
+        table = render_markdown_table(
+            ["a", "b"], [[1, 2.5], ["x", "y"]]
+        )
+        lines = table.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2.500 |"
+        assert lines[3] == "| x | y |"
+
+    def test_empty_rows(self):
+        table = render_markdown_table(["only"], [])
+        assert table.splitlines() == ["| only |", "|---|"]
+
+
+class TestMeasureGraph:
+    def test_headline_quantities(self):
+        graph = harary_graph(4, 16)
+        row = measure_graph(graph, "h", rng=3)
+        assert row.n == 16
+        assert row.k == 4
+        assert row.lam == 4
+        assert 0 < row.cds_size <= row.k
+        assert 0 < row.spanning_size <= row.lam
+        assert row.tutte_bound == 2
+        lower, upper = row.estimate_interval
+        assert lower - 1e-9 <= row.k <= upper + 1e-9
+        assert row.broadcast_throughput > 0
+
+    def test_deterministic(self):
+        graph = harary_graph(4, 12)
+        first = measure_graph(graph, "g", rng=11)
+        second = measure_graph(graph, "g", rng=11)
+        assert first == second
+
+
+class TestFullReport:
+    def test_sections_and_rows(self):
+        report = full_report(
+            [("h1", harary_graph(4, 12)), ("h2", harary_graph(6, 14))],
+            rng=5,
+        )
+        assert "# repro measurement report" in report
+        assert "## Theorem 1.1/1.2" in report
+        assert "## Theorem 1.3" in report
+        assert "## Corollary 1.7" in report
+        assert "## Corollary 1.4" in report
+        assert report.count("| h1 |") == 4  # one row per section
+        assert report.count("| h2 |") == 4
+
+    def test_report_is_valid_markdown_tables(self):
+        report = full_report([("g", harary_graph(4, 12))], rng=7)
+        for line in report.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")

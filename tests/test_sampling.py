@@ -1,0 +1,101 @@
+"""Karger edge partition and vertex sampling (Section 5.2, [12], E12)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphValidationError
+from repro.graphs.connectivity import edge_connectivity
+from repro.graphs.generators import harary_graph
+from repro.graphs.sampling import (
+    choose_karger_parts,
+    karger_edge_partition,
+    partition_vertices,
+    sample_vertices,
+)
+
+
+class TestEdgePartition:
+    def test_edges_partitioned_exactly(self):
+        g = harary_graph(4, 16)
+        parts = karger_edge_partition(g, 3, rng=1)
+        all_edges = set()
+        for p in parts:
+            edges = {frozenset(e) for e in p.edges()}
+            assert not all_edges & edges, "parts must be edge-disjoint"
+            all_edges |= edges
+        assert all_edges == {frozenset(e) for e in g.edges()}
+
+    def test_parts_carry_all_nodes(self):
+        g = harary_graph(4, 12)
+        for p in karger_edge_partition(g, 4, rng=2):
+            assert set(p.nodes()) == set(g.nodes())
+
+    def test_single_part_is_copy(self):
+        g = harary_graph(4, 12)
+        (p,) = karger_edge_partition(g, 1, rng=3)
+        assert {frozenset(e) for e in p.edges()} == {
+            frozenset(e) for e in g.edges()
+        }
+
+    def test_rejects_zero_parts(self):
+        with pytest.raises(GraphValidationError):
+            karger_edge_partition(nx.cycle_graph(4), 0)
+
+    def test_connectivity_concentration(self):
+        """E12's shape: a high-λ graph splits into still-well-connected
+        parts (exact concentration needs λ/η ≥ Θ(log n); at this toy
+        scale we check the qualitative survival of connectivity)."""
+        g = harary_graph(16, 34)
+        parts = karger_edge_partition(g, 2, rng=0)
+        lams = [edge_connectivity(p) for p in parts]
+        assert all(lam >= 2 for lam in lams)
+        assert sum(lams) >= 16 // 4
+
+
+class TestChooseParts:
+    def test_small_lambda_single_part(self):
+        assert choose_karger_parts(4, 100) == 1
+
+    def test_large_lambda_splits(self):
+        eta = choose_karger_parts(10000, 100, epsilon=0.5)
+        assert eta > 1
+        # λ/η must land in the prescribed window [t, 3t]
+        import math
+
+        t = 20.0 * math.log(100) / 0.25
+        assert 10000 / eta >= 20.0 * math.log(100) / (0.5**2)
+
+    def test_rejects_bad_lambda(self):
+        with pytest.raises(GraphValidationError):
+            choose_karger_parts(0, 10)
+
+
+class TestVertexSampling:
+    def test_probability_bounds(self):
+        g = nx.complete_graph(30)
+        assert sample_vertices(g, 0.0, rng=1) == set()
+        assert sample_vertices(g, 1.0, rng=1) == set(g.nodes())
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(GraphValidationError):
+            sample_vertices(nx.cycle_graph(3), 1.5)
+
+    def test_partition_vertices_disjoint_cover(self):
+        g = nx.complete_graph(20)
+        groups = partition_vertices(g, 4, rng=9)
+        union = set()
+        for grp in groups:
+            assert not union & grp
+            union |= grp
+        assert union == set(g.nodes())
+
+
+@settings(max_examples=25, deadline=None)
+@given(parts=st.integers(1, 6), seed=st.integers(0, 1000))
+def test_partition_is_exact_cover_property(parts, seed):
+    g = harary_graph(4, 14)
+    subs = karger_edge_partition(g, parts, rng=seed)
+    total = sum(p.number_of_edges() for p in subs)
+    assert total == g.number_of_edges()

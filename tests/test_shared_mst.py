@@ -1,0 +1,163 @@
+"""Tests for the Lemma 5.1 simultaneous-MST composition."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphValidationError
+from repro.graphs.generators import harary_graph, hypercube
+from repro.graphs.sampling import karger_edge_partition
+from repro.simulator.algorithms.shared_mst import simultaneous_msts
+from repro.simulator.network import Network
+
+
+def _forest_graph(nodes, edges):
+    graph = nx.Graph()
+    graph.add_nodes_from(nodes)
+    graph.add_edges_from(tuple(e) for e in edges)
+    return graph
+
+
+class TestSimultaneousMsts:
+    def test_single_subgraph_whole_network(self):
+        graph = harary_graph(4, 14)
+        network = Network(graph, rng=1)
+        result = simultaneous_msts(network, [graph])
+        forest = _forest_graph(graph.nodes(), result.forests[0])
+        assert nx.is_tree(forest)
+        assert set(forest.nodes()) == set(graph.nodes())
+
+    def test_karger_parts_get_spanning_trees(self):
+        graph = harary_graph(8, 24)
+        network = Network(graph, rng=1)
+        parts = karger_edge_partition(graph, 2, rng=3)
+        result = simultaneous_msts(network, parts)
+        for part, edges in zip(parts, result.forests):
+            forest = _forest_graph(graph.nodes(), edges)
+            assert nx.is_forest(forest)
+            assert nx.number_connected_components(
+                forest
+            ) == nx.number_connected_components(part)
+            for e in edges:
+                assert part.has_edge(*tuple(e))
+
+    def test_forests_are_edge_disjoint(self):
+        graph = harary_graph(8, 20)
+        network = Network(graph, rng=2)
+        parts = karger_edge_partition(graph, 2, rng=5)
+        result = simultaneous_msts(network, parts)
+        seen = set()
+        for edges in result.forests:
+            assert not (edges & seen)
+            seen |= edges
+
+    def test_weighted_mst_matches_networkx(self):
+        """With distinct weights the computed tree must be *the* MST."""
+        rng = random.Random(7)
+        graph = hypercube(4)
+        weights = {
+            frozenset((u, v)): rng.uniform(1, 100) for u, v in graph.edges()
+        }
+
+        def weight_fn(u, v):
+            return weights[frozenset((u, v))]
+
+        weighted = graph.copy()
+        for u, v in weighted.edges():
+            weighted[u][v]["weight"] = weight_fn(u, v)
+        expected = {
+            frozenset((u, v))
+            for u, v in nx.minimum_spanning_tree(weighted).edges()
+        }
+
+        network = Network(graph, rng=3)
+        result = simultaneous_msts(
+            network, [graph], weight_fns=[weight_fn], local_phases=2
+        )
+        assert result.forests[0] == expected
+
+    def test_weighted_msts_of_two_parts(self):
+        rng = random.Random(11)
+        graph = harary_graph(6, 18)
+        parts = karger_edge_partition(graph, 2, rng=13)
+        weights = {
+            frozenset((u, v)): rng.uniform(1, 50) for u, v in graph.edges()
+        }
+
+        def weight_fn(u, v):
+            return weights[frozenset((u, v))]
+
+        network = Network(graph, rng=4)
+        result = simultaneous_msts(
+            network, parts, weight_fns=[weight_fn, weight_fn]
+        )
+        for part, edges in zip(parts, result.forests):
+            if not nx.is_connected(part):
+                continue
+            weighted = part.copy()
+            for u, v in weighted.edges():
+                weighted[u][v]["weight"] = weight_fn(u, v)
+            expected = {
+                frozenset((u, v))
+                for u, v in nx.minimum_spanning_tree(weighted).edges()
+            }
+            assert edges == expected
+
+    def test_sharing_beats_naive_for_many_parts(self):
+        graph = harary_graph(8, 32)
+        network = Network(graph, rng=5)
+        parts = karger_edge_partition(graph, 4, rng=9)
+        result = simultaneous_msts(network, parts)
+        assert result.sharing_speedup > 1.5
+        assert result.total_rounds == (
+            result.fragment_rounds + result.completion_rounds
+        )
+
+    def test_more_local_phases_lighten_the_upcast(self):
+        graph = harary_graph(6, 30)
+        network = Network(graph, rng=6)
+        shallow = simultaneous_msts(network, [graph], local_phases=0)
+        deep = simultaneous_msts(network, [graph], local_phases=3)
+        assert deep.upcast_items < shallow.upcast_items
+
+    def test_disconnected_subgraph_yields_forest(self):
+        graph = harary_graph(4, 12)
+        part = nx.Graph()
+        part.add_nodes_from(graph.nodes())
+        some_edges = list(graph.edges())[:5]
+        part.add_edges_from(some_edges)
+        network = Network(graph, rng=7)
+        result = simultaneous_msts(network, [part])
+        forest = _forest_graph(graph.nodes(), result.forests[0])
+        assert nx.is_forest(forest)
+        assert nx.number_connected_components(
+            forest
+        ) == nx.number_connected_components(part)
+
+    def test_rejects_empty_subgraph_list(self):
+        network = Network(nx.path_graph(4), rng=1)
+        with pytest.raises(GraphValidationError):
+            simultaneous_msts(network, [])
+
+    def test_rejects_overlapping_subgraphs(self):
+        graph = nx.cycle_graph(6)
+        network = Network(graph, rng=1)
+        with pytest.raises(GraphValidationError):
+            simultaneous_msts(network, [graph, graph])
+
+    def test_rejects_foreign_edges(self):
+        graph = nx.cycle_graph(6)
+        foreign = nx.Graph()
+        foreign.add_edge(0, 3)  # a chord the cycle does not have
+        network = Network(graph, rng=1)
+        with pytest.raises(GraphValidationError):
+            simultaneous_msts(network, [foreign])
+
+    def test_rejects_mismatched_weight_fns(self):
+        graph = nx.cycle_graph(6)
+        network = Network(graph, rng=1)
+        with pytest.raises(GraphValidationError):
+            simultaneous_msts(network, [graph], weight_fns=[])

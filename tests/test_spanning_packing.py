@@ -1,0 +1,108 @@
+"""Fractional spanning tree packing (Theorem 1.3, Lemmas F.1/F.2)."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphValidationError
+from repro.core.spanning_packing import (
+    MwuParameters,
+    fractional_spanning_tree_packing,
+    mwu_spanning_packing,
+)
+from repro.graphs.connectivity import edge_connectivity
+from repro.graphs.generators import (
+    clique_chain,
+    fat_cycle,
+    harary_graph,
+    hypercube,
+)
+
+FAST = MwuParameters(epsilon=0.2, beta_factor=3.0)
+
+
+class TestMwuCore:
+    def test_normalized_weights_form_valid_packing(self):
+        g = harary_graph(5, 18)
+        normalized, trace, target = mwu_spanning_packing(g, params=FAST)
+        assert target == 2
+        loads = {}
+        for tree_edges, weight in normalized:
+            assert weight >= 0
+            for e in tree_edges:
+                loads[e] = loads.get(e, 0.0) + weight
+        assert max(loads.values()) <= 1.0 + 1e-9
+
+    def test_stopping_rule_triggers(self):
+        g = harary_graph(5, 18)
+        _, trace, _ = mwu_spanning_packing(g, params=FAST)
+        assert trace.stopped_early
+        assert trace.iterations < FAST.iteration_cap(18)
+
+    def test_load_trajectory_improves(self):
+        """Lemma F.2's potential argument: the max relative load decreases
+        from its initial value of `target` toward 1+O(ε)."""
+        g = harary_graph(6, 20)
+        _, trace, target = mwu_spanning_packing(g, params=FAST)
+        # Initially a single tree of weight 1 loads its edges fully.
+        assert trace.max_relative_load[0] == pytest.approx(1.0)
+        # MWU spreads load: the max x_e shrinks toward (1+O(ε))/target.
+        assert trace.max_relative_load[-1] <= trace.max_relative_load[0]
+        assert trace.max_relative_load[-1] <= 1.5 / target + 0.2
+
+    def test_rejects_disconnected(self):
+        g = nx.Graph([(0, 1), (2, 3)])
+        with pytest.raises(GraphValidationError):
+            mwu_spanning_packing(g)
+
+
+class TestTheorem13:
+    @pytest.mark.parametrize(
+        "builder,expected_lam",
+        [
+            (lambda: harary_graph(5, 18), 5),
+            (lambda: harary_graph(6, 20), 6),
+            (lambda: hypercube(4), 4),
+            (lambda: fat_cycle(2, 5), 4),
+        ],
+    )
+    def test_size_close_to_tutte_bound(self, builder, expected_lam):
+        """size >= ⌈(λ−1)/2⌉·(1−ε') for a modest ε'."""
+        g = builder()
+        result = fractional_spanning_tree_packing(g, params=FAST, rng=61)
+        result.packing.verify()
+        target = (expected_lam - 1 + 1) // 2  # ceil((λ-1)/2)
+        assert result.size >= 0.6 * max(1, target)
+
+    def test_edge_capacity_respected(self):
+        g = harary_graph(6, 20)
+        result = fractional_spanning_tree_packing(g, params=FAST, rng=62)
+        assert result.packing.max_edge_load() <= 1.0 + 1e-9
+
+    def test_size_never_exceeds_lambda(self):
+        """Any fractional spanning tree packing has size <= λ (each tree
+        crosses every edge cut)."""
+        g = harary_graph(4, 16)
+        result = fractional_spanning_tree_packing(g, params=FAST, rng=63)
+        assert result.size <= edge_connectivity(g) + 1e-9
+
+    def test_single_part_for_small_lambda(self):
+        g = hypercube(3)
+        result = fractional_spanning_tree_packing(g, params=FAST, rng=64)
+        assert result.parts == 1
+
+    def test_low_connectivity_tree_like(self):
+        g = clique_chain(2, 5)
+        result = fractional_spanning_tree_packing(g, params=FAST, rng=65)
+        result.packing.verify()
+        assert result.size >= 0.5
+
+    def test_rejects_trivial_graphs(self):
+        g = nx.Graph()
+        g.add_node(0)
+        with pytest.raises(GraphValidationError):
+            fractional_spanning_tree_packing(g)
+
+    def test_trace_exposed(self):
+        g = hypercube(3)
+        result = fractional_spanning_tree_packing(g, params=FAST, rng=66)
+        assert result.traces and result.traces[0].iterations >= 1

@@ -1,0 +1,51 @@
+"""Distributed spanning tree packing (Section 5.1 protocol, Lemma 5.1)."""
+
+import networkx as nx
+import pytest
+
+from repro.core.spanning_packing import MwuParameters
+from repro.core.spanning_packing_distributed import distributed_spanning_packing
+from repro.graphs.generators import harary_graph, hypercube
+
+FAST = MwuParameters(epsilon=0.25, beta_factor=3.0)
+
+
+@pytest.fixture(scope="module")
+def dist_result():
+    g = harary_graph(5, 20)
+    return g, distributed_spanning_packing(
+        g, params=FAST, rng=71, max_iterations=20
+    )
+
+
+class TestDistributedSpanning:
+    def test_packing_valid(self, dist_result):
+        _, result = dist_result
+        result.packing.verify()
+        assert result.result.size > 0.5
+
+    def test_rounds_accounted(self, dist_result):
+        _, result = dist_result
+        assert result.report.measured.rounds > 0
+        assert result.report.analytic[0].name == "lemma-5.1"
+        assert result.report.analytic_total() > 0
+
+    def test_iterations_recorded(self, dist_result):
+        _, result = dist_result
+        assert result.iterations_per_part
+        assert all(i >= 1 for i in result.iterations_per_part)
+
+    def test_edge_load_capacity(self, dist_result):
+        _, result = dist_result
+        assert result.packing.max_edge_load() <= 1.0 + 1e-9
+
+    def test_matches_centralized_shape(self):
+        """Distributed and centralized optimizers reach similar sizes."""
+        from repro.core.spanning_packing import fractional_spanning_tree_packing
+
+        g = hypercube(3)
+        central = fractional_spanning_tree_packing(g, params=FAST, rng=72)
+        dist = distributed_spanning_packing(
+            g, params=FAST, rng=72, max_iterations=40
+        )
+        assert dist.result.size >= 0.5 * central.size

@@ -1,0 +1,62 @@
+"""Sparse connectivity certificates (Thurimella/Nagamochi-Ibaraki substrate)."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphValidationError
+from repro.graphs.connectivity import edge_connectivity
+from repro.graphs.generators import harary_graph, random_regular_connected
+from repro.graphs.sparse_certificates import (
+    sparse_connectivity_certificate,
+    spanning_forest_decomposition,
+)
+
+
+class TestForestDecomposition:
+    def test_forests_are_forests(self):
+        g = harary_graph(4, 14)
+        for f in spanning_forest_decomposition(g, 3):
+            assert nx.is_forest(f)
+
+    def test_forests_edge_disjoint(self):
+        g = harary_graph(6, 18)
+        forests = spanning_forest_decomposition(g, 4)
+        seen = set()
+        for f in forests:
+            edges = {frozenset(e) for e in f.edges()}
+            assert not seen & edges
+            seen |= edges
+
+    def test_first_forest_spans(self):
+        g = harary_graph(4, 14)
+        f0 = spanning_forest_decomposition(g, 1)[0]
+        assert nx.is_connected(f0)
+        assert f0.number_of_edges() == g.number_of_nodes() - 1
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(GraphValidationError):
+            spanning_forest_decomposition(nx.cycle_graph(4), 0)
+
+
+class TestCertificate:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_preserves_connectivity_up_to_k(self, k):
+        g = random_regular_connected(6, 18, rng=4)
+        cert = sparse_connectivity_certificate(g, k)
+        assert min(edge_connectivity(cert), k) == min(edge_connectivity(g), k)
+
+    def test_edge_budget(self):
+        g = harary_graph(8, 20)
+        cert = sparse_connectivity_certificate(g, 3)
+        assert cert.number_of_edges() <= 3 * (g.number_of_nodes() - 1)
+
+    def test_subgraph_of_original(self):
+        g = harary_graph(4, 12)
+        cert = sparse_connectivity_certificate(g, 2)
+        for e in cert.edges():
+            assert g.has_edge(*e)
+
+    def test_preserves_nodes(self):
+        g = harary_graph(4, 12)
+        cert = sparse_connectivity_certificate(g, 2)
+        assert set(cert.nodes()) == set(g.nodes())

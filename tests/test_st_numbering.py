@@ -1,0 +1,196 @@
+"""Tests for st-numbering and the Itai–Rodeh independent trees (§1.4.1)."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.st_numbering import (
+    itai_rodeh_independent_trees,
+    st_numbering,
+    verify_independent_pair,
+)
+from repro.errors import GraphValidationError
+from repro.graphs.generators import (
+    fat_cycle,
+    harary_graph,
+    hypercube,
+    torus_grid,
+)
+
+
+def _check_numbering(graph, numbering, s, t):
+    n = graph.number_of_nodes()
+    assert sorted(numbering.values()) == list(range(1, n + 1))
+    assert numbering[s] == 1
+    assert numbering[t] == n
+    for v in graph.nodes():
+        if v in (s, t):
+            continue
+        values = [numbering[u] for u in graph.neighbors(v)]
+        assert min(values) < numbering[v] < max(values)
+
+
+class TestStNumbering:
+    def test_cycle(self):
+        graph = nx.cycle_graph(7)
+        numbering = st_numbering(graph, 0, 1)
+        _check_numbering(graph, numbering, 0, 1)
+
+    def test_complete_graph(self):
+        graph = nx.complete_graph(6)
+        numbering = st_numbering(graph, 2, 5)
+        _check_numbering(graph, numbering, 2, 5)
+
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: harary_graph(4, 14),
+            lambda: hypercube(4),
+            lambda: fat_cycle(3, 5),
+            lambda: torus_grid(4, 4),
+            lambda: nx.petersen_graph(),
+        ],
+    )
+    def test_families(self, builder):
+        graph = builder()
+        s = next(iter(graph.nodes()))
+        t = next(iter(graph.neighbors(s)))
+        _check_numbering(graph, st_numbering(graph, s, t), s, t)
+
+    def test_rejects_non_adjacent_terminals(self):
+        graph = nx.cycle_graph(6)
+        with pytest.raises(GraphValidationError):
+            st_numbering(graph, 0, 3)
+
+    def test_rejects_equal_terminals(self):
+        with pytest.raises(GraphValidationError):
+            st_numbering(nx.cycle_graph(5), 0, 0)
+
+    def test_rejects_tiny_graph(self):
+        with pytest.raises(GraphValidationError):
+            st_numbering(nx.path_graph(2), 0, 1)
+
+    def test_rejects_one_connected_graph(self):
+        """A path is connected but not 2-connected: the property cannot
+        hold and the verifier must catch it."""
+        graph = nx.path_graph(5)
+        with pytest.raises(GraphValidationError):
+            st_numbering(graph, 0, 1)
+
+    def test_rejects_cut_vertex_graph(self):
+        graph = nx.Graph()
+        # Two triangles sharing vertex 2 (a cut vertex).
+        graph.add_edges_from([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+        with pytest.raises(GraphValidationError):
+            st_numbering(graph, 0, 1)
+
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(0, 10_000), n=st.integers(4, 16))
+    def test_random_biconnected(self, seed, n):
+        rng = random.Random(seed)
+        graph = nx.gnp_random_graph(n, 0.5, seed=rng.randint(0, 10**6))
+        if not nx.is_connected(graph) or nx.node_connectivity(graph) < 2:
+            return
+        s = rng.choice(sorted(graph.nodes()))
+        t = rng.choice(sorted(graph.neighbors(s)))
+        _check_numbering(graph, st_numbering(graph, s, t), s, t)
+
+
+class TestItaiRodehTrees:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: nx.cycle_graph(8),
+            lambda: nx.complete_graph(5),
+            lambda: harary_graph(4, 16),
+            lambda: hypercube(3),
+            lambda: fat_cycle(3, 4),
+            lambda: torus_grid(3, 4),
+            lambda: nx.petersen_graph(),
+        ],
+    )
+    def test_pair_is_independent(self, builder):
+        graph = builder()
+        root = next(iter(graph.nodes()))
+        down, up = itai_rodeh_independent_trees(graph, root)
+        assert verify_independent_pair(graph, root, down, up)
+
+    def test_all_roots_work(self):
+        """The theorem is per-root; exercise every root of one graph."""
+        graph = harary_graph(4, 10)
+        for root in graph.nodes():
+            down, up = itai_rodeh_independent_trees(graph, root)
+            assert verify_independent_pair(graph, root, down, up)
+
+    def test_trees_are_spanning(self):
+        graph = hypercube(4)
+        down, up = itai_rodeh_independent_trees(graph, 0)
+        assert set(down.nodes()) == set(graph.nodes())
+        assert set(up.nodes()) == set(graph.nodes())
+        assert nx.is_tree(down)
+        assert nx.is_tree(up)
+
+    def test_tree_edges_come_from_graph(self):
+        graph = fat_cycle(3, 4)
+        down, up = itai_rodeh_independent_trees(graph, 0)
+        for tree in (down, up):
+            for u, v in tree.edges():
+                assert graph.has_edge(u, v)
+
+    def test_rejects_unknown_root(self):
+        with pytest.raises(GraphValidationError):
+            itai_rodeh_independent_trees(nx.cycle_graph(5), 99)
+
+    def test_rejects_tiny_graph(self):
+        with pytest.raises(GraphValidationError):
+            itai_rodeh_independent_trees(nx.path_graph(2), 0)
+
+    def test_rejects_non_biconnected(self):
+        with pytest.raises(GraphValidationError):
+            itai_rodeh_independent_trees(nx.path_graph(6), 0)
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(0, 10_000))
+    def test_random_biconnected_pairs(self, seed):
+        rng = random.Random(seed)
+        graph = nx.gnp_random_graph(12, 0.4, seed=rng.randint(0, 10**6))
+        if not nx.is_connected(graph) or nx.node_connectivity(graph) < 2:
+            return
+        root = rng.choice(sorted(graph.nodes()))
+        down, up = itai_rodeh_independent_trees(graph, root)
+        assert verify_independent_pair(graph, root, down, up)
+
+
+class TestVerifier:
+    def test_rejects_shared_internal_vertex(self):
+        """Two copies of the same tree cannot be independent."""
+        graph = nx.cycle_graph(6)
+        down, _ = itai_rodeh_independent_trees(graph, 0)
+        assert not verify_independent_pair(graph, 0, down, down.copy())
+
+    def test_rejects_non_tree(self):
+        graph = nx.cycle_graph(6)
+        down, up = itai_rodeh_independent_trees(graph, 0)
+        broken = up.copy()
+        broken.add_edge(2, 5)
+        assert not verify_independent_pair(graph, 0, down, broken)
+
+    def test_rejects_non_spanning(self):
+        graph = nx.cycle_graph(6)
+        down, up = itai_rodeh_independent_trees(graph, 0)
+        shrunk = nx.Graph()
+        shrunk.add_edges_from(list(up.edges())[:-1])
+        assert not verify_independent_pair(graph, 0, down, shrunk)

@@ -1,0 +1,106 @@
+"""Unit + property tests for the disjoint-set forest (Appendix C substrate)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.union_find import UnionFind
+
+
+class TestBasics:
+    def test_singletons(self):
+        uf = UnionFind([1, 2, 3])
+        assert len(uf) == 3
+        assert uf.n_components == 3
+        assert all(uf.find(x) == x for x in (1, 2, 3))
+
+    def test_union_reduces_components(self):
+        uf = UnionFind([1, 2, 3])
+        assert uf.union(1, 2) is True
+        assert uf.n_components == 2
+        assert uf.connected(1, 2)
+        assert not uf.connected(1, 3)
+
+    def test_union_idempotent(self):
+        uf = UnionFind([1, 2])
+        assert uf.union(1, 2) is True
+        assert uf.union(1, 2) is False
+        assert uf.n_components == 1
+
+    def test_lazy_insertion_on_find(self):
+        uf = UnionFind()
+        assert uf.find("x") == "x"
+        assert "x" in uf
+        assert uf.n_components == 1
+
+    def test_component_size(self):
+        uf = UnionFind(range(5))
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.component_size(0) == 3
+        assert uf.component_size(3) == 1
+
+    def test_components_materialization(self):
+        uf = UnionFind(range(4))
+        uf.union(0, 1)
+        uf.union(2, 3)
+        groups = {frozenset(g) for g in uf.components()}
+        assert groups == {frozenset({0, 1}), frozenset({2, 3})}
+
+    def test_representatives_one_per_set(self):
+        uf = UnionFind(range(6))
+        uf.union(0, 1)
+        uf.union(2, 3)
+        reps = uf.representatives()
+        assert len(reps) == uf.n_components == 4
+
+    def test_hashable_elements(self):
+        uf = UnionFind()
+        uf.union(("a", 1), ("b", 2))
+        assert uf.connected(("a", 1), ("b", 2))
+
+    def test_transitivity(self):
+        uf = UnionFind(range(10))
+        for i in range(9):
+            uf.union(i, i + 1)
+        assert uf.connected(0, 9)
+        assert uf.n_components == 1
+
+    def test_iteration(self):
+        uf = UnionFind([5, 6])
+        assert set(iter(uf)) == {5, 6}
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 20), st.integers(0, 20)),
+        min_size=0,
+        max_size=60,
+    )
+)
+def test_matches_naive_partition(pairs):
+    """Union-find agrees with a brute-force partition refinement."""
+    uf = UnionFind(range(21))
+    naive = {i: {i} for i in range(21)}
+    for a, b in pairs:
+        uf.union(a, b)
+        if naive[a] is not naive[b]:
+            merged = naive[a] | naive[b]
+            for x in merged:
+                naive[x] = merged
+    for a in range(21):
+        for b in range(a + 1, 21):
+            assert uf.connected(a, b) == (naive[b] is naive[a])
+    assert uf.n_components == len({id(s) for s in naive.values()})
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=40))
+def test_component_sizes_sum_to_n(pairs):
+    uf = UnionFind(range(16))
+    for a, b in pairs:
+        uf.union(a, b)
+    assert sum(len(c) for c in uf.components()) == 16

@@ -1,0 +1,139 @@
+"""Tests for the message workload generators."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.analysis.workloads import (
+    balanced_workload,
+    max_messages_per_node,
+    messages_per_node,
+    per_node_capped_workload,
+    single_source_workload,
+    skewed_workload,
+    uniform_workload,
+)
+from repro.errors import GraphValidationError
+from repro.graphs.generators import harary_graph
+
+
+@pytest.fixture
+def graph():
+    return harary_graph(4, 12)
+
+
+class TestUniform:
+    def test_ids_and_membership(self, graph):
+        workload = uniform_workload(graph, 30, rng=1)
+        assert sorted(workload) == list(range(30))
+        assert all(graph.has_node(v) for v in workload.values())
+
+    def test_deterministic(self, graph):
+        assert uniform_workload(graph, 20, rng=5) == uniform_workload(
+            graph, 20, rng=5
+        )
+
+    def test_rejects_zero_messages(self, graph):
+        with pytest.raises(GraphValidationError):
+            uniform_workload(graph, 0)
+
+    def test_rejects_empty_graph(self):
+        with pytest.raises(GraphValidationError):
+            uniform_workload(nx.Graph(), 3)
+
+    def test_spreads_over_many_nodes(self, graph):
+        workload = uniform_workload(graph, 240, rng=2)
+        used = set(workload.values())
+        assert len(used) >= graph.number_of_nodes() // 2
+
+
+class TestSingleSource:
+    def test_all_at_default_source(self, graph):
+        workload = single_source_workload(graph, 9)
+        assert len(set(workload.values())) == 1
+
+    def test_explicit_source(self, graph):
+        workload = single_source_workload(graph, 5, source=7)
+        assert set(workload.values()) == {7}
+
+    def test_eta_equals_n_messages(self, graph):
+        workload = single_source_workload(graph, 11)
+        assert max_messages_per_node(graph, workload) == 11
+
+    def test_rejects_unknown_source(self, graph):
+        with pytest.raises(GraphValidationError):
+            single_source_workload(graph, 3, source="nope")
+
+
+class TestBalanced:
+    def test_eta_is_ceiling(self, graph):
+        workload = balanced_workload(graph, 30)  # 30 over 12 nodes
+        counts = messages_per_node(graph, workload)
+        assert max(counts.values()) == 3
+        assert min(counts.values()) == 2
+
+    def test_exact_multiple(self, graph):
+        workload = balanced_workload(graph, 24)
+        counts = messages_per_node(graph, workload)
+        assert set(counts.values()) == {2}
+
+    def test_fewer_messages_than_nodes(self, graph):
+        workload = balanced_workload(graph, 5)
+        assert max_messages_per_node(graph, workload) == 1
+
+
+class TestSkewed:
+    def test_zero_exponent_behaves_like_uniform(self, graph):
+        workload = skewed_workload(graph, 200, exponent=0.0, rng=3)
+        counts = messages_per_node(graph, workload)
+        assert max(counts.values()) < 200 // 3
+
+    def test_high_exponent_concentrates(self, graph):
+        workload = skewed_workload(graph, 200, exponent=4.0, rng=3)
+        counts = messages_per_node(graph, workload)
+        # The rank-0 node must dominate under s = 4.
+        assert max(counts.values()) > 100
+
+    def test_rejects_negative_exponent(self, graph):
+        with pytest.raises(GraphValidationError):
+            skewed_workload(graph, 5, exponent=-1.0)
+
+    def test_deterministic(self, graph):
+        first = skewed_workload(graph, 50, exponent=1.5, rng=9)
+        second = skewed_workload(graph, 50, exponent=1.5, rng=9)
+        assert first == second
+
+
+class TestCapped:
+    def test_cap_is_respected(self, graph):
+        workload = per_node_capped_workload(graph, 20, max_per_node=2, rng=4)
+        assert max_messages_per_node(graph, workload) <= 2
+        assert len(workload) == 20
+
+    def test_tight_cap_fills_exactly(self, graph):
+        workload = per_node_capped_workload(graph, 24, max_per_node=2, rng=4)
+        counts = messages_per_node(graph, workload)
+        assert set(counts.values()) == {2}
+
+    def test_rejects_impossible_cap(self, graph):
+        with pytest.raises(GraphValidationError):
+            per_node_capped_workload(graph, 25, max_per_node=2)
+
+    def test_rejects_bad_cap(self, graph):
+        with pytest.raises(GraphValidationError):
+            per_node_capped_workload(graph, 5, max_per_node=0)
+
+
+class TestHistogram:
+    def test_counts_sum_to_n(self, graph):
+        workload = uniform_workload(graph, 40, rng=6)
+        counts = messages_per_node(graph, workload)
+        assert sum(counts.values()) == 40
+
+    def test_rejects_foreign_node(self, graph):
+        with pytest.raises(GraphValidationError):
+            messages_per_node(graph, {0: "ghost"})
+
+    def test_empty_workload_eta_zero(self, graph):
+        assert max_messages_per_node(graph, {}) == 0
