@@ -213,3 +213,11 @@ def test_a5_fragment_depth_tradeoff(benchmark):
     # The trade-off: items decrease monotonically, fragment rounds grow.
     assert items == sorted(items, reverse=True)
     assert frag[-1] >= frag[0]
+
+def smoke():
+    """Tiny A1-style run for the bench-smoke tier (imports + hot path)."""
+    normalized, trace, target = mwu_spanning_packing(
+        harary_graph(4, 12),
+        params=MwuParameters(epsilon=0.3, beta_factor=1.0, max_iterations=30),
+    )
+    assert normalized and trace.iterations >= 1 and target >= 1

@@ -170,3 +170,11 @@ def test_e18_class_sizes_vs_greedy_cds(benchmark):
         ["family", "greedy CDS", "mean class", "max class", "ratio", "ln n"],
         rows,
     )
+
+def smoke():
+    """Tiny E18-style run for the bench-smoke tier."""
+    graph = harary_graph(4, 10)
+    assert spanning_tree_packing_number(graph) >= 1
+    kappa, _ = even_tarjan_vertex_connectivity(graph)
+    assert kappa == 4
+    assert fractional_spanning_tree_packing(graph, rng=5).size > 0

@@ -116,3 +116,12 @@ def test_e5_gossip_scaling(benchmark):
         rows,
     )
     assert all(r[4] <= 40 for r in rows)
+
+def smoke():
+    """Tiny E5-style run for the bench-smoke tier."""
+    graph = harary_graph(4, 12)
+    packing = construct_cds_packing(
+        graph, 4, params=PackingParameters(class_factor=1.0, layer_factor=1), rng=3
+    ).packing
+    out = vertex_broadcast(packing, {i: i % 12 for i in range(4)}, rng=4)
+    assert out.rounds > 0

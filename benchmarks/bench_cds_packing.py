@@ -153,3 +153,8 @@ def test_e10_lemma_4_6_class_sizes(benchmark):
     )
     for r in rows:
         assert r["class_ratio"] <= 40.0
+
+def smoke():
+    """Tiny E1-style run for the bench-smoke tier."""
+    row = _run_family("harary(4,12)", lambda: harary_graph(4, 12))
+    assert row["size"] > 0

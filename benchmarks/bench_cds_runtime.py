@@ -58,3 +58,10 @@ def test_e2_single_construction_timing(benchmark):
 
     result = benchmark(build)
     assert result.size > 0
+
+def smoke():
+    """Tiny E2-style run for the bench-smoke tier."""
+    result = construct_cds_packing(
+        harary_graph(4, 16), 4, params=PackingParameters(), rng=3
+    )
+    assert result.size > 0

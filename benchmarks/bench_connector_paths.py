@@ -83,3 +83,10 @@ def test_e9_fast_slow_split(benchmark):
         rows,
     )
     assert rows
+
+def smoke():
+    """Tiny E9-style run for the bench-smoke tier."""
+    g = harary_graph(4, 16)
+    members, comp_a, _ = _two_component_class(g, 4)
+    assert is_dominating_set(g, members)
+    assert count_disjoint_connector_paths(g, comp_a, members).total >= 1

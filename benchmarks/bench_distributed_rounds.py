@@ -105,3 +105,12 @@ def test_e4_spanning_rounds(benchmark):
         rows,
     )
     assert all(r[1] > 0 for r in rows)
+
+def smoke():
+    """Tiny E4-style run for the bench-smoke tier."""
+    result = distributed_cds_packing(harary_graph(4, 12), 4, params=PARAMS, rng=6)
+    assert result.meta_rounds > 0
+    spanning = distributed_spanning_packing(
+        harary_graph(4, 10), 4, max_iterations=2, rng=1
+    )
+    assert spanning.packing.size > 0

@@ -95,3 +95,8 @@ def test_e8_connection_layers_scale_logarithmically(benchmark):
     assert all(r[2] is not None for r in rows), "some run never connected"
     # Needed layers grow at most logarithmically-ish.
     assert rows[-1][2] <= 2 * math.log2(rows[-1][0])
+
+def smoke():
+    """Tiny E8-style run for the bench-smoke tier."""
+    _, history = build_cds_classes(harary_graph(6, 18), n_classes=6, n_layers=4, rng=0)
+    assert history

@@ -69,3 +69,10 @@ def test_f3_construction_figure(benchmark):
     assert fig.n_heavy == (6 + 1) * 12 * 3  # blow-up: w copies each
     assert fig.n_encoding == 4 + 3
     assert fig.diameter <= 3
+
+def smoke():
+    """Tiny F1/F3-style run for the bench-smoke tier."""
+    fig = figure1_bridging_graph(harary_graph(6, 18), n_classes=6, layers=4, rng=3)
+    assert fig.render()
+    inst = build_g_xy(h=3, ell=1, w=6, x_set=frozenset({1}), y_set=frozenset({1}))
+    assert figure3_construction(inst).render()

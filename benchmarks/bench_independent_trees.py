@@ -50,3 +50,11 @@ def test_e16_independent_trees_any_root(benchmark):
     )
     assert all(r[4] for r in rows)
     assert any(r[2] >= 2 for r in rows), "need >= 2 trees for a real check"
+
+def smoke():
+    """Tiny E16-style run for the bench-smoke tier."""
+    g = fat_cycle(6, 4)
+    result = integral_cds_packing(g, class_factor=3.0, rng=17)
+    root = next(iter(g.nodes()))
+    trees = independent_trees_from_packing(result.packing, root)
+    assert verify_vertex_independent(g, trees, root)

@@ -113,3 +113,10 @@ def test_e15c_distributed_integral_spanning(benchmark):
         rows,
     )
     assert all(r[3] >= 1 for r in rows)
+
+def smoke():
+    """Tiny E15-style run for the bench-smoke tier."""
+    packing = integral_spanning_packing(harary_graph(6, 14), rng=2)
+    assert packing.is_edge_disjoint()
+    result = integral_cds_packing(harary_graph(8, 20), rng=6)
+    assert result.size >= 1

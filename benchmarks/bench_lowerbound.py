@@ -108,3 +108,9 @@ def test_e14_two_party_bit_budget(benchmark):
         rows,
     )
     assert all(r[3] for r in rows)
+
+def smoke():
+    """Tiny E13-style run for the bench-smoke tier."""
+    inst = build_g_xy(h=3, ell=1, w=6, x_set=frozenset({1}), y_set=frozenset({1}))
+    assert vertex_connectivity(inst.graph) == 4
+    assert nx.diameter(inst.graph) <= 3

@@ -101,3 +101,12 @@ def test_e17_coefficient_overhead_growth(benchmark):
     per_packet = [row[2] for row in rows]
     assert per_packet == sorted(per_packet)
     assert per_packet[-1] >= 8 * per_packet[0] // 2
+
+def smoke():
+    """Tiny E17-style run for the bench-smoke tier."""
+    graph = harary_graph(4, 12)
+    packing = fractional_cds_packing(graph, rng=3).packing
+    comparison = compare_with_tree_broadcast(
+        graph, packing, {i: i % 12 for i in range(6)}, budget_bits=24, rng=11
+    )
+    assert comparison is not None

@@ -85,3 +85,14 @@ def test_e6_edge_congestion_competitiveness(benchmark):
         rows,
     )
     assert all(r[3] <= 40 for r in rows), "edge competitiveness exploded"
+
+def smoke():
+    """Tiny E6-style run for the bench-smoke tier."""
+    g = harary_graph(4, 12)
+    packing = construct_cds_packing(
+        g, 4, params=PackingParameters(class_factor=1.0, layer_factor=1), rng=11
+    ).packing
+    report = vertex_congestion_report(
+        packing, {i: i % 12 for i in range(8)}, k=4, rng=12
+    )
+    assert report is not None

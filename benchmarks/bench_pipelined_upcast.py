@@ -96,3 +96,9 @@ def test_e19_topology_shapes(benchmark):
     )
     for row in rows:
         assert row[3] <= row[4] + 2
+
+def smoke():
+    """Tiny E19-style run for the bench-smoke tier."""
+    network = Network(nx.path_graph(8), rng=1)
+    result = pipelined_upcast(network, {v: [(0, (0, v))] for v in network.nodes})
+    assert result.rounds > 0

@@ -93,3 +93,8 @@ def test_e22_broadcast_contrast(benchmark):
     # E22a's point-to-point ratio grows with √n.
     normalized = [row[5] for row in rows]
     assert max(normalized) < 25
+
+def smoke():
+    """Tiny E22-style run for the bench-smoke tier."""
+    report = grid_competitiveness(4)
+    assert report.competitiveness > 0

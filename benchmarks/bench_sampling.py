@@ -80,3 +80,10 @@ def test_e12_eta_selection_rule(benchmark):
         rows,
     )
     assert all(r[5] for r in rows)
+
+def smoke():
+    """Tiny E12-style run for the bench-smoke tier."""
+    g = harary_graph(6, 16)
+    parts = karger_edge_partition(g, 2, rng=0)
+    assert sum(p.number_of_edges() for p in parts) == g.number_of_edges()
+    assert choose_karger_parts(2000, 16) >= 1

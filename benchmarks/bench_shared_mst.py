@@ -73,3 +73,9 @@ def test_e21_sharing_speedup_vs_eta(benchmark):
     # Sharing must pay off increasingly with η (Lemma 5.1's point).
     assert speedups[-1] > speedups[0]
     assert speedups[-1] > 1.5
+
+def smoke():
+    """Tiny E21-style run for the bench-smoke tier."""
+    graph = harary_graph(4, 12)
+    result = simultaneous_msts(Network(graph, rng=1), [graph])
+    assert result.forests

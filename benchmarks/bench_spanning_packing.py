@@ -101,3 +101,9 @@ def test_e3_mwu_iteration_count_polylog(benchmark):
     )
     for _, iters, cap, _ in rows:
         assert iters <= cap
+
+def smoke():
+    """Tiny E3-style run for the bench-smoke tier."""
+    result = fractional_spanning_tree_packing(harary_graph(4, 12), params=PARAMS, rng=9)
+    result.packing.verify()
+    assert result.size > 0

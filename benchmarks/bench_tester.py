@@ -85,3 +85,11 @@ def test_e11_round_cost(benchmark):
         rows,
     )
     assert all(r[2] for r in rows)
+
+def smoke():
+    """Tiny E11-style run for the bench-smoke tier."""
+    g = harary_graph(4, 12)
+    good = {v: v % 2 for v in g.nodes()}
+    assert cds_partition_test_centralized(g, good, 2).passed
+    net = Network(g, rng=20)
+    assert distributed_cds_partition_test(net, good, 2, rng=0, detection_rounds=2).passed

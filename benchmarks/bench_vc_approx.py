@@ -65,3 +65,8 @@ def test_e7_approximation_quality(benchmark):
     )
     assert all(r[4] for r in rows), "an interval missed the true k"
     assert all(r[6] <= 8 for r in rows), "approximation worse than O(log n)"
+
+def smoke():
+    """Tiny E7-style run for the bench-smoke tier."""
+    est = approximate_vertex_connectivity(harary_graph(4, 12), rng=15)
+    assert est.lower_bound <= est.upper_bound

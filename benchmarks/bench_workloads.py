@@ -69,3 +69,10 @@ def test_e20_gossip_by_workload_shape(benchmark):
     assert by_name["single-source"][1] == batch
     assert by_name["balanced"][1] == batch // graph.number_of_nodes()
     assert by_name["single-source"][2] >= by_name["balanced"][2]
+
+def smoke():
+    """Tiny E20-style run for the bench-smoke tier."""
+    graph = harary_graph(4, 12)
+    packing = fractional_cds_packing(graph, rng=3).packing
+    out = vertex_broadcast(packing, balanced_workload(graph, 8), rng=5)
+    assert out.rounds > 0

@@ -31,8 +31,9 @@ from repro.core.tree_packing import (
     spanning_tree_of,
 )
 from repro.core.bridging import closed_neighborhood
+from repro.fastgraph import IndexedGraph, IntUnionFind
 from repro.graphs.connectivity import edge_connectivity, is_connected_dominating_set
-from repro.graphs.sampling import karger_edge_partition
+from repro.graphs.sampling import karger_edge_index_partition
 from repro.utils.mathutil import ceil_log2
 from repro.utils.rng import RngLike, ensure_rng
 
@@ -216,6 +217,13 @@ def integral_spanning_packing(
     Splits edges into ``max(1, parts_factor·λ/ln n)`` random parts and
     takes a spanning tree of each connected part. Parts are edge-disjoint,
     hence so are the trees (all carry weight 1 — an integral packing).
+
+    Runs on the :mod:`repro.fastgraph` kernel: the partition is drawn
+    over edge indices (same draw sequence as the graph-object form),
+    connectivity is one :class:`IntUnionFind` sweep per part, and the
+    BFS spanning trees mirror the traversal
+    :func:`~repro.core.tree_packing.spanning_tree_of` performs, so the
+    resulting trees are identical to the pre-kernel construction.
     """
     if graph.number_of_nodes() < 2 or not nx.is_connected(graph):
         raise GraphValidationError("graph must be connected with >= 2 nodes")
@@ -224,13 +232,18 @@ def integral_spanning_packing(
         lam = edge_connectivity(graph)
     n = graph.number_of_nodes()
     parts = max(1, int(parts_factor * lam / math.log(max(n, 2))))
-    subgraphs = karger_edge_partition(graph, parts, rand)
+    indexed = IndexedGraph.from_networkx(graph)
+    assignment = karger_edge_index_partition(indexed.m, parts, rand)
+    buckets: List[List[int]] = [[] for _ in range(parts)]
+    for i, part_id in enumerate(assignment):
+        buckets[part_id].append(i)
     trees = []
-    for index, part in enumerate(subgraphs):
-        if part.number_of_edges() and nx.is_connected(part):
+    uf = IntUnionFind(indexed.n)
+    for index, bucket in enumerate(buckets):
+        if bucket and indexed.is_connected_via(bucket, uf):
             trees.append(
                 WeightedTree(
-                    tree=spanning_tree_of(part),
+                    tree=indexed.tree_graph(indexed.bfs_tree_edges(bucket)),
                     weight=1.0,
                     class_id=index,
                 )

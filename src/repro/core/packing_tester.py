@@ -32,7 +32,7 @@ from typing import Dict, Hashable, List, Optional, Set, Tuple
 import networkx as nx
 
 from repro.errors import GraphValidationError
-from repro.graphs.union_find import UnionFind
+from repro.fastgraph import IndexedGraph, IntUnionFind
 from repro.simulator.algorithms.exchange import exchange_once
 from repro.simulator.algorithms.subgraph_flood import identify_components
 from repro.simulator.metrics import SimulationMetrics
@@ -59,35 +59,42 @@ class CdsTestReport:
 def cds_partition_test_centralized(
     graph: nx.Graph, class_of: Dict[Hashable, int], n_classes: int
 ) -> CdsTestReport:
-    """Deterministic exact test: is every class a CDS? (centralized twin)."""
+    """Deterministic exact test: is every class a CDS? (centralized twin).
+
+    Runs on the :mod:`repro.fastgraph` kernel — node classes in a flat
+    list, domination as set algebra over int adjacency, connectivity as
+    one :class:`IntUnionFind` sweep over the edge array. O(m + n·t)
+    with array constants, matching the paper's ``O(m')`` steps.
+    """
     if set(class_of) != set(graph.nodes()):
         raise GraphValidationError("class_of must cover exactly the graph nodes")
+    indexed = IndexedGraph.from_networkx(graph)
+    cls = [class_of[node] for node in indexed.nodes]
     failing: Set[int] = set()
-    present = set(class_of.values())
-    for class_id in range(n_classes):
-        if class_id not in present:
-            failing.add(class_id)
+    all_classes = frozenset(range(n_classes))
+    failing.update(all_classes.difference(cls))
 
     # Domination: every node must see every class in its closed neighborhood.
     domination_ok = True
-    for v in graph.nodes():
-        seen = {class_of[v]}
-        seen.update(class_of[u] for u in graph.neighbors(v))
-        for class_id in range(n_classes):
-            if class_id not in seen:
-                failing.add(class_id)
-                domination_ok = False
+    adjacency = indexed.neighbors()
+    for x in range(indexed.n):
+        seen = {cls[x]}
+        seen.update(cls[y] for y in adjacency[x])
+        missing = all_classes - seen
+        if missing:
+            failing |= missing
+            domination_ok = False
 
     # Connectivity: one union-find sweep over same-class edges.
-    uf = UnionFind(graph.nodes())
-    for u, v in graph.edges():
-        if class_of[u] == class_of[v]:
-            uf.union(u, v)
-    roots: Dict[int, Hashable] = {}
+    uf = IntUnionFind(indexed.n)
+    for a, b in zip(indexed.u, indexed.v):
+        if cls[a] == cls[b]:
+            uf.union(a, b)
+    roots: Dict[int, int] = {}
     connectivity_ok = True
-    for v in graph.nodes():
-        class_id = class_of[v]
-        root = uf.find(v)
+    for x in range(indexed.n):
+        class_id = cls[x]
+        root = uf.find(x)
         if class_id in roots and roots[class_id] != root:
             failing.add(class_id)
             connectivity_ok = False

@@ -18,20 +18,50 @@ Numerics: ``c_e`` can be astronomically large, but both the MST and the
 stopping rule are invariant under dividing all costs by a constant, so we
 compute ``c_e = exp(α·(z_e − z_max))`` — exactly the paper's quantities,
 renormalized (footnote 6 makes the same point for message size).
+
+Implementation: the inner loop runs on the :mod:`repro.fastgraph`
+kernel — the graph is canonicalized once into an
+:class:`~repro.fastgraph.IndexedGraph`, loads/costs live in flat lists
+indexed by edge id, the MST is a Kruskal scan over a persistently
+near-sorted edge order (cost is a monotone transform of load, so the
+order barely moves between iterations), and the per-iteration
+``O(|collection|)`` weight decay is replaced by a lazy per-tree replay.
+The replay applies, per tree, exactly the multiplication sequence the
+eager loop would have, so results are bit-identical to the preserved
+pre-kernel implementation
+(:mod:`repro.core.spanning_packing_reference`) under fixed seeds —
+``tests/test_fastgraph.py`` enforces this. Trees are ``frozenset``\\ s
+of edge indices internally and become :class:`networkx.Graph` trees
+only at the API boundary.
 """
 
 from __future__ import annotations
 
 import math
+import operator
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
-from repro.errors import GraphValidationError, PackingConstructionError
-from repro.core.tree_packing import SpanningTreePacking, WeightedTree
+from repro.errors import (
+    GraphValidationError,
+    PackingConstructionError,
+    PackingValidationError,
+)
+from repro.core.tree_packing import (
+    _TOLERANCE,
+    SpanningTreePacking,
+    WeightedTree,
+)
+from repro.fastgraph import (
+    IndexedGraph,
+    IntUnionFind,
+    NearSortedEdgeOrder,
+    kruskal_from_order,
+)
 from repro.graphs.connectivity import edge_connectivity
-from repro.graphs.sampling import choose_karger_parts, karger_edge_partition
+from repro.graphs.sampling import choose_karger_parts, karger_edge_index_partition
 from repro.utils.mathutil import ceil_div
 from repro.utils.rng import RngLike, ensure_rng
 
@@ -89,8 +119,121 @@ class SpanningPackingResult:
         return self.size / max(1, self.target)
 
 
-def _tree_edges(tree: nx.Graph) -> FrozenSet[Edge]:
-    return frozenset(frozenset(e) for e in tree.edges())
+def _mwu_indexed(
+    graph: IndexedGraph,
+    edge_ids: Sequence[int],
+    target: int,
+    params: MwuParameters,
+) -> Tuple[List[Tuple[FrozenSet[int], float]], MwuTrace]:
+    """Section 5.1's MWU loop over a (connected) edge subset, index-side.
+
+    ``edge_ids`` must already be in networkx node-major order (see
+    :meth:`IndexedGraph.nx_edge_order`) so that cost ties break exactly
+    as the pre-kernel implementation's ``nx.minimum_spanning_tree``
+    broke them. Returns ``(collection, trace)`` with trees as frozensets
+    of *parent* edge indices and normalized weights.
+    """
+    n = graph.n
+    m = len(edge_ids)
+    # Compact local endpoint arrays: position p in 0..m-1 is edge
+    # edge_ids[p] of the parent graph.
+    parent_u = graph.u
+    parent_v = graph.v
+    u = [parent_u[i] for i in edge_ids]
+    v = [parent_v[i] for i in edge_ids]
+
+    alpha = params.alpha(n)
+    beta = params.beta(n)
+    decay = 1.0 - beta
+    epsilon = params.epsilon
+    one_minus_eps = 1.0 - epsilon
+
+    uf = IntUnionFind(n)
+    first = kruskal_from_order(range(m), u, v, n, uf)
+    if len(first) != n - 1:
+        raise GraphValidationError("MWU packing requires a connected graph")
+
+    loads = [0.0] * m
+    for p in first:
+        loads[p] = 1.0
+    # Lazy-decay collection: tree -> [value, blend_count_when_last_touched].
+    # The eager loop multiplies every weight by (1-β) per blend; here each
+    # tree's pending decays are replayed (same multiplications, same
+    # order) only when the tree is touched again or at the end.
+    collection: Dict[FrozenSet[int], List] = {frozenset(first): [1.0, 0]}
+    blends = 0
+
+    edge_order = NearSortedEdgeOrder(m)
+    exp = math.exp
+    mul = operator.mul
+
+    trace = MwuTrace()
+    cap = params.iteration_cap(n)
+    for _ in range(cap):
+        trace.iterations += 1
+        z = [x * target for x in loads]
+        z_max = max(z)
+        trace.max_relative_load.append(z_max / target)
+        if trace.iterations > 1 and z_max <= 1.0 + epsilon:
+            # Already at the Lemma F.2 guarantee: every edge's relative
+            # load is within 1+ε — nothing left to improve.
+            trace.stopped_early = True
+            break
+        # Loads repeat across edges (same MST-membership history ⇒ same
+        # load), so exp runs once per distinct z value, not per edge.
+        cost_of = dict.fromkeys(z)
+        for zp in cost_of:
+            cost_of[zp] = exp(alpha * (zp - z_max))
+        costs = [cost_of[zp] for zp in z]
+
+        # Near-sorted persistent order: only the previous MST's edges
+        # moved, so this sort is adaptive. (cost, index) reproduces the
+        # stable tie-break of nx.minimum_spanning_tree exactly.
+        order = edge_order.resort(costs)
+        mst = kruskal_from_order(order, u, v, n, uf)
+        # fractional_cost runs left-to-right over the same edge order as
+        # the reference's built-in sum() — identical floats. mst_cost
+        # sums the same terms in acceptance order (the reference
+        # iterates a frozenset); the stopping comparison below has the
+        # (1−ε) duality gap of slack, and the fixed-seed bit-identity
+        # tests pin the outcome.
+        mst_cost = sum(map(costs.__getitem__, mst))
+        fractional_cost = sum(map(mul, costs, loads))
+
+        if mst_cost > one_minus_eps * fractional_cost:
+            trace.stopped_early = True
+            break
+        # Blend the MST in: old weights ×(1−β) (lazily), MST gains β.
+        blends += 1
+        key = frozenset(mst)
+        entry = collection.get(key)
+        if entry is None:
+            collection[key] = [beta, blends]
+        else:
+            value, last = entry
+            for _ in range(blends - last):
+                value *= decay
+            entry[0] = value + beta
+            entry[1] = blends
+        loads = [x * decay for x in loads]
+        for p in mst:
+            loads[p] += beta
+
+    # Flush pending decays, then rescale so the max edge load is exactly
+    # 1: the achieved size is target / max_z, which Lemmas F.1/F.2
+    # lower-bound by target/(1+O(ε)).
+    max_load = max(x for x in loads if x > 0.0)
+    scale = 1.0 / max_load
+    normalized: List[Tuple[FrozenSet[int], float]] = []
+    for key, (value, last) in collection.items():
+        for _ in range(blends - last):
+            value *= decay
+        weight = value * scale
+        if weight > 1e-12:
+            normalized.append(
+                (frozenset(edge_ids[p] for p in key), weight)
+            )
+    return normalized, trace
 
 
 def mwu_spanning_packing(
@@ -113,65 +256,11 @@ def mwu_spanning_packing(
     if lam is None:
         lam = edge_connectivity(graph)
     target = max(1, ceil_div(max(0, lam - 1), 2))
-    alpha = params.alpha(n)
-    beta = params.beta(n)
-    epsilon = params.epsilon
 
-    edges: List[Edge] = [frozenset(e) for e in graph.edges()]
-    loads: Dict[Edge, float] = {e: 0.0 for e in edges}
-    collection: Dict[FrozenSet[Edge], float] = {}
-
-    # Initial collection: one arbitrary spanning tree with weight 1.
-    first = nx.minimum_spanning_tree(graph)
-    first_edges = _tree_edges(first)
-    collection[first_edges] = 1.0
-    for e in first_edges:
-        loads[e] = 1.0
-
-    trace = MwuTrace()
-    cap = params.iteration_cap(n)
-    for _ in range(cap):
-        trace.iterations += 1
-        z = {e: loads[e] * target for e in edges}
-        z_max = max(z.values())
-        trace.max_relative_load.append(z_max / target)
-        if trace.iterations > 1 and z_max <= 1.0 + epsilon:
-            # Already at the Lemma F.2 guarantee: every edge's relative
-            # load is within 1+ε — nothing left to improve.
-            trace.stopped_early = True
-            break
-        costs = {e: math.exp(alpha * (z[e] - z_max)) for e in edges}
-
-        weighted = nx.Graph()
-        weighted.add_nodes_from(graph.nodes())
-        for e in edges:
-            u, v = tuple(e)
-            weighted.add_edge(u, v, cost=costs[e])
-        mst = nx.minimum_spanning_tree(weighted, weight="cost")
-        mst_edges = _tree_edges(mst)
-        mst_cost = sum(costs[e] for e in mst_edges)
-        fractional_cost = sum(costs[e] * loads[e] for e in edges)
-
-        if mst_cost > (1.0 - epsilon) * fractional_cost:
-            trace.stopped_early = True
-            break
-        # Blend the MST in: old weights ×(1−β), MST gains β.
-        for tree_key in collection:
-            collection[tree_key] *= 1.0 - beta
-        collection[mst_edges] = collection.get(mst_edges, 0.0) + beta
-        for e in edges:
-            loads[e] *= 1.0 - beta
-        for e in mst_edges:
-            loads[e] += beta
-
-    # Rescale so the max edge load is exactly 1: the achieved size is
-    # target / max_z, which Lemmas F.1/F.2 lower-bound by target/(1+O(ε)).
-    max_load = max(loads[e] for e in edges if loads[e] > 0.0)
-    scale = 1.0 / max_load
+    indexed = IndexedGraph.from_networkx(graph)
+    raw, trace = _mwu_indexed(indexed, range(indexed.m), target, params)
     normalized = [
-        (tree_key, weight * scale)
-        for tree_key, weight in collection.items()
-        if weight * scale > 1e-12
+        (indexed.edges_to_node_sets(key), weight) for key, weight in raw
     ]
     return normalized, trace, target
 
@@ -198,6 +287,11 @@ def fractional_spanning_tree_packing(
     independently; spanning trees of parts are spanning trees of ``graph``
     and parts are edge-disjoint, so the union is a valid packing with size
     the sum of the parts' sizes — at least ``λ(1−ε)/2`` up to sampling loss.
+
+    The connectivity oracle runs **once**, on ``graph`` (and only when
+    ``lam`` is not supplied): each part's connectivity is ``λ/η`` up to
+    ``1 ± ε`` by Karger's theorem, so parts are sized with
+    ``max(1, λ // η)`` instead of re-running the oracle per part.
     """
     if graph.number_of_nodes() < 2:
         raise GraphValidationError("graph must have at least 2 nodes")
@@ -209,30 +303,55 @@ def fractional_spanning_tree_packing(
     if lam is None:
         lam = edge_connectivity(graph)
 
+    indexed = IndexedGraph.from_networkx(graph)
     eta = choose_karger_parts(lam, n, params.epsilon)
     if eta <= 1:
-        parts = [graph]
+        part_edge_lists: List[List[int]] = [list(range(indexed.m))]
     else:
-        parts = karger_edge_partition(graph, eta, rand)
+        assignment = karger_edge_index_partition(indexed.m, eta, rand)
+        buckets: List[List[int]] = [[] for _ in range(eta)]
+        for i, part_id in enumerate(assignment):
+            buckets[part_id].append(i)
+        # Re-order each part the way networkx would report its edges, so
+        # MST tie-breaks match a part built as an nx.Graph.
+        part_edge_lists = [indexed.nx_edge_order(bucket) for bucket in buckets]
 
     trees: List[WeightedTree] = []
     traces: List[MwuTrace] = []
     class_id = 0
     packed_parts = 0
-    for part in parts:
-        if part.number_of_edges() == 0 or not nx.is_connected(part):
+    uf = IntUnionFind(indexed.n)
+    spanning_size = indexed.n - 1
+    edge_load = [0.0] * indexed.m
+    for part_edges in part_edge_lists:
+        if not part_edges or not indexed.is_connected_via(part_edges, uf):
             # A disconnected part cannot contribute spanning trees; w.h.p.
             # this never happens for the prescribed η (E12 measures it).
             continue
-        part_lam = edge_connectivity(part) if eta > 1 else lam
-        normalized, trace, _ = mwu_spanning_packing(part, part_lam, params)
+        part_lam = lam if eta <= 1 else max(1, lam // eta)
+        part_target = max(1, ceil_div(max(0, part_lam - 1), 2))
+        normalized, trace = _mwu_indexed(indexed, part_edges, part_target, params)
         traces.append(trace)
         packed_parts += 1
-        for tree_edges, weight in normalized:
+        for tree_key, weight in normalized:
+            # Index-side verification — the same constraints
+            # SpanningTreePacking.verify() checks on the nx objects
+            # (spanning tree per class, per-edge capacity below), done
+            # on edge indices before the boundary conversion.
+            if len(tree_key) != spanning_size or not indexed.is_connected_via(
+                tree_key, uf
+            ):
+                raise PackingValidationError(
+                    f"tree (class {class_id}) is not a spanning tree of "
+                    "the graph"
+                )
+            weight = min(1.0, weight)
+            for i in tree_key:
+                edge_load[i] += weight
             trees.append(
                 WeightedTree(
-                    tree=_edges_to_tree(graph, tree_edges),
-                    weight=min(1.0, weight),
+                    tree=indexed.tree_graph(tree_key),
+                    weight=weight,
                     class_id=class_id,
                 )
             )
@@ -241,8 +360,12 @@ def fractional_spanning_tree_packing(
         raise PackingConstructionError(
             "no part produced spanning trees (graph too sparse for η parts?)"
         )
+    max_edge_load = max(edge_load, default=0.0)
+    if max_edge_load > 1.0 + _TOLERANCE:
+        raise PackingValidationError(
+            f"edge capacity violated: max edge load {max_edge_load} > 1"
+        )
     packing = SpanningTreePacking(graph, trees)
-    packing.verify()
     return SpanningPackingResult(
         packing=packing,
         lam=lam,

@@ -192,7 +192,10 @@ def distributed_spanning_packing(
     for part in parts:
         if part.number_of_edges() == 0 or not nx.is_connected(part):
             continue
-        part_lam = edge_connectivity(part) if eta > 1 else lam
+        # The oracle ran once on the whole graph; Karger's theorem pins
+        # each part's connectivity at λ/η (1 ± ε), so parts are sized
+        # from that instead of re-running the oracle per part.
+        part_lam = lam if eta <= 1 else max(1, lam // eta)
         normalized, trace, metrics = _distributed_mwu_one_part(
             part, part_lam, params, rand, max_iterations
         )

@@ -1,0 +1,211 @@
+"""Canonical integer-indexed graph with a flat edge array.
+
+Built once per construction from a :class:`networkx.Graph`; every
+hot-path pass afterwards works on ``u[i]``/``v[i]`` int lists and edge
+indices. Edge index ``i`` corresponds to the ``i``-th edge reported by
+``graph.edges()`` — the same order :func:`networkx.minimum_spanning_tree`
+uses as its stable tie-break, which is what lets the kernel reproduce
+networkx results bit-for-bit (see :mod:`repro.fastgraph.kruskal`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.fastgraph.union_find import IntUnionFind
+
+Edge = FrozenSet[Hashable]
+
+
+class IndexedGraph:
+    """A graph canonicalized to integer node ids and an edge array.
+
+    Attributes:
+        nodes: original node labels, position = integer id;
+        index_of: label → integer id;
+        u, v: parallel lists, edge ``i`` joins ``u[i]`` and ``v[i]``;
+        n, m: node and edge counts.
+    """
+
+    __slots__ = ("nodes", "index_of", "u", "v", "n", "m", "_neighbors")
+
+    def __init__(
+        self,
+        nodes: Sequence[Hashable],
+        edges: Iterable[Tuple[int, int]],
+    ) -> None:
+        self.nodes: List[Hashable] = list(nodes)
+        self.index_of: Dict[Hashable, int] = {
+            node: i for i, node in enumerate(self.nodes)
+        }
+        if len(self.index_of) != len(self.nodes):
+            raise ValueError("duplicate node labels")
+        self.n = len(self.nodes)
+        self.u: List[int] = []
+        self.v: List[int] = []
+        for a, b in edges:
+            self.u.append(a)
+            self.v.append(b)
+        self.m = len(self.u)
+        self._neighbors: Optional[List[List[int]]] = None
+
+    @classmethod
+    def from_networkx(cls, graph: nx.Graph) -> "IndexedGraph":
+        """Canonicalize ``graph``; edge ``i`` is the ``i``-th of ``graph.edges()``."""
+        nodes = list(graph.nodes())
+        index_of = {node: i for i, node in enumerate(nodes)}
+        edges = [(index_of[a], index_of[b]) for a, b in graph.edges()]
+        return cls(nodes, edges)
+
+    # ------------------------------------------------------------------
+    # Edge/adjacency views
+    # ------------------------------------------------------------------
+
+    def endpoints(self, i: int) -> Tuple[Hashable, Hashable]:
+        """Original labels of edge ``i``'s endpoints."""
+        return self.nodes[self.u[i]], self.nodes[self.v[i]]
+
+    def neighbors(self) -> List[List[int]]:
+        """Adjacency as int lists (cached; insertion order = edge order)."""
+        if self._neighbors is None:
+            adj: List[List[int]] = [[] for _ in range(self.n)]
+            for a, b in zip(self.u, self.v):
+                adj[a].append(b)
+                if b != a:
+                    adj[b].append(a)
+            self._neighbors = adj
+        return self._neighbors
+
+    def edge_frozenset(self, i: int) -> Edge:
+        """Edge ``i`` as the ``frozenset``-of-labels key of the legacy API."""
+        return frozenset((self.nodes[self.u[i]], self.nodes[self.v[i]]))
+
+    def edges_to_node_sets(self, edge_ids: Iterable[int]) -> FrozenSet[Edge]:
+        """Edge-index set → the legacy ``frozenset``-of-``frozenset`` form."""
+        nodes = self.nodes
+        u = self.u
+        v = self.v
+        return frozenset(
+            frozenset((nodes[u[i]], nodes[v[i]])) for i in edge_ids
+        )
+
+    # ------------------------------------------------------------------
+    # Subset structure
+    # ------------------------------------------------------------------
+
+    def nx_edge_order(self, edge_ids: Iterable[int]) -> List[int]:
+        """Reorder ``edge_ids`` as ``networkx`` would report them.
+
+        A ``networkx.Graph`` holding all our nodes plus exactly these
+        edges (inserted in the given order) reports ``graph.edges()`` in
+        node-major adjacency order, which is the stable tie-break order
+        of its Kruskal. This reproduces that order on indices, so
+        subgraphs built index-side stay bit-compatible with subgraphs
+        built graph-side.
+        """
+        adj: List[List[Tuple[int, int]]] = [[] for _ in range(self.n)]
+        u = self.u
+        v = self.v
+        for i in edge_ids:
+            a, b = u[i], v[i]
+            adj[a].append((b, i))
+            if b != a:
+                adj[b].append((a, i))
+        order: List[int] = []
+        reported = [False] * self.n
+        for a in range(self.n):
+            for b, i in adj[a]:
+                if not reported[b]:
+                    order.append(i)
+            reported[a] = True
+        return order
+
+    def is_connected_via(
+        self, edge_ids: Optional[Iterable[int]] = None, uf: Optional[IntUnionFind] = None
+    ) -> bool:
+        """Whether the given edges (default: all) connect all ``n`` nodes."""
+        if self.n <= 1:
+            return True
+        uf = IntUnionFind(self.n) if uf is None else uf.reset()
+        u = self.u
+        v = self.v
+        if edge_ids is None:
+            edge_ids = range(self.m)
+        for i in edge_ids:
+            uf.union(u[i], v[i])
+            if uf.n_components == 1:
+                return True
+        return uf.n_components == 1
+
+    def bfs_tree_edges(self, edge_ids: Sequence[int], root: int = 0) -> List[int]:
+        """Edge indices of a BFS spanning tree over the given edge subset.
+
+        Visits neighbors in edge-subset insertion order from ``root`` —
+        the same traversal :func:`networkx.bfs_tree` performs on a graph
+        built by inserting these edges in the same order, so the
+        resulting tree matches the legacy
+        :func:`repro.core.tree_packing.spanning_tree_of` edge for edge.
+        Only the nodes reachable from ``root`` are spanned; callers
+        check connectivity first.
+        """
+        adj: List[List[Tuple[int, int]]] = [[] for _ in range(self.n)]
+        u = self.u
+        v = self.v
+        for i in edge_ids:
+            a, b = u[i], v[i]
+            adj[a].append((b, i))
+            if b != a:
+                adj[b].append((a, i))
+        tree: List[int] = []
+        visited = [False] * self.n
+        visited[root] = True
+        queue = deque([root])
+        while queue:
+            a = queue.popleft()
+            for b, i in adj[a]:
+                if not visited[b]:
+                    visited[b] = True
+                    tree.append(i)
+                    queue.append(b)
+        return tree
+
+    # ------------------------------------------------------------------
+    # API boundary: back to networkx
+    # ------------------------------------------------------------------
+
+    def tree_graph(self, edge_ids: Iterable[int]) -> nx.Graph:
+        """A labeled :class:`networkx.Graph` with all nodes + these edges.
+
+        Packings materialize one graph per tree, so this writes the
+        adjacency structure directly when the networkx internals look
+        like plain dicts (they have since 2.0) and falls back to the
+        public API otherwise. Both paths produce byte-equivalent graphs
+        (no node/edge data, default factories).
+        """
+        graph = nx.Graph()
+        nodes = self.nodes
+        u = self.u
+        v = self.v
+        node_attrs = getattr(graph, "_node", None)
+        adjacency = getattr(graph, "_adj", None)
+        if type(node_attrs) is dict and type(adjacency) is dict:
+            for label in nodes:
+                node_attrs[label] = {}
+                adjacency[label] = {}
+            for i in edge_ids:
+                a = nodes[u[i]]
+                b = nodes[v[i]]
+                data: Dict = {}
+                adjacency[a][b] = data
+                adjacency[b][a] = data
+        else:  # pragma: no cover - exotic networkx configuration
+            graph.add_nodes_from(nodes)
+            graph.add_edges_from((nodes[u[i]], nodes[v[i]]) for i in edge_ids)
+        return graph
+
+    def to_networkx(self) -> nx.Graph:
+        """The full graph back as a labeled :class:`networkx.Graph`."""
+        return self.tree_graph(range(self.m))

@@ -1,0 +1,101 @@
+"""Kruskal's MST as a scan over an explicit edge order.
+
+Kruskal's algorithm depends on edge costs only through their *order*:
+scan edges from cheapest to costliest, accept an edge iff it joins two
+components. The MWU loop of Section 5.1 exploits this twice:
+
+* costs ``c_e = exp(α·(z_e − z_max))`` are a monotone transform of the
+  loads, and ``networkx`` breaks cost ties stably by edge-insertion
+  order — so sorting edge indices by ``(cost, index)`` reproduces the
+  exact tree ``networkx.minimum_spanning_tree`` would return, without
+  ever materializing a weighted graph;
+* between MWU iterations all loads scale by the same ``1 − β`` and only
+  the ``n − 1`` tree edges gain ``β``, so the cost order barely changes.
+  :class:`NearSortedEdgeOrder` keeps the previous order alive and
+  re-sorts it in place — Timsort detects the long already-sorted runs,
+  making the per-iteration sort adaptive (≈ linear) instead of a full
+  ``m log m`` from scratch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.fastgraph.union_find import IntUnionFind
+
+
+def kruskal_from_order(
+    order: Sequence[int],
+    u: Sequence[int],
+    v: Sequence[int],
+    n: int,
+    uf: Optional[IntUnionFind] = None,
+) -> List[int]:
+    """Kruskal over ``order``: the accepted edge indices, cheapest first.
+
+    ``order`` must list edge indices from cheapest to costliest (ties
+    already broken); ``u``/``v`` are the graph's endpoint arrays. On a
+    connected graph the result is the MST under any cost function that
+    sorts edges into ``order``; on a disconnected one it is a spanning
+    forest. Passing a reusable ``uf`` avoids reallocating the
+    union-find in tight loops (it is reset here).
+    """
+    uf = IntUnionFind(n) if uf is None else uf.reset()
+    tree: List[int] = []
+    need = n - 1
+    if need <= 0:
+        return tree
+    # The union-find is inlined: the scan visits most edges every MWU
+    # iteration, and two method calls per edge would dominate it.
+    parent = uf.parent
+    size = uf.size
+    append = tree.append
+    for i in order:
+        x = u[i]
+        root_x = x
+        while parent[root_x] != root_x:
+            root_x = parent[root_x]
+        while parent[x] != root_x:
+            parent[x], x = root_x, parent[x]
+        y = v[i]
+        root_y = y
+        while parent[root_y] != root_y:
+            root_y = parent[root_y]
+        while parent[y] != root_y:
+            parent[y], y = root_y, parent[y]
+        if root_x == root_y:
+            continue
+        if size[root_x] < size[root_y]:
+            root_x, root_y = root_y, root_x
+        parent[root_y] = root_x
+        size[root_x] += size[root_y]
+        append(i)
+        if len(tree) == need:
+            break
+    uf.n_components = n - len(tree)
+    return tree
+
+
+class NearSortedEdgeOrder:
+    """A persistent ascending edge order, re-sorted adaptively.
+
+    Holds a permutation of ``range(m)`` sorted by the previous
+    iteration's keys. :meth:`resort` sorts it under fresh keys with the
+    tie-break ``(key, index)``; because the permutation is already
+    nearly sorted for MWU-style key updates, Timsort's run detection
+    does close to linear work. The result is exactly
+    ``sorted(range(m), key=lambda i: (keys[i], i))`` regardless of the
+    starting order — the persistence only buys speed, never changes the
+    answer.
+    """
+
+    __slots__ = ("order",)
+
+    def __init__(self, m: int) -> None:
+        self.order: List[int] = list(range(m))
+
+    def resort(self, keys: Sequence[float]) -> List[int]:
+        """Sort the persistent order by ``(keys[i], i)`` and return it."""
+        keyed = list(zip(keys, range(len(self.order))))
+        self.order.sort(key=keyed.__getitem__)
+        return self.order

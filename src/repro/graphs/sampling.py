@@ -23,6 +23,25 @@ from repro.errors import GraphValidationError
 from repro.utils.rng import RngLike, ensure_rng
 
 
+def karger_edge_index_partition(
+    m: int, parts: int, rng: RngLike = None
+) -> List[int]:
+    """Karger's partition over edge *indices*: part id per edge.
+
+    Returns ``assignment`` with ``assignment[i]`` the uniform part of
+    edge ``i`` (one ``randrange`` draw per index, in index order — the
+    same draw sequence :func:`karger_edge_partition` consumes, so both
+    forms agree under a shared seed). The index form is what the
+    :mod:`repro.fastgraph` hot paths consume; no graphs are built.
+    """
+    if parts < 1:
+        raise GraphValidationError("parts must be >= 1")
+    if m < 0:
+        raise GraphValidationError("m must be >= 0")
+    rand = ensure_rng(rng)
+    return [rand.randrange(parts) for _ in range(m)]
+
+
 def karger_edge_partition(
     graph: nx.Graph, parts: int, rng: RngLike = None
 ) -> List[nx.Graph]:
@@ -33,16 +52,16 @@ def karger_edge_partition(
     a disjoint share of the edges. The union of the parts' edge sets is
     exactly ``graph``'s edge set.
     """
-    if parts < 1:
-        raise GraphValidationError("parts must be >= 1")
-    rand = ensure_rng(rng)
+    assignment = karger_edge_index_partition(
+        graph.number_of_edges(), parts, rng
+    )
     subgraphs = []
     for _ in range(parts):
         part = nx.Graph()
         part.add_nodes_from(graph.nodes())
         subgraphs.append(part)
-    for u, v in graph.edges():
-        subgraphs[rand.randrange(parts)].add_edge(u, v)
+    for (u, v), part_id in zip(graph.edges(), assignment):
+        subgraphs[part_id].add_edge(u, v)
     return subgraphs
 
 

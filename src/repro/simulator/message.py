@@ -11,12 +11,21 @@ state inside one "message".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Hashable
+from typing import Any, Dict, Hashable, Tuple
 
 from repro.errors import ModelViolationError
 
 _FLOAT_BITS = 64
 _TAG_BITS = 2  # per-element structural overhead
+
+# Memo for flat scalar tuples — by far the dominant payload shape
+# (protocols broadcast the same (id, value) tuple to every neighbor,
+# round after round). Keys carry the element types alongside the tuple
+# because equal-comparing payloads can have different bit sizes
+# ((1,) vs (True,): 2 bits vs 1 bit), and dict lookup goes by equality.
+_SCALAR_TYPES = frozenset((int, bool, float, str, type(None)))
+_FLAT_TUPLE_BITS: Dict[Tuple[tuple, tuple], int] = {}
+_FLAT_TUPLE_BITS_MAX = 8192
 
 
 def payload_bits(payload: Any) -> int:
@@ -25,7 +34,9 @@ def payload_bits(payload: Any) -> int:
     Ints cost their two's-complement width, bools and None one bit,
     floats 64 bits, strings 8 bits per character, and tuples/lists the sum
     of their elements plus a small structural tag per element. Any other
-    type is rejected.
+    type is rejected. Flat tuples of scalars are memoized, so repeated
+    payloads (one per neighbor per round in broadcast-style protocols)
+    cost one dict lookup instead of a recursion.
     """
     if payload is None or isinstance(payload, bool):
         return 1
@@ -35,9 +46,19 @@ def payload_bits(payload: Any) -> int:
         return _FLOAT_BITS
     if isinstance(payload, str):
         return 8 * len(payload) + _TAG_BITS
-    if isinstance(payload, (tuple, list)):
+    if isinstance(payload, tuple):
+        types = tuple(type(item) for item in payload)
+        if _SCALAR_TYPES.issuperset(types):
+            key = (payload, types)
+            bits = _FLAT_TUPLE_BITS.get(key)
+            if bits is None:
+                bits = sum(payload_bits(item) + _TAG_BITS for item in payload)
+                if len(_FLAT_TUPLE_BITS) >= _FLAT_TUPLE_BITS_MAX:
+                    _FLAT_TUPLE_BITS.clear()
+                _FLAT_TUPLE_BITS[key] = bits
+            return bits
         return sum(payload_bits(item) + _TAG_BITS for item in payload)
-    if isinstance(payload, frozenset):
+    if isinstance(payload, (list, frozenset)):
         return sum(payload_bits(item) + _TAG_BITS for item in payload)
     raise ModelViolationError(
         f"unsupported payload type {type(payload).__name__}; messages must be "

@@ -199,6 +199,11 @@ class SyncRunner:
                     "V-CONGEST; only a single local broadcast is allowed"
                 )
             traffic = {}
+            # Programs often address every neighbor with the same payload
+            # object; build (and size-check) one Message per object, not
+            # one per receiver. Keyed by id(): the payloads stay alive in
+            # `raw` for the duration of the loop.
+            built: Dict[int, Message] = {}
             for receiver, payload in raw.items():
                 if receiver not in neighbors:
                     raise ModelViolationError(
@@ -206,8 +211,11 @@ class SyncRunner:
                     )
                 if payload is None:
                     continue
-                message = Message.build(node, payload)
-                self._check_size(node, message)
+                message = built.get(id(payload))
+                if message is None or message.payload is not payload:
+                    message = Message.build(node, payload)
+                    self._check_size(node, message)
+                    built[id(payload)] = message
                 traffic[receiver] = message
             return traffic
         # Bare payload: broadcast to all neighbors (legal in both models).

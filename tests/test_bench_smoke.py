@@ -1,0 +1,42 @@
+"""bench-smoke: every benchmark entry point must import and run.
+
+The benchmark modules are not collected by the default test run (their
+files do not match ``test_*.py``), so API drift used to rot them
+silently. Each module now exposes a ``smoke()`` entry point that runs
+its experiment's code path on a tiny graph; this test imports and runs
+every one of them, making benchmark drift a tier-1 failure.
+
+Deselect with ``-m "not bench_smoke"`` when iterating on unrelated code.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pathlib
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+BENCH_MODULES = sorted(path.stem for path in BENCH_DIR.glob("bench_*.py"))
+
+if str(REPO_ROOT) not in sys.path:  # `benchmarks` is a namespace package
+    sys.path.insert(0, str(REPO_ROOT))
+
+
+def test_benchmark_modules_discovered():
+    # The experiment index spans E1..E22 + figures + ablations; if this
+    # shrinks, files were deleted without updating the CLI index.
+    assert len(BENCH_MODULES) >= 22
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.parametrize("name", BENCH_MODULES)
+def test_bench_entry_point_runs_on_tiny_graph(name):
+    module = importlib.import_module(f"benchmarks.{name}")
+    assert hasattr(module, "smoke"), (
+        f"benchmarks/{name}.py has no smoke() entry point — every "
+        "benchmark module must stay runnable on a tiny graph"
+    )
+    module.smoke()
