@@ -1,0 +1,179 @@
+"""Round-loop throughput of the simulation engine (rounds/sec).
+
+Measures the indexed engine against the preserved reference loop
+(:mod:`repro.simulator.runner_reference`) on two workloads built through
+the scenario layer:
+
+* **flooding** — extremum flood on a random 8-regular graph: the
+  saturated-broadcast hot path (every node transmits in round 1, traffic
+  decays as the extremum spreads);
+* **shared-mst** — :func:`simultaneous_msts` over a 2-part Karger edge
+  partition: the composite Lemma 5.1 workload (subgraph floods, BFS,
+  pipelined upcast) that chains many simulations end to end.
+
+Both run at n ∈ {100, 500, 1000}; the acceptance gate of the engine
+refactor is the flooding row at n = 1000: **≥ 2× rounds/sec** over the
+reference loop with identical outputs (the engine-equivalence suite pins
+bit-identity; this bench pins the speed).
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --suite simulator
+    PYTHONPATH=src python benchmarks/bench_simulator.py            # direct
+
+Results land in ``BENCH_simulator.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import time
+from typing import Dict, List
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+ENGINES = ("indexed", "reference")
+
+
+def _sizes(quick: bool):
+    return (24, 60) if quick else (100, 500, 1000)
+
+
+def _flood_rounds_per_sec(graph, engine: str, repeats: int, seed: int):
+    """Total rounds / total wall seconds over ``repeats`` runs (network
+    built once; only the round loop is timed)."""
+    from repro.simulator.algorithms.flooding import ExtremumFloodProgram
+    from repro.simulator.network import Network
+    from repro.simulator.runner import SyncRunner
+
+    network = Network(graph, rng=seed)
+    factory = lambda v: ExtremumFloodProgram(network.node_id(v))  # noqa: E731
+    SyncRunner(network, rng=seed, engine=engine).run(factory)  # warmup
+    rounds = 0
+    start = time.perf_counter()
+    for _ in range(repeats):
+        result = SyncRunner(network, rng=seed, engine=engine).run(factory)
+        rounds += result.metrics.rounds
+    elapsed = time.perf_counter() - start
+    return rounds, elapsed, result.outputs
+
+
+def _shared_mst_rounds_per_sec(graph, engine: str, seed: int):
+    from repro.graphs.sampling import karger_edge_partition
+    from repro.simulator.algorithms.shared_mst import simultaneous_msts
+    from repro.simulator.network import Network
+    from repro.simulator.runner import engine_context
+    from repro.utils.rng import ensure_rng
+
+    with engine_context(engine):
+        network = Network(graph, rng=seed)
+        parts = karger_edge_partition(graph, 2, ensure_rng(seed + 1))
+        start = time.perf_counter()
+        result = simultaneous_msts(network, parts)
+        elapsed = time.perf_counter() - start
+    rounds = result.fragment_rounds + result.completion_rounds
+    return rounds, elapsed, result.forests
+
+
+def run(quick: bool = False, repeats: int = 10, seed: int = 3) -> Dict:
+    from repro.graphs.generators import random_regular_connected
+
+    rows: List[Dict] = []
+    for n in _sizes(quick):
+        graph = random_regular_connected(8, n, rng=1)
+        for program, measure in (
+            ("flooding", lambda eng: _flood_rounds_per_sec(graph, eng, repeats, seed)),
+            ("shared-mst", lambda eng: _shared_mst_rounds_per_sec(graph, eng, seed)),
+        ):
+            per_engine = {}
+            payloads = {}
+            for engine in ENGINES:
+                rounds, elapsed, payload = measure(engine)
+                per_engine[engine] = {
+                    "rounds": rounds,
+                    "seconds": round(elapsed, 6),
+                    "rounds_per_sec": round(rounds / max(elapsed, 1e-9), 1),
+                }
+                payloads[engine] = payload
+            if payloads["indexed"] != payloads["reference"]:
+                raise AssertionError(
+                    f"{program} n={n}: engines disagree on outputs"
+                )
+            assert (
+                per_engine["indexed"]["rounds"]
+                == per_engine["reference"]["rounds"]
+            ), f"{program} n={n}: engines disagree on round counts"
+            rows.append(
+                {
+                    "program": program,
+                    "n": n,
+                    "m": graph.number_of_edges(),
+                    "seed": seed,
+                    "rounds": per_engine["indexed"]["rounds"],
+                    "indexed": per_engine["indexed"],
+                    "reference": per_engine["reference"],
+                    "speedup": round(
+                        per_engine["indexed"]["rounds_per_sec"]
+                        / per_engine["reference"]["rounds_per_sec"],
+                        2,
+                    ),
+                }
+            )
+    return {
+        "benchmark": "simulator_round_loop",
+        "unit": "rounds per wall-clock second (outputs asserted identical)",
+        "engines": list(ENGINES),
+        "flood_repeats": repeats,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": rows,
+    }
+
+
+def smoke() -> None:
+    """Tiny end-to-end run for the tier-1 bench_smoke marker."""
+    report = run(quick=True, repeats=2)
+    assert report["results"], "simulator bench produced no rows"
+    for row in report["results"]:
+        assert row["rounds"] > 0
+        assert row["indexed"]["rounds_per_sec"] > 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="tiny graphs")
+    parser.add_argument("--repeats", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_simulator.json",
+        help="output JSON path (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+    report = run(quick=args.quick, repeats=args.repeats, seed=args.seed)
+    args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    for row in report["results"]:
+        print(
+            "{program:>10} n={n:<5} rounds={rounds:<5} "
+            "indexed={i:>8.1f} r/s  reference={r:>8.1f} r/s  "
+            "speedup={speedup}x".format(
+                program=row["program"],
+                n=row["n"],
+                rounds=row["rounds"],
+                i=row["indexed"]["rounds_per_sec"],
+                r=row["reference"]["rounds_per_sec"],
+                speedup=row["speedup"],
+            )
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

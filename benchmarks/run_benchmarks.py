@@ -1,22 +1,26 @@
-"""Machine-readable benchmark driver for the packing hot paths.
+"""Machine-readable benchmark driver for the repo's hot paths.
 
-Times the kernel-backed :func:`fractional_spanning_tree_packing`
-against the preserved pre-kernel implementation
-(:mod:`repro.core.spanning_packing_reference`) on the same graphs and
-seeds, checks the packings are identical (same size, same efficiency —
-the rewrite is bit-compatible, not just approximately equal), and
-writes the results to ``BENCH_spanning_packing.json`` at the repo
-root. The JSON seeds the perf trajectory: future PRs append runs and
-regressions become diffable numbers instead of anecdotes.
+Two suites, each timing a rewrite against its preserved reference
+implementation and writing a JSON file at the repo root (the perf
+trajectory: future PRs append runs and regressions become diffable
+numbers instead of anecdotes):
+
+* ``spanning`` — the kernel-backed
+  :func:`fractional_spanning_tree_packing` vs the pre-kernel
+  implementation (:mod:`repro.core.spanning_packing_reference`), with
+  packings asserted identical → ``BENCH_spanning_packing.json``.
+  Acceptance gate: ≥ 5× at n≈500.
+* ``simulator`` — the indexed round-loop engine vs the preserved
+  reference loop (:mod:`repro.simulator.runner_reference`) on flooding
+  and shared-MST workloads, outputs asserted identical →
+  ``BENCH_simulator.json`` (see :mod:`bench_simulator`). Acceptance
+  gate: ≥ 2× rounds/sec on flooding at n = 1000.
 
 Run from the repo root::
 
-    PYTHONPATH=src python benchmarks/run_benchmarks.py            # full
-    PYTHONPATH=src python benchmarks/run_benchmarks.py --quick    # CI-sized
-
-The acceptance gate for the kernel rewrite is the ``speedup`` field of
-the ``n≈500`` row: ≥ 5× over the reference with identical packing
-size/efficiency.
+    PYTHONPATH=src python benchmarks/run_benchmarks.py                 # both
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --quick         # CI-sized
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --suite simulator
 """
 
 from __future__ import annotations
@@ -120,24 +124,12 @@ def run(quick: bool = False, repeats: int = 3, seed: int = 9) -> Dict:
     }
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--quick", action="store_true", help="small graphs (CI-sized run)"
-    )
-    parser.add_argument("--repeats", type=int, default=3)
-    parser.add_argument("--seed", type=int, default=9)
-    parser.add_argument(
-        "--out",
-        type=pathlib.Path,
-        default=REPO_ROOT / "BENCH_spanning_packing.json",
-        help="output JSON path (default: repo root)",
-    )
-    args = parser.parse_args(argv)
-    if args.repeats < 1:
-        parser.error("--repeats must be >= 1")
-    report = run(quick=args.quick, repeats=args.repeats, seed=args.seed)
-    args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+def _run_spanning(args) -> None:
+    repeats = args.repeats if args.repeats is not None else 3
+    seed = args.seed if args.seed is not None else 9
+    report = run(quick=args.quick, repeats=repeats, seed=seed)
+    out = args.out or REPO_ROOT / "BENCH_spanning_packing.json"
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     for row in report["results"]:
         print(
             "{graph:>16}  n={n:<4} m={m:<5} ref={reference_s:.3f}s "
@@ -145,7 +137,58 @@ def main(argv=None) -> int:
                 **row
             )
         )
-    print(f"wrote {args.out}")
+    print(f"wrote {out}")
+
+
+def _run_simulator(args) -> None:
+    try:
+        import bench_simulator
+    except ImportError:  # running as a module from the repo root
+        from benchmarks import bench_simulator
+    simulator_args = ["--quick"] if args.quick else []
+    # Forward explicit flags; unset ones fall back to bench_simulator's
+    # own defaults (which differ from the spanning suite's).
+    if args.repeats is not None:
+        simulator_args += ["--repeats", str(args.repeats)]
+    if args.seed is not None:
+        simulator_args += ["--seed", str(args.seed)]
+    if args.out is not None and args.suite == "simulator":
+        simulator_args += ["--out", str(args.out)]
+    bench_simulator.main(simulator_args)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small graphs (CI-sized run)"
+    )
+    parser.add_argument(
+        "--suite",
+        choices=["all", "spanning", "simulator"],
+        default="all",
+        help="which benchmark suite(s) to run",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="timing repeats (default: 3 spanning / 10 simulator)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="seed (default: 9 spanning / 3 simulator)",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="output JSON path for a single suite (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats is not None and args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+    if args.suite in ("all", "spanning"):
+        _run_spanning(args)
+    if args.suite in ("all", "simulator"):
+        _run_simulator(args)
     return 0
 
 

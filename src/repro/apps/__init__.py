@@ -11,6 +11,8 @@
   budget (the Section 1 network-coding comparison).
 * :mod:`repro.apps.point_to_point` — the [24] Θ(√n) point-to-point
   oblivious-routing witness on the grid.
+* :mod:`repro.apps.resilience` — flood resilience under i.i.d. loss and
+  adversarial cut blockades, built on the scenario layer.
 """
 
 from repro.apps.broadcast import (
@@ -30,6 +32,12 @@ from repro.apps.network_coding import (
     rlnc_gossip,
 )
 from repro.apps.point_to_point import grid_competitiveness
+from repro.apps.resilience import (
+    ResilienceReport,
+    cut_drop_schedule,
+    flood_loss_sweep,
+    flood_partition_test,
+)
 
 __all__ = [
     "BroadcastOutcome",
@@ -44,4 +52,8 @@ __all__ = [
     "rlnc_gossip",
     "compare_with_tree_broadcast",
     "grid_competitiveness",
+    "ResilienceReport",
+    "cut_drop_schedule",
+    "flood_loss_sweep",
+    "flood_partition_test",
 ]

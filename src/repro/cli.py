@@ -8,6 +8,7 @@ command line::
     repro pack-cds harary:6,24 --seed 3
     repro pack-spanning hypercube:4 --seed 5
     repro broadcast harary:6,24 --messages 24 --seed 7
+    repro simulate harary:6,24 --program flood-min --seed 3 --trace
     repro experiments
 
 Graph specifications are ``family:arg1,arg2,…``:
@@ -184,6 +185,83 @@ def _cmd_broadcast(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_crash_spec(specs: List[str]):
+    """``NODE:ROUND`` pairs → crash_rounds dict (int nodes when possible)."""
+    crash_rounds = {}
+    for spec in specs:
+        node_text, sep, round_text = spec.partition(":")
+        if not sep:
+            raise GraphValidationError(
+                f"crash spec {spec!r} must look like NODE:ROUND"
+            )
+        try:
+            round_no = int(round_text)
+        except ValueError as exc:
+            raise GraphValidationError(
+                f"non-integer crash round in {spec!r}"
+            ) from exc
+        node = int(node_text) if node_text.lstrip("-").isdigit() else node_text
+        crash_rounds[node] = round_no
+    return crash_rounds
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.simulator.faults import FaultPlan
+    from repro.simulator.runner import Model
+    from repro.simulator.scenario import Scenario, available_programs
+
+    if args.list_programs:
+        print("registered scenario programs:")
+        for program in available_programs():
+            print(
+                f"  {program.name:<18} [{program.model.value}] "
+                f"{program.description}"
+            )
+        return 0
+    if args.graph is None:
+        raise GraphValidationError(
+            "a graph spec is required (or pass --list-programs)"
+        )
+    plan = None
+    if args.drop > 0.0 or args.crash:
+        plan = FaultPlan(
+            drop_probability=args.drop,
+            crash_rounds=_parse_crash_spec(args.crash),
+        )
+    scenario = Scenario(
+        topology=args.graph,
+        program=args.program,
+        model=Model(args.model) if args.model else None,
+        seed=args.seed,
+        fault_plan=plan,
+        max_rounds=args.max_rounds,
+        trace=args.trace,
+        engine=args.engine,
+    )
+    run = scenario.run()
+    summary = run.summary()
+    program = scenario.resolve()
+    print(f"graph: {args.graph}  n={summary['n']}  m={summary['m']}")
+    print(f"program: {program.name} — {program.description}")
+    print(f"model:   {(scenario.model or program.model).value}"
+          f"   engine: {scenario.engine or 'indexed'}")
+    print(f"rounds:   {summary['rounds']}  (halted: {summary['halted']})")
+    print(f"messages: {summary['messages']}   bits: {summary['bits']}")
+    print(f"max message: {summary['max_message_bits']} bits")
+    print(f"wall: {summary['wall_seconds']:.4f}s   "
+          f"rounds/sec: {summary['rounds_per_sec']:.1f}")
+    outputs = run.result.outputs
+    shown = list(outputs.items())[: args.show_outputs]
+    if shown:
+        print("outputs (first {}):".format(len(shown)))
+        for node, output in shown:
+            print(f"  {node!r}: {output!r}")
+    if run.trace is not None:
+        print()
+        print(run.trace.render(limit=args.trace_limit))
+    return 0
+
+
 _EXPERIMENTS = [
     ("E1", "bench_cds_packing", "Thm 1.1/1.2 packing size Ω(k/log n)"),
     ("E2", "bench_cds_runtime", "Thm 1.2 Õ(m) centralized runtime shape"),
@@ -207,6 +285,7 @@ _EXPERIMENTS = [
     ("E20", "bench_workloads", "Cor A.1 workload shapes"),
     ("E21", "bench_shared_mst", "Lemma 5.1 simultaneous MSTs"),
     ("E22", "bench_point_to_point", "§1.3.1 point-to-point √n barrier"),
+    ("E23", "bench_simulator", "engine rounds/sec (indexed vs reference)"),
     ("F1-F3", "bench_figures", "paper figures (text renderings)"),
     ("A1-A5", "bench_ablation", "design-choice ablations"),
 ]
@@ -273,6 +352,55 @@ def build_parser() -> argparse.ArgumentParser:
     broadcast.add_argument("--messages", type=int, default=16)
     broadcast.add_argument("--seed", type=int, default=0)
     broadcast.set_defaults(handler=_cmd_broadcast)
+
+    simulate = commands.add_parser(
+        "simulate",
+        help="run a scenario on the round-simulation engine",
+        description=(
+            "Run a registered node program on a graph family through the "
+            "scenario layer; prints rounds/messages/bits and optionally "
+            "the round-by-round trace."
+        ),
+    )
+    simulate.add_argument(
+        "graph", nargs="?", default=None, help="graph spec, e.g. harary:6,24"
+    )
+    simulate.add_argument(
+        "--program", default="flood-min",
+        help="registry name (see --list-programs)",
+    )
+    simulate.add_argument(
+        "--model", default=None,
+        choices=["v-congest", "e-congest", "congested-clique"],
+        help="override the program's communication model",
+    )
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--engine", default=None, choices=["indexed", "reference"],
+        help="round-loop implementation (default: indexed)",
+    )
+    simulate.add_argument(
+        "--drop", type=float, default=0.0,
+        help="i.i.d. message drop probability",
+    )
+    simulate.add_argument(
+        "--crash", action="append", default=[], metavar="NODE:ROUND",
+        help="crash-stop a node at a round (repeatable)",
+    )
+    simulate.add_argument("--max-rounds", type=int, default=100000)
+    simulate.add_argument(
+        "--trace", action="store_true", help="record and print the schedule"
+    )
+    simulate.add_argument("--trace-limit", type=int, default=30)
+    simulate.add_argument(
+        "--show-outputs", type=int, default=5,
+        help="how many node outputs to print",
+    )
+    simulate.add_argument(
+        "--list-programs", action="store_true",
+        help="list registered scenario programs and exit",
+    )
+    simulate.set_defaults(handler=_cmd_simulate)
 
     commands.add_parser(
         "experiments", help="list the experiment index"

@@ -93,6 +93,14 @@ def _distributed_mwu_one_part(
     edges: List[Edge] = [frozenset(e) for e in part.edges()]
     loads: Dict[Edge, float] = {e: 0.0 for e in edges}
     collection: Dict[FrozenSet[Edge], float] = {}
+    # Each edge is owned by its smaller-id endpoint (static — computed
+    # once from the topology core's id map instead of per iteration).
+    owner_of: Dict[Edge, Hashable] = {}
+    endpoints_of: Dict[Edge, Tuple[Hashable, Hashable]] = {}
+    for e in edges:
+        u, v = tuple(e)
+        owner_of[e] = u if network.node_id(u) < network.node_id(v) else v
+        endpoints_of[e] = (u, v)
 
     first = distributed_mst(network, lambda u, v: 1.0, model=Model.E_CONGEST)
     metrics.merge(first.metrics)
@@ -123,8 +131,8 @@ def _distributed_mwu_one_part(
         owner_mst: Dict[Hashable, int] = {v: 0 for v in network.nodes}
         owner_frac: Dict[Hashable, int] = {v: 0 for v in network.nodes}
         for e in edges:
-            u, v = tuple(e)
-            owner = u if network.node_id(u) < network.node_id(v) else v
+            u, v = endpoints_of[e]
+            owner = owner_of[e]
             c = cost(u, v)
             if e in mst_edges:
                 owner_mst[owner] += int(round(c * scale))

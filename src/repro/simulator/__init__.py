@@ -24,8 +24,30 @@ from repro.simulator.message import Message, payload_bits
 from repro.simulator.metrics import SimulationMetrics
 from repro.simulator.network import Network
 from repro.simulator.node import Context, NodeProgram
-from repro.simulator.runner import Model, SimulationResult, SyncRunner, simulate
+from repro.simulator.runner import (
+    Model,
+    SimulationResult,
+    SyncRunner,
+    available_engines,
+    engine_context,
+    set_default_engine,
+    simulate,
+)
+from repro.simulator.transport import (
+    CliqueTransport,
+    ECongestTransport,
+    Transport,
+    VCongestTransport,
+    build_transport,
+)
 from repro.simulator.faults import FaultPlan, simulate_with_faults
+from repro.simulator.scenario import (
+    Scenario,
+    ScenarioProgram,
+    ScenarioRun,
+    register_program,
+    run_scenario,
+)
 from repro.simulator.tracing import RoundTrace, Tracer
 
 __all__ = [
@@ -43,4 +65,17 @@ __all__ = [
     "SimulationResult",
     "SyncRunner",
     "simulate",
+    "available_engines",
+    "engine_context",
+    "set_default_engine",
+    "Transport",
+    "VCongestTransport",
+    "ECongestTransport",
+    "CliqueTransport",
+    "build_transport",
+    "Scenario",
+    "ScenarioProgram",
+    "ScenarioRun",
+    "register_program",
+    "run_scenario",
 ]

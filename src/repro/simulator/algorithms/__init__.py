@@ -11,6 +11,8 @@ These are the substrate routines the paper's constructions invoke:
 * :mod:`convergecast` — aggregate up / broadcast down a rooted tree.
 * :mod:`boruvka` — distributed minimum spanning tree via Borůvka phases
   (our substitute for Kutten–Peleg [37]; see DESIGN.md Section 2).
+* :mod:`clique` — Congested-Clique primitives on the all-to-all
+  transport (one-round extremum/exchange, degree census).
 """
 
 from repro.simulator.algorithms.exchange import exchange_once
@@ -22,6 +24,11 @@ from repro.simulator.algorithms.subgraph_flood import (
 )
 from repro.simulator.algorithms.convergecast import converge_sum
 from repro.simulator.algorithms.boruvka import distributed_mst
+from repro.simulator.algorithms.clique import (
+    clique_degree_census,
+    clique_exchange,
+    clique_extremum,
+)
 
 __all__ = [
     "exchange_once",
@@ -32,4 +39,7 @@ __all__ = [
     "subgraph_extremum",
     "converge_sum",
     "distributed_mst",
+    "clique_extremum",
+    "clique_exchange",
+    "clique_degree_census",
 ]

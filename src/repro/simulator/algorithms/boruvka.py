@@ -66,7 +66,7 @@ def distributed_mst(
     """
     n = network.n
     metrics = SimulationMetrics()
-    by_id = {network.node_id(v): v for v in network.nodes}
+    by_id = network.node_by_id  # the network owns the canonical id map
     tree_edges: Set[FrozenSet[Hashable]] = set()
     forest_adjacency: Dict[Hashable, Set[Hashable]] = {
         v: set() for v in network.nodes
@@ -122,7 +122,7 @@ def distributed_mst(
             if winner is None:
                 continue
             _, lo, hi = winner
-            new_edges.add(frozenset((by_id[lo], by_id[hi])))
+            new_edges.add(frozenset((by_id(lo), by_id(hi))))
         if not new_edges:
             raise SimulationError(
                 "Borůvka made no progress: network appears disconnected"

@@ -18,6 +18,7 @@ from repro.simulator.message import Message
 from repro.simulator.network import Network
 from repro.simulator.node import Context, NodeProgram
 from repro.simulator.runner import Model, SimulationResult, simulate
+from repro.utils.rng import RngLike
 
 _IN_MIS = "in-mis"
 _OUT = "out"
@@ -84,10 +85,16 @@ class LubyMisProgram(NodeProgram):
 
 
 def luby_mis(
-    network: Network, model: Model = Model.V_CONGEST
+    network: Network, model: Model = Model.V_CONGEST, rng: RngLike = None
 ) -> Tuple[Set[Hashable], SimulationResult]:
-    """Compute a maximal independent set; returns (MIS, result)."""
-    result = simulate(network, lambda node: LubyMisProgram(), model=model)
+    """Compute a maximal independent set; returns (MIS, result).
+
+    ``rng`` seeds the per-node randomness (the protocol is randomized;
+    pass a seed for reproducible runs).
+    """
+    result = simulate(
+        network, lambda node: LubyMisProgram(), model=model, rng=rng
+    )
     mis = {v for v in network.nodes if result.outputs[v] == _IN_MIS}
     return mis, result
 

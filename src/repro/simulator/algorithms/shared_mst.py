@@ -93,7 +93,7 @@ def _bounded_boruvka(
     Returns (fragment id per node, forest edges so far, measured rounds).
     The subgraph is given as an adjacency restriction of the network.
     """
-    by_id = {network.node_id(v): v for v in network.nodes}
+    by_id = network.node_by_id  # the network owns the canonical id map
     forest: Dict[Hashable, Set[Hashable]] = {v: set() for v in network.nodes}
     tree_edges: Set[Edge] = set()
     rounds = 0
@@ -129,7 +129,7 @@ def _bounded_boruvka(
             if winner is None:
                 continue
             _, lo, hi = winner
-            edge = frozenset((by_id[lo], by_id[hi]))
+            edge = frozenset((by_id(lo), by_id(hi)))
             if edge not in tree_edges:
                 tree_edges.add(edge)
                 a, b = tuple(edge)
@@ -228,9 +228,8 @@ def simultaneous_msts(
                 key = _edge_key(network, u, v, weight_fn)
                 if pair not in best_per_pair or key < best_per_pair[pair]:
                     best_per_pair[pair] = key
-        by_id = {network.node_id(v): v for v in nodes}
         for pair, (weight, lo, hi) in best_per_pair.items():
-            holder = by_id[lo]
+            holder = network.node_by_id(lo)
             items_per_node[holder].append((j, (weight, lo, hi)))
             upcast_items += 1
 
@@ -239,7 +238,6 @@ def simultaneous_msts(
     # Root finishes each subgraph's MST centrally (Kruskal over the
     # candidate edges with fragments pre-merged), then the chosen edges
     # are downcast — same pipeline cost as the upcast.
-    by_id = {network.node_id(v): v for v in nodes}
     for j in range(len(subgraphs)):
         fragment_of = fragment_maps[j]
         uf = UnionFind(nodes)
@@ -248,7 +246,7 @@ def simultaneous_msts(
             uf.union(a, b)
         candidates = sorted(upcast.items_of_stream(j))
         for weight, lo, hi in candidates:
-            u, v = by_id[lo], by_id[hi]
+            u, v = network.node_by_id(lo), network.node_by_id(hi)
             if uf.find(u) != uf.find(v):
                 uf.union(u, v)
                 forests[j].add(frozenset((u, v)))

@@ -8,29 +8,45 @@ than return wrong answers silently) when the network misbehaves, and
 that retransmitting primitives tolerate loss. This module provides the
 machinery:
 
-* :class:`FaultPlan` — a declarative schedule of crash rounds and an
-  i.i.d. message drop probability, consumed by
-  :class:`~repro.simulator.runner.SyncRunner`.
+* :class:`FaultPlan` — a declarative schedule of crash rounds, an i.i.d.
+  message drop probability, and a deterministic per-edge drop schedule,
+  consumed by :class:`~repro.simulator.runner.SyncRunner`.
 * :class:`RetransmittingFloodProgram` — a loss-tolerant extremum flood
   (rebroadcasts every round for a fixed horizon), the positive control
   showing the fault plumbing composes with real protocols.
 
 A crashed node stops executing and transmitting from its crash round
-onward (crash-stop; no recovery). Drops are per-message, decided by the
-plan's own generator so runs are reproducible under a seed.
+onward (crash-stop; no recovery). Random drops are per-message, decided
+by the plan's generator; scheduled drops name exact (sender, receiver,
+round) deliveries, so adversarial-loss tests are *exactly* reproducible
+— no RNG involved. The plan's generator follows the shared
+``ensure_rng`` seed path end to end: give the plan a seed directly, or
+leave it unset and :func:`simulate_with_faults` derives it from the run
+seed, so one seed pins the whole faulty execution.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Optional
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Optional,
+    Tuple,
+)
 
 from repro.errors import GraphValidationError
 from repro.simulator.message import Message
 from repro.simulator.network import Network
 from repro.simulator.node import Context, NodeProgram
 from repro.simulator.runner import Model, SimulationResult, SyncRunner
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import RngLike, ensure_rng, fresh_seed
+
+# A directed delivery: (sender, receiver).
+DirectedEdge = Tuple[Hashable, Hashable]
 
 
 @dataclass
@@ -40,11 +56,19 @@ class FaultPlan:
     ``crash_rounds`` maps node → first round at which the node is dead
     (``0`` kills it before its ``on_start`` traffic is delivered).
     ``drop_probability`` applies independently to every (message,
-    receiver) pair of non-crashed senders.
+    receiver) pair of non-crashed senders. ``drop_schedule`` maps a
+    *directed* ``(sender, receiver)`` pair to the set of rounds in which
+    that delivery is deterministically destroyed — the adversarial
+    counterpart to the i.i.d. noise (scheduled drops never consume plan
+    randomness, so adding them does not perturb the random drops of a
+    seeded run).
     """
 
     drop_probability: float = 0.0
     crash_rounds: Dict[Hashable, int] = field(default_factory=dict)
+    drop_schedule: Dict[DirectedEdge, FrozenSet[int]] = field(
+        default_factory=dict
+    )
     rng: RngLike = None
 
     def __post_init__(self) -> None:
@@ -57,7 +81,31 @@ class FaultPlan:
                 raise GraphValidationError(
                     f"crash round for {node!r} must be >= 0"
                 )
+        normalized: Dict[DirectedEdge, FrozenSet[int]] = {}
+        for edge, rounds in self.drop_schedule.items():
+            if len(edge) != 2:
+                raise GraphValidationError(
+                    f"drop_schedule keys must be (sender, receiver) pairs; "
+                    f"got {edge!r}"
+                )
+            round_set = frozenset(rounds)
+            if any(round_no < 0 for round_no in round_set):
+                raise GraphValidationError(
+                    f"drop rounds for {edge!r} must be >= 0"
+                )
+            normalized[edge] = round_set
+        self.drop_schedule = normalized
         self._rand = ensure_rng(self.rng)
+
+    def reseed(self, rng: RngLike) -> "FaultPlan":
+        """Rebind the plan's drop generator (returns self).
+
+        This is the hook :func:`simulate_with_faults` uses to derive the
+        plan's randomness from the shared run seed when the plan was
+        built without one.
+        """
+        self._rand = ensure_rng(rng)
+        return self
 
     def is_crashed(self, node: Hashable, round_no: int) -> bool:
         """Whether ``node`` is dead during ``round_no``."""
@@ -65,7 +113,23 @@ class FaultPlan:
         return crash_round is not None and round_no >= crash_round
 
     def should_drop(self) -> bool:
-        """Decide one message delivery (stateful; call once per delivery)."""
+        """Decide one i.i.d. message delivery (stateful; call once per
+        delivery). Kept for the reference engine and direct callers; the
+        indexed engine calls :meth:`drops`."""
+        if self.drop_probability <= 0.0:
+            return False
+        return self._rand.random() < self.drop_probability
+
+    def drops(
+        self, sender: Hashable, receiver: Hashable, round_no: int
+    ) -> bool:
+        """Whether the ``sender → receiver`` delivery of ``round_no`` is
+        lost — scheduled drops first (deterministic, no RNG), then the
+        i.i.d. coin (consumes one draw per call when enabled)."""
+        if self.drop_schedule:
+            scheduled = self.drop_schedule.get((sender, receiver))
+            if scheduled is not None and round_no in scheduled:
+                return True
         if self.drop_probability <= 0.0:
             return False
         return self._rand.random() < self.drop_probability
@@ -126,12 +190,20 @@ def simulate_with_faults(
 
     Thin wrapper over :class:`~repro.simulator.runner.SyncRunner` with the
     plan attached; see the runner for semantics of the return value.
+
+    If the plan was built without its own ``rng``, its drop generator is
+    derived from this function's ``rng`` (one :func:`fresh_seed` draw), so
+    a single seed reproduces the entire faulty run — context randomness
+    *and* message losses.
     """
+    rand = ensure_rng(rng)
+    if fault_plan.rng is None:
+        fault_plan.reseed(fresh_seed(rand))
     runner = SyncRunner(
         network,
         model=model,
         bits_per_message=bits_per_message,
-        rng=rng,
+        rng=rand,
         fault_plan=fault_plan,
     )
     return runner.run(program_factory, max_rounds=max_rounds)

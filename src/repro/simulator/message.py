@@ -10,7 +10,6 @@ state inside one "message".
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Dict, Hashable, Tuple
 
 from repro.errors import ModelViolationError
@@ -66,14 +65,42 @@ def payload_bits(payload: Any) -> int:
     )
 
 
-@dataclass(frozen=True)
 class Message:
-    """A delivered message: sender id, payload, and its bit size."""
+    """A delivered message: sender id, payload, and its bit size.
 
-    sender: Hashable
-    payload: Any
-    bits: int
+    A plain ``__slots__`` class rather than a dataclass: the engine
+    builds one per distinct payload per sender per round, so
+    construction cost is part of the round-loop hot path. Treat
+    instances as immutable.
+    """
+
+    __slots__ = ("sender", "payload", "bits")
+
+    def __init__(self, sender: Hashable, payload: Any, bits: int) -> None:
+        self.sender = sender
+        self.payload = payload
+        self.bits = bits
+
+    def __repr__(self) -> str:
+        return (
+            f"Message(sender={self.sender!r}, payload={self.payload!r}, "
+            f"bits={self.bits!r})"
+        )
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Message):
+            return NotImplemented
+        return (
+            self.sender == other.sender
+            and self.payload == other.payload
+            and self.bits == other.bits
+        )
+
+    def __hash__(self) -> int:
+        # Same contract as the frozen dataclass this class replaced:
+        # hashable whenever the payload is.
+        return hash((self.sender, self.payload, self.bits))
 
     @classmethod
     def build(cls, sender: Hashable, payload: Any) -> "Message":
-        return cls(sender=sender, payload=payload, bits=payload_bits(payload))
+        return cls(sender, payload, payload_bits(payload))

@@ -17,13 +17,21 @@ matching the usual "local termination" semantics.
 
 from __future__ import annotations
 
+import random
 from typing import Any, Dict, Hashable, Optional, Tuple
 
 from repro.simulator.message import Message
 
 
 class Context:
-    """Per-node view of the network plus local control surface."""
+    """Per-node view of the network plus local control surface.
+
+    The per-node generator may be given directly (``rng``) or as a seed
+    (``rng_seed``); the seed form defers :class:`random.Random`
+    construction until a program first touches ``ctx.rng``, which most
+    deterministic protocols never do. Both forms produce the same stream
+    for the same seed, so engines may pick either.
+    """
 
     def __init__(
         self,
@@ -31,16 +39,30 @@ class Context:
         node_id: int,
         neighbors: Tuple[Hashable, ...],
         n: int,
-        rng,
+        rng=None,
+        index: Optional[int] = None,
+        rng_seed: Optional[int] = None,
     ) -> None:
         self.node = node
         self.node_id = node_id
         self.neighbors = neighbors
         self.n = n
-        self.rng = rng
+        self._rng = rng
+        self._rng_seed = rng_seed
+        # Dense integer index of the node in Network.index_map (the
+        # engine's canonical order); None under the reference engine.
+        self.index = index
         self.round = 0
         self.output: Any = None
         self._halted = False
+
+    @property
+    def rng(self) -> random.Random:
+        """The node's private generator (built on first use)."""
+        rng = self._rng
+        if rng is None:
+            rng = self._rng = random.Random(self._rng_seed)
+        return rng
 
     @property
     def degree(self) -> int:

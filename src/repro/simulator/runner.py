@@ -1,16 +1,42 @@
-"""Synchronous lock-step executor with model enforcement.
+"""Synchronous lock-step executor — the engine's round loop.
 
 :func:`simulate` runs one :class:`~repro.simulator.node.NodeProgram` per
 node until every node halts or the network goes quiescent (a full round
 with no traffic and no new halts), or ``max_rounds`` elapses.
 
-Model enforcement:
+The executor is an *engine* with three separated layers:
+
+* **topology core** — :class:`~repro.simulator.network.Network`
+  canonicalizes nodes once through ``fastgraph.IndexedGraph``; the hot
+  round loop below (inbox assembly, broadcast fan-out, fault filtering,
+  budget checks) runs over integer node indices and flat neighbor
+  arrays. Node programs still see Hashable node keys at the boundary
+  (``ctx.node``, inbox keyed by sender label).
+* **transport layer** — delivery semantics, message accounting rules, and
+  budget enforcement live in pluggable
+  :class:`~repro.simulator.transport.Transport` objects
+  (``VCongestTransport`` / ``ECongestTransport`` / ``CliqueTransport``);
+  the historical :class:`Model` enum selects a stock transport.
+* **scenario layer** — :mod:`repro.simulator.scenario` builds whole runs
+  declaratively on top of this module.
+
+Round loops themselves are pluggable: the default ``"indexed"`` engine is
+the integer-index loop below; ``"reference"``
+(:mod:`repro.simulator.runner_reference`) preserves the pre-engine
+dict-per-round loop as the bit-exactness oracle of the equivalence test
+suite. Both produce identical :class:`SimulationResult` values and
+identical :class:`~repro.simulator.tracing.Tracer` transcripts under a
+fixed seed.
+
+Model enforcement (see :mod:`repro.simulator.transport`):
 
 * ``Model.V_CONGEST`` — a program must return a single payload (or
   ``None``); the runner broadcasts it to all neighbors. Returning a dict
   raises :class:`~repro.errors.ModelViolationError`.
 * ``Model.E_CONGEST`` — a program may return a dict of per-neighbor
   payloads (or a bare payload as broadcast shorthand, or ``None``).
+* ``Model.CONGESTED_CLIQUE`` — as E-CONGEST, but any node may be
+  addressed and broadcasts reach all ``n − 1`` other nodes.
 
 Every payload is size-checked against the ``O(log n)``-bit budget
 (``bits_per_message``); oversized messages raise
@@ -20,36 +46,35 @@ protocol that needs bigger messages is *not* a CONGEST protocol.
 
 from __future__ import annotations
 
-import enum
-import random
+import contextlib
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Hashable, Optional
+from typing import Any, Callable, Dict, Hashable, Iterator, List, Optional
 
-from repro.errors import ModelViolationError, SimulationError
-from repro.simulator.message import Message, payload_bits
+from repro.errors import SimulationError
+from repro.simulator.message import Message
 from repro.simulator.metrics import SimulationMetrics
 from repro.simulator.network import Network
 from repro.simulator.node import Context, NodeProgram
-from repro.utils.mathutil import ceil_log2
+from repro.simulator.transport import (  # re-exported (historical home)
+    BROADCAST,
+    Model,
+    Transport,
+    build_transport,
+    default_message_budget,
+)
 from repro.utils.rng import RngLike, ensure_rng, fresh_seed
 
-
-class Model(enum.Enum):
-    """The two congestion models of Section 1.2."""
-
-    V_CONGEST = "v-congest"
-    E_CONGEST = "e-congest"
-
-
-def default_message_budget(n: int, factor: int = 32, slack: int = 128) -> int:
-    """Concrete ``O(log n)`` bit budget: ``factor·⌈log₂ n⌉ + slack``.
-
-    The paper's messages carry constantly many ids/values of ``O(log n)``
-    bits each (component ids are triples, proposals carry an id, a
-    component id, and a random value), so a generous constant factor is
-    the honest instantiation.
-    """
-    return factor * max(1, ceil_log2(max(2, n))) + slack
+__all__ = [
+    "Model",
+    "SimulationResult",
+    "SyncRunner",
+    "simulate",
+    "default_message_budget",
+    "available_engines",
+    "register_engine",
+    "set_default_engine",
+    "engine_context",
+]
 
 
 @dataclass
@@ -64,8 +89,80 @@ class SimulationResult:
         return self.outputs[node]
 
 
+# ----------------------------------------------------------------------
+# Engine registry
+# ----------------------------------------------------------------------
+
+# An engine is a round-loop implementation:
+#   engine(runner, program_factory, max_rounds, quiescence_halts) -> SimulationResult
+EngineFn = Callable[..., SimulationResult]
+
+_ENGINES: Dict[str, EngineFn] = {}
+_DEFAULT_ENGINE = "indexed"
+
+
+def register_engine(name: str, engine: EngineFn) -> None:
+    """Register a named round-loop implementation."""
+    _ENGINES[name] = engine
+
+
+def available_engines() -> List[str]:
+    """Names of the registered round-loop implementations."""
+    _require_engine("reference")  # make sure the lazy module registered
+    return sorted(_ENGINES)
+
+
+def set_default_engine(name: str) -> None:
+    """Select the engine used when a runner does not name one."""
+    global _DEFAULT_ENGINE
+    _require_engine(name)
+    _DEFAULT_ENGINE = name
+
+
+def default_engine() -> str:
+    return _DEFAULT_ENGINE
+
+
+@contextlib.contextmanager
+def engine_context(name: str) -> Iterator[None]:
+    """Temporarily switch the default engine (the equivalence tests use
+    this to run composite algorithms on the reference loop)."""
+    global _DEFAULT_ENGINE
+    _require_engine(name)
+    previous = _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = name
+    try:
+        yield
+    finally:
+        _DEFAULT_ENGINE = previous
+
+
+def _require_engine(name: str) -> EngineFn:
+    if name not in _ENGINES and name == "reference":
+        # The reference loop lives in its own module; importing registers it.
+        import repro.simulator.runner_reference  # noqa: F401
+    try:
+        return _ENGINES[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown simulation engine {name!r}; "
+            f"registered: {sorted(_ENGINES)}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+
+
 class SyncRunner:
-    """Executes programs in synchronized rounds over a :class:`Network`."""
+    """Executes programs in synchronized rounds over a :class:`Network`.
+
+    ``model`` selects a stock transport; passing ``transport`` directly
+    plugs in custom delivery semantics (then ``model`` is ignored for
+    delivery and kept only as a label). ``engine`` names the round-loop
+    implementation; ``None`` uses the module default (``"indexed"``).
+    """
 
     def __init__(
         self,
@@ -74,17 +171,23 @@ class SyncRunner:
         bits_per_message: Optional[int] = None,
         rng: RngLike = None,
         fault_plan=None,
+        transport: Optional[Transport] = None,
+        engine: Optional[str] = None,
     ) -> None:
         self.network = network
         self.model = model
-        self.bits_per_message = (
-            bits_per_message
-            if bits_per_message is not None
-            else default_message_budget(network.n)
+        self.transport = (
+            transport
+            if transport is not None
+            else build_transport(model, network, bits_per_message)
         )
+        self.bits_per_message = self.transport.bits_per_message
         self._rng = ensure_rng(rng)
         # Optional repro.simulator.faults.FaultPlan; None = reliable run.
+        if fault_plan is not None:
+            _check_plan_nodes(fault_plan, network)
         self.fault_plan = fault_plan
+        self.engine = engine
 
     def run(
         self,
@@ -99,136 +202,183 @@ class SyncRunner:
         a fully silent round. Raises :class:`SimulationError` if
         ``max_rounds`` is exceeded — runaway protocols are bugs.
         """
-        net = self.network
-        programs: Dict[Hashable, NodeProgram] = {}
-        contexts: Dict[Hashable, Context] = {}
-        for node in net.nodes:
-            contexts[node] = Context(
+        engine = _require_engine(self.engine or _DEFAULT_ENGINE)
+        return engine(self, program_factory, max_rounds, quiescence_halts)
+
+
+def _check_plan_nodes(plan, network: Network) -> None:
+    """Reject fault plans naming nodes outside the network — a crash or
+    drop schedule for an unknown node would otherwise be a silent no-op
+    and the 'faulty' run would quietly be fault-free."""
+    known = network.index_map
+    unknown = [v for v in getattr(plan, "crash_rounds", {}) if v not in known]
+    for edge in getattr(plan, "drop_schedule", {}) or {}:
+        unknown.extend(v for v in edge if v not in known)
+    if unknown:
+        raise SimulationError(
+            f"fault plan names nodes not in the network: {sorted(map(repr, set(unknown)))}"
+        )
+
+
+def _run_indexed(
+    runner: SyncRunner,
+    program_factory: Callable[[Hashable], NodeProgram],
+    max_rounds: int,
+    quiescence_halts: bool,
+) -> SimulationResult:
+    """The default engine: the round loop over integer node indices.
+
+    Per-round work is proportional to live nodes and delivered messages —
+    not ``n`` — and message payloads are validated/sized once per payload
+    object, not once per receiver. Inbox dicts are owned by the engine
+    and recycled between rounds; programs must consume their inbox during
+    ``on_round`` (every shipped program does).
+    """
+    net = runner.network
+    transport = runner.transport
+    plan = runner.fault_plan
+    nodes = net.nodes  # index → label, frozen for the run
+    n = len(nodes)
+    runner_rng = runner._rng
+    validate = transport.validate
+    fanout_table = [transport.fanout(i) for i in range(n)]
+
+    contexts: List[Context] = []
+    programs: List[NodeProgram] = []
+    for index, node in enumerate(nodes):
+        contexts.append(
+            Context(
                 node=node,
                 node_id=net.node_id(node),
                 neighbors=net.neighbors(node),
-                n=net.n,
-                rng=random.Random(fresh_seed(self._rng)),
+                n=n,
+                rng_seed=fresh_seed(runner_rng),
+                index=index,
             )
-            programs[node] = program_factory(node)
+        )
+        programs.append(program_factory(node))
 
-        metrics = SimulationMetrics(runs=1)
-        # outbound[v] = validated traffic produced by v this round.
-        outbound: Dict[Hashable, Dict[Hashable, Message]] = {}
-        for node in net.nodes:
-            ctx = contexts[node]
-            raw = programs[node].on_start(ctx)
-            outbound[node] = self._validate(node, ctx, raw)
+    metrics = SimulationMetrics(runs=1)
+    # outbound[i] = validated indexed traffic produced by node i this
+    # round (see transport.Outbound); `senders` lists the indices with
+    # traffic, in index order — the delivery loop never scans silent
+    # nodes. Entries are consumed (reset to None) at delivery.
+    outbound: List[Any] = [None] * n
+    senders: List[int] = []
+    for i in range(n):
+        ctx = contexts[i]
+        raw = programs[i].on_start(ctx)
+        out = validate(nodes[i], i, raw)
+        if out:
+            outbound[i] = out
+            senders.append(i)
 
-        for round_no in range(1, max_rounds + 1):
-            inboxes: Dict[Hashable, Dict[Hashable, Message]] = {
-                node: {} for node in net.nodes
-            }
-            round_messages = 0
-            round_bits = 0
-            round_max_bits = 0
-            plan = self.fault_plan
-            for sender, traffic in outbound.items():
-                if plan is not None and plan.is_crashed(sender, round_no):
-                    continue
-                for receiver, message in traffic.items():
-                    if plan is not None and plan.should_drop():
+    # live = indices of nodes that are neither halted nor crashed (the
+    # only ones that execute); unhalted additionally counts crashed
+    # nodes, matching the metrics accounting of the reference loop.
+    live: List[int] = [i for i in range(n) if not contexts[i].halted]
+    unhalted = len(live)
+    # inboxes are engine-owned dicts, reused across rounds; `touched`
+    # tracks which ones need clearing after the round's programs ran.
+    inboxes: List[Dict[Hashable, Message]] = [{} for _ in range(n)]
+
+    for round_no in range(1, max_rounds + 1):
+        round_messages = 0
+        round_bits = 0
+        round_max_bits = 0
+        touched: List[int] = []
+        for s in senders:
+            out = outbound[s]
+            outbound[s] = None
+            sender = nodes[s]
+            if plan is not None and plan.is_crashed(sender, round_no):
+                continue
+            if out[0] is BROADCAST:
+                message = out[1]
+                bits = message.bits
+                if plan is None:
+                    targets = fanout_table[s]
+                    for r in targets:
+                        box = inboxes[r]
+                        if not box:
+                            touched.append(r)
+                        box[sender] = message
+                    delivered = len(targets)
+                else:
+                    delivered = 0
+                    for r in fanout_table[s]:
+                        if plan.drops(sender, nodes[r], round_no):
+                            continue
+                        box = inboxes[r]
+                        if not box:
+                            touched.append(r)
+                        box[sender] = message
+                        delivered += 1
+                if delivered:
+                    round_messages += delivered
+                    round_bits += bits * delivered
+                    if bits > round_max_bits:
+                        round_max_bits = bits
+            else:
+                for r, message in out:
+                    if plan is not None and plan.drops(
+                        sender, nodes[r], round_no
+                    ):
                         continue
-                    inboxes[receiver][sender] = message
+                    box = inboxes[r]
+                    if not box:
+                        touched.append(r)
+                    box[sender] = message
                     round_messages += 1
                     round_bits += message.bits
                     if message.bits > round_max_bits:
                         round_max_bits = message.bits
-            if round_messages or any(not contexts[v].halted for v in net.nodes):
-                metrics.record_round(round_messages, round_bits, round_max_bits)
+        if round_messages or unhalted:
+            metrics.record_round(round_messages, round_bits, round_max_bits)
 
-            any_traffic = round_messages > 0
-            all_halted = True
-            next_outbound: Dict[Hashable, Dict[Hashable, Message]] = {}
-            for node in net.nodes:
-                ctx = contexts[node]
-                if ctx.halted:
-                    next_outbound[node] = {}
-                    continue
-                if plan is not None and plan.is_crashed(node, round_no):
-                    # Crash-stop: no execution, no traffic; counts as
-                    # terminated so live nodes can still end the run.
-                    next_outbound[node] = {}
-                    continue
-                ctx.round = round_no
-                raw = programs[node].on_round(ctx, inboxes[node])
-                if ctx.halted:
-                    next_outbound[node] = {}
-                else:
-                    next_outbound[node] = self._validate(node, ctx, raw)
-                    all_halted = False
-            outbound = next_outbound
+        any_traffic = round_messages > 0
+        senders = []
+        next_live: List[int] = []
+        for i in live:
+            if plan is not None and plan.is_crashed(nodes[i], round_no):
+                # Crash-stop: no execution, no traffic; drops out of the
+                # live set for good (crashes are permanent) but still
+                # counts as unhalted for round accounting.
+                continue
+            ctx = contexts[i]
+            ctx.round = round_no
+            raw = programs[i].on_round(ctx, inboxes[i])
+            if ctx._halted:
+                unhalted -= 1
+            else:
+                if raw is not None:
+                    out = validate(nodes[i], i, raw)
+                    if out:
+                        outbound[i] = out
+                        senders.append(i)
+                next_live.append(i)
+        for r in touched:
+            inboxes[r].clear()
+        live = next_live
 
-            if all_halted:
-                return SimulationResult(
-                    outputs={v: contexts[v].output for v in net.nodes},
-                    metrics=metrics,
-                    halted=True,
-                )
-            if (
-                quiescence_halts
-                and not any_traffic
-                and not any(traffic for traffic in outbound.values())
-            ):
-                return SimulationResult(
-                    outputs={v: contexts[v].output for v in net.nodes},
-                    metrics=metrics,
-                    halted=False,
-                )
-        raise SimulationError(
-            f"simulation did not terminate within {max_rounds} rounds"
-        )
-
-    def _validate(
-        self, node: Hashable, ctx: Context, raw: Any
-    ) -> Dict[Hashable, Message]:
-        """Turn a program's return value into per-receiver messages,
-        enforcing the model's congestion rules."""
-        if raw is None:
-            return {}
-        neighbors = ctx.neighbors
-        if isinstance(raw, dict):
-            if self.model is Model.V_CONGEST:
-                raise ModelViolationError(
-                    f"node {node!r} attempted per-neighbor messages in "
-                    "V-CONGEST; only a single local broadcast is allowed"
-                )
-            traffic = {}
-            # Programs often address every neighbor with the same payload
-            # object; build (and size-check) one Message per object, not
-            # one per receiver. Keyed by id(): the payloads stay alive in
-            # `raw` for the duration of the loop.
-            built: Dict[int, Message] = {}
-            for receiver, payload in raw.items():
-                if receiver not in neighbors:
-                    raise ModelViolationError(
-                        f"node {node!r} addressed non-neighbor {receiver!r}"
-                    )
-                if payload is None:
-                    continue
-                message = built.get(id(payload))
-                if message is None or message.payload is not payload:
-                    message = Message.build(node, payload)
-                    self._check_size(node, message)
-                    built[id(payload)] = message
-                traffic[receiver] = message
-            return traffic
-        # Bare payload: broadcast to all neighbors (legal in both models).
-        message = Message.build(node, raw)
-        self._check_size(node, message)
-        return {receiver: message for receiver in neighbors}
-
-    def _check_size(self, node: Hashable, message: Message) -> None:
-        if message.bits > self.bits_per_message:
-            raise ModelViolationError(
-                f"node {node!r} sent a {message.bits}-bit message; budget is "
-                f"{self.bits_per_message} bits (O(log n))"
+        if not live:
+            return SimulationResult(
+                outputs={nodes[i]: contexts[i].output for i in range(n)},
+                metrics=metrics,
+                halted=True,
             )
+        if quiescence_halts and not any_traffic and not senders:
+            return SimulationResult(
+                outputs={nodes[i]: contexts[i].output for i in range(n)},
+                metrics=metrics,
+                halted=False,
+            )
+    raise SimulationError(
+        f"simulation did not terminate within {max_rounds} rounds"
+    )
+
+
+register_engine("indexed", _run_indexed)
 
 
 def simulate(
@@ -238,9 +388,16 @@ def simulate(
     max_rounds: int = 100000,
     bits_per_message: Optional[int] = None,
     rng: RngLike = None,
+    transport: Optional[Transport] = None,
+    engine: Optional[str] = None,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`SyncRunner`."""
     runner = SyncRunner(
-        network, model=model, bits_per_message=bits_per_message, rng=rng
+        network,
+        model=model,
+        bits_per_message=bits_per_message,
+        rng=rng,
+        transport=transport,
+        engine=engine,
     )
     return runner.run(program_factory, max_rounds=max_rounds)

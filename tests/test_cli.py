@@ -100,6 +100,73 @@ class TestCommands:
         assert "# repro measurement report" in out
         assert "| harary:4,12 |" in out
 
+    def test_simulate_flood(self, capsys):
+        assert main(
+            ["simulate", "harary:4,16", "--program", "flood-min", "--seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rounds:" in out
+        assert "messages:" in out
+        assert "rounds/sec" in out
+
+    def test_simulate_list_programs(self, capsys):
+        assert main(["simulate", "--list-programs"]) == 0
+        out = capsys.readouterr().out
+        assert "flood-min" in out
+        assert "clique-min" in out
+
+    def test_simulate_requires_graph(self, capsys):
+        assert main(["simulate"]) == 2
+        assert "graph spec" in capsys.readouterr().err
+
+    def test_simulate_trace(self, capsys):
+        assert main(
+            ["simulate", "torus:3,3", "--program", "bfs", "--trace"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "round  node" in out
+
+    def test_simulate_clique_model(self, capsys):
+        assert main(
+            ["simulate", "harary:4,12", "--program", "clique-min"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "congested-clique" in out
+        assert "rounds:   1" in out
+
+    def test_simulate_with_faults(self, capsys):
+        assert main(
+            [
+                "simulate", "harary:4,16",
+                "--program", "retransmit-flood",
+                "--drop", "0.2", "--crash", "0:2", "--seed", "5",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rounds:" in out
+
+    def test_simulate_reference_engine_matches(self, capsys):
+        assert main(
+            ["simulate", "harary:4,12", "--engine", "reference", "--seed", "1"]
+        ) == 0
+        reference_out = capsys.readouterr().out
+        assert main(
+            ["simulate", "harary:4,12", "--engine", "indexed", "--seed", "1"]
+        ) == 0
+        indexed_out = capsys.readouterr().out
+        # Identical protocol facts; only engine label and wall time differ.
+        ref_facts = [l for l in reference_out.splitlines()
+                     if l.startswith(("rounds:", "messages:", "outputs", "  "))]
+        idx_facts = [l for l in indexed_out.splitlines()
+                     if l.startswith(("rounds:", "messages:", "outputs", "  "))]
+        assert ref_facts == idx_facts
+
+    def test_simulate_bad_crash_spec(self, capsys):
+        assert main(
+            ["simulate", "harary:4,12", "--crash", "nonsense"]
+        ) == 2
+        assert "NODE:ROUND" in capsys.readouterr().err
+
     def test_error_exit_code(self, capsys):
         assert main(["connectivity", "mystery:1"]) == 2
         err = capsys.readouterr().err

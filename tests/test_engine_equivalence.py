@@ -1,0 +1,440 @@
+"""Engine equivalence: the indexed round loop vs the reference loop.
+
+The refactored engine (``runner.py``, engine ``"indexed"``) must be
+*bit-identical* to the preserved pre-engine loop
+(``runner_reference.py``, engine ``"reference"``) under a fixed seed:
+same :class:`SimulationResult` outputs, same metrics, and — where the
+schedule matters — the same :class:`Tracer` transcript, event for event.
+This suite runs every algorithm in ``repro/simulator/algorithms`` (and
+the fault machinery, whose RNG consumption order is part of the
+contract) on both engines and diffs the results.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import harary_graph
+from repro.graphs.sampling import karger_edge_partition
+from repro.simulator.algorithms.bfs import build_bfs_tree
+from repro.simulator.algorithms.boruvka import distributed_mst
+from repro.simulator.algorithms.convergecast import converge_sum
+from repro.simulator.algorithms.exchange import exchange_once
+from repro.simulator.algorithms.flooding import (
+    ExtremumFloodProgram,
+    elect_leader,
+    flood_extremum,
+)
+from repro.simulator.algorithms.luby_mis import LubyMisProgram, luby_mis
+from repro.simulator.algorithms.multikey_flood import multikey_flood
+from repro.simulator.algorithms.pipelined_upcast import pipelined_upcast
+from repro.simulator.algorithms.preprocessing import network_preprocessing
+from repro.simulator.algorithms.shared_mst import simultaneous_msts
+from repro.simulator.algorithms.subgraph_flood import (
+    identify_components,
+    subgraph_extremum,
+)
+from repro.simulator.faults import (
+    FaultPlan,
+    RetransmittingFloodProgram,
+    simulate_with_faults,
+)
+from repro.simulator.network import Network
+from repro.simulator.runner import (
+    Model,
+    SimulationResult,
+    available_engines,
+    engine_context,
+    simulate,
+)
+from repro.simulator.tracing import Tracer
+from repro.utils.rng import ensure_rng
+
+ENGINES = ("indexed", "reference")
+
+
+def _network(graph=None, seed=1) -> Network:
+    if graph is None:
+        graph = harary_graph(4, 14)
+    return Network(graph, rng=seed)
+
+
+def _assert_same_result(a: SimulationResult, b: SimulationResult) -> None:
+    assert a.outputs == b.outputs
+    assert list(a.outputs) == list(b.outputs)  # same node order too
+    assert a.halted == b.halted
+    _assert_same_metrics(a.metrics, b.metrics)
+
+
+def _assert_same_metrics(a, b) -> None:
+    assert a.rounds == b.rounds
+    assert a.messages == b.messages
+    assert a.bits == b.bits
+    assert a.max_message_bits == b.max_message_bits
+    assert a.phase_rounds == b.phase_rounds
+
+
+def _on_engines(run):
+    """Run ``run()`` under each engine; return {engine: value}."""
+    results = {}
+    for engine in ENGINES:
+        with engine_context(engine):
+            results[engine] = run()
+    return results
+
+
+class TestEngineRegistry:
+    def test_both_engines_registered(self):
+        engines = available_engines()
+        assert "indexed" in engines
+        assert "reference" in engines
+
+    def test_unknown_engine_rejected(self):
+        from repro.errors import SimulationError
+
+        net = _network()
+        with pytest.raises(SimulationError):
+            simulate(net, lambda v: ExtremumFloodProgram(0), engine="no-such")
+
+    def test_reference_rejects_clique(self):
+        from repro.errors import SimulationError
+
+        net = _network()
+        with pytest.raises(SimulationError):
+            simulate(
+                net,
+                lambda v: ExtremumFloodProgram(0),
+                model=Model.CONGESTED_CLIQUE,
+                engine="reference",
+            )
+
+
+class TestPrimitiveEquivalence:
+    """Direct simulate() calls: result + full Tracer transcript."""
+
+    def _traced(self, network, factory_of, model, rng_seed=7):
+        tracer = Tracer()
+        result = simulate(
+            network,
+            tracer.wrap(factory_of(network)),
+            model=model,
+            rng=rng_seed,
+        )
+        return result, tracer.trace
+
+    def _check(self, graph, factory_of, model=Model.V_CONGEST):
+        network = _network(graph)
+        runs = _on_engines(
+            lambda: self._traced(network, factory_of, model)
+        )
+        res_a, trace_a = runs["indexed"]
+        res_b, trace_b = runs["reference"]
+        _assert_same_result(res_a, res_b)
+        assert trace_a.events == trace_b.events
+
+    def test_extremum_flood(self):
+        self._check(
+            harary_graph(4, 16),
+            lambda net: (
+                lambda v: ExtremumFloodProgram((net.node_id(v) * 7) % 31)
+            ),
+        )
+
+    def test_bfs_wave(self):
+        from repro.simulator.algorithms.bfs import BfsProgram
+
+        graph = nx.path_graph(9)
+        self._check(
+            graph,
+            lambda net: (lambda v: BfsProgram(is_root=(v == 0))),
+        )
+
+    def test_luby_mis_uses_identical_context_rngs(self):
+        # Luby draws from ctx.rng every phase: equality pins the per-node
+        # fresh_seed order of both engines.
+        self._check(
+            harary_graph(4, 18),
+            lambda net: (lambda v: LubyMisProgram()),
+        )
+
+    def test_retransmitting_flood(self):
+        self._check(
+            nx.cycle_graph(11),
+            lambda net: (
+                lambda v: RetransmittingFloodProgram(net.node_id(v), horizon=9)
+            ),
+        )
+
+    def test_e_congest_per_neighbor_traffic(self):
+        class SendRight:
+            """Address one specific neighbor (E-CONGEST dict traffic)."""
+
+            def __init__(self, node):
+                self._node = node
+
+            def on_start(self, ctx):
+                right = (self._node + 1) % ctx.n
+                return {right: ("tok", self._node)} if right in ctx.neighbors else None
+
+            def on_round(self, ctx, inbox):
+                ctx.halt(sorted(m.payload for m in inbox.values()))
+                return None
+
+        from repro.simulator.node import NodeProgram
+
+        class Prog(SendRight, NodeProgram):
+            pass
+
+        self._check(
+            nx.cycle_graph(10),
+            lambda net: (lambda v: Prog(v)),
+            model=Model.E_CONGEST,
+        )
+
+
+class TestFaultEquivalence:
+    """Fault filtering consumes the plan RNG in the same order."""
+
+    def test_iid_drops_identical(self):
+        graph = harary_graph(4, 16)
+
+        def run():
+            network = _network(graph, seed=2)
+            plan = FaultPlan(drop_probability=0.3, rng=11)
+            return simulate_with_faults(
+                network,
+                lambda v: RetransmittingFloodProgram(
+                    network.node_id(v), horizon=20
+                ),
+                plan,
+                rng=5,
+            )
+
+        runs = _on_engines(run)
+        _assert_same_result(runs["indexed"], runs["reference"])
+
+    def test_crashes_identical(self):
+        graph = nx.path_graph(8)
+
+        def run():
+            network = _network(graph, seed=2)
+            plan = FaultPlan(crash_rounds={3: 2, 6: 4}, rng=1)
+            return simulate_with_faults(
+                network,
+                lambda v: RetransmittingFloodProgram(v, horizon=14),
+                plan,
+                rng=5,
+            )
+
+        runs = _on_engines(run)
+        _assert_same_result(runs["indexed"], runs["reference"])
+
+
+class TestCompositeEquivalence:
+    """Composite algorithms (many chained simulations) end to end."""
+
+    def test_flood_extremum_and_leader(self):
+        graph = harary_graph(4, 15)
+
+        def run():
+            network = _network(graph)
+            values = {v: (network.node_id(v) * 3) % 50 for v in network.nodes}
+            flood = flood_extremum(network, values)
+            leader, election = elect_leader(network)
+            return flood, leader, election
+
+        runs = _on_engines(run)
+        flood_a, leader_a, el_a = runs["indexed"]
+        flood_b, leader_b, el_b = runs["reference"]
+        _assert_same_result(flood_a, flood_b)
+        assert leader_a == leader_b
+        _assert_same_result(el_a, el_b)
+
+    def test_subgraph_flood_and_components(self):
+        graph = harary_graph(4, 16)
+
+        def run():
+            network = _network(graph)
+            members = network.nodes[:12]
+            adjacency = {
+                v: {
+                    u
+                    for u in network.neighbors(v)
+                    if u in members and (network.node_id(u) + network.node_id(v)) % 3
+                }
+                for v in network.nodes
+            }
+            values = {v: network.node_id(v) for v in network.nodes}
+            flood = subgraph_extremum(network, members, adjacency, values)
+            components, ident = identify_components(network, members, adjacency)
+            return flood, components, ident
+
+        runs = _on_engines(run)
+        _assert_same_result(runs["indexed"][0], runs["reference"][0])
+        assert runs["indexed"][1] == runs["reference"][1]
+        _assert_same_result(runs["indexed"][2], runs["reference"][2])
+
+    def test_exchange_and_convergecast(self):
+        graph = harary_graph(4, 12)
+
+        def run():
+            network = _network(graph)
+            heard, res = exchange_once(
+                network, {v: network.node_id(v) % 9 for v in network.nodes}
+            )
+            tree, bfs_res = build_bfs_tree(
+                network, min(network.nodes, key=network.node_id)
+            )
+            total, sum_res = converge_sum(
+                network, tree, {v: 1 for v in network.nodes}
+            )
+            return heard, res, tree, bfs_res, total, sum_res
+
+        runs = _on_engines(run)
+        a, b = runs["indexed"], runs["reference"]
+        assert a[0] == b[0]
+        _assert_same_result(a[1], b[1])
+        assert a[2] == b[2]
+        _assert_same_result(a[3], b[3])
+        assert a[4] == b[4] == 12
+        _assert_same_result(a[5], b[5])
+
+    def test_multikey_flood(self):
+        graph = harary_graph(4, 12)
+
+        def run():
+            network = _network(graph)
+            values = {
+                v: {0: network.node_id(v), 1: -network.node_id(v)}
+                for v in network.nodes
+            }
+            allowed = {
+                v: {0: set(network.neighbors(v)), 1: set(network.neighbors(v))}
+                for v in network.nodes
+            }
+            return multikey_flood(
+                network, values, allowed, minimize=True, keys_bound=2
+            )
+
+        runs = _on_engines(run)
+        _assert_same_result(runs["indexed"], runs["reference"])
+
+    def test_pipelined_upcast(self):
+        graph = harary_graph(4, 14)
+
+        def run():
+            network = _network(graph)
+            items = {
+                v: [(i % 3, network.node_id(v) % 100 + i) for i in range(2)]
+                for v in network.nodes
+            }
+            return pipelined_upcast(network, items)
+
+        runs = _on_engines(run)
+        a, b = runs["indexed"], runs["reference"]
+        assert a.collected == b.collected
+        assert a.rounds == b.rounds
+        assert a.root == b.root
+
+    def test_distributed_mst(self):
+        graph = harary_graph(4, 14)
+
+        def run():
+            network = _network(graph)
+            mst = distributed_mst(
+                network,
+                lambda u, v: ((u * 13 + v * 7) % 19) + 1.0,
+                model=Model.E_CONGEST,
+            )
+            return mst
+
+        runs = _on_engines(run)
+        assert runs["indexed"].edges == runs["reference"].edges
+        _assert_same_metrics(
+            runs["indexed"].metrics, runs["reference"].metrics
+        )
+
+    def test_simultaneous_msts(self):
+        graph = harary_graph(6, 15)
+
+        def run():
+            rand = ensure_rng(4)
+            parts = karger_edge_partition(graph, 2, rand)
+            network = _network(graph, seed=3)
+            return simultaneous_msts(network, parts)
+
+        runs = _on_engines(run)
+        a, b = runs["indexed"], runs["reference"]
+        assert a.forests == b.forests
+        assert a.fragment_rounds == b.fragment_rounds
+        assert a.completion_rounds == b.completion_rounds
+        assert a.upcast_items == b.upcast_items
+
+    def test_network_preprocessing(self):
+        graph = harary_graph(4, 13)
+
+        def run():
+            network = _network(graph)
+            return network_preprocessing(network)
+
+        runs = _on_engines(run)
+        a, b = runs["indexed"], runs["reference"]
+        assert a.leader == b.leader
+        assert a.n == b.n == 13
+        assert a.diameter_lower == b.diameter_lower
+        _assert_same_metrics(a.metrics, b.metrics)
+
+    def test_luby_mis_composite(self):
+        graph = harary_graph(4, 17)
+
+        def run():
+            network = _network(graph, seed=6)
+            return luby_mis(network, rng=9)
+
+        runs = _on_engines(run)
+        assert runs["indexed"][0] == runs["reference"][0]
+        _assert_same_result(runs["indexed"][1], runs["reference"][1])
+
+
+class TestDriverEquivalence:
+    """The core distributed drivers, end to end on both engines."""
+
+    def test_distributed_spanning_packing(self):
+        from repro.core.spanning_packing_distributed import (
+            distributed_spanning_packing,
+        )
+
+        graph = harary_graph(4, 12)
+
+        def run():
+            return distributed_spanning_packing(
+                graph, rng=8, max_iterations=4
+            )
+
+        runs = _on_engines(run)
+        a, b = runs["indexed"], runs["reference"]
+        assert a.iterations_per_part == b.iterations_per_part
+        assert a.packing.size == b.packing.size
+        assert len(a.packing.trees) == len(b.packing.trees)
+        _assert_same_metrics(a.report.measured, b.report.measured)
+
+    def test_distributed_integral_packing(self):
+        from repro.core.integral_packing_distributed import (
+            distributed_integral_spanning_packing,
+        )
+
+        graph = harary_graph(6, 14)
+
+        def run():
+            return distributed_integral_spanning_packing(
+                graph, parts_factor=1.0, rng=5
+            )
+
+        runs = _on_engines(run)
+        a, b = runs["indexed"], runs["reference"]
+        assert a.size == b.size
+        assert a.total_rounds == b.total_rounds
+        assert [sorted(map(sorted, f)) for f in a.mst_rounds.forests] == [
+            sorted(map(sorted, f)) for f in b.mst_rounds.forests
+        ]

@@ -49,6 +49,74 @@ class TestFaultPlan:
         plan = FaultPlan(drop_probability=1.0, rng=0)
         assert all(plan.should_drop() for _ in range(10))
 
+    def test_drop_schedule_normalized_and_validated(self):
+        plan = FaultPlan(drop_schedule={("a", "b"): [1, 2, 2]})
+        assert plan.drop_schedule[("a", "b")] == frozenset({1, 2})
+        with pytest.raises(GraphValidationError):
+            FaultPlan(drop_schedule={("a", "b"): [-1]})
+        with pytest.raises(GraphValidationError):
+            FaultPlan(drop_schedule={("a",): [1]})
+
+    def test_drops_honors_schedule_without_rng(self):
+        plan = FaultPlan(drop_schedule={("u", "v"): {3}}, rng=0)
+        assert plan.drops("u", "v", 3)
+        assert not plan.drops("u", "v", 2)
+        assert not plan.drops("v", "u", 3)  # directed
+
+    def test_scheduled_drops_do_not_consume_randomness(self):
+        """Scheduled hits are decided before the i.i.d. coin, so adding a
+        schedule does not shift the random drop stream."""
+        with_schedule = FaultPlan(
+            drop_probability=0.5, drop_schedule={("u", "v"): {1}}, rng=7
+        )
+        without = FaultPlan(drop_probability=0.5, rng=7)
+        # First decision hits the schedule (no draw)…
+        assert with_schedule.drops("u", "v", 1)
+        # …so the following random decisions line up with a fresh plan.
+        a = [with_schedule.drops("x", "y", r) for r in range(30)]
+        b = [without.drops("x", "y", r) for r in range(30)]
+        assert a == b
+
+    def test_reseed_rebinds_generator(self):
+        plan = FaultPlan(drop_probability=0.5, rng=1)
+        first = [plan.should_drop() for _ in range(20)]
+        plan.reseed(1)
+        assert [plan.should_drop() for _ in range(20)] == first
+
+    def test_plan_naming_unknown_nodes_rejected(self):
+        """A crash/drop entry for a node outside the network would be a
+        silent no-op; the runner rejects it loudly instead."""
+        from repro.errors import SimulationError
+
+        network = Network(nx.path_graph(4), rng=1)
+        with pytest.raises(SimulationError):
+            simulate_with_faults(
+                network,
+                lambda v: RetransmittingFloodProgram(v, horizon=4),
+                FaultPlan(crash_rounds={99: 1}),
+            )
+        with pytest.raises(SimulationError):
+            simulate_with_faults(
+                network,
+                lambda v: RetransmittingFloodProgram(v, horizon=4),
+                FaultPlan(drop_schedule={(0, 77): {1}}),
+            )
+
+    def test_reference_engine_rejects_drop_schedule(self):
+        """The legacy loop cannot honor per-edge schedules; it must fail
+        loudly rather than simulate a fault-free run."""
+        from repro.errors import SimulationError
+        from repro.simulator.runner import engine_context
+
+        network = Network(nx.path_graph(4), rng=1)
+        with engine_context("reference"):
+            with pytest.raises(SimulationError):
+                simulate_with_faults(
+                    network,
+                    lambda v: RetransmittingFloodProgram(v, horizon=4),
+                    FaultPlan(drop_schedule={(0, 1): {1}}),
+                )
+
 
 class TestCrashInjection:
     def test_crashed_node_goes_silent(self):
@@ -146,6 +214,47 @@ class TestDropInjection:
         )
         for v in graph.nodes():
             assert result.output_of(v) == 0
+
+    def test_plan_rng_derived_from_run_seed(self):
+        """A plan without its own rng is seeded from the simulate seed:
+        one seed reproduces the whole faulty run, end to end."""
+        graph = harary_graph(4, 14)
+
+        def run():
+            network = Network(graph, rng=1)
+            return simulate_with_faults(
+                network,
+                lambda v: RetransmittingFloodProgram(v, horizon=10),
+                FaultPlan(drop_probability=0.5),
+                rng=21,
+            )
+
+        first, second = run(), run()
+        assert first.outputs == second.outputs
+        assert first.metrics.messages == second.metrics.messages
+        assert first.metrics.bits == second.metrics.bits
+
+    def test_scheduled_edge_drop_blocks_exact_delivery(self):
+        """Drop node 0's round-1 transmission to node 1 only: the minimum
+        still arrives, exactly one round late."""
+        graph = nx.path_graph(5)
+        network = Network(graph, rng=1)
+        values = {v: 10 + v for v in graph.nodes()}
+        values[0] = 1
+        blocked = simulate_with_faults(
+            network,
+            lambda v: RetransmittingFloodProgram(values[v], horizon=12),
+            FaultPlan(drop_schedule={(0, 1): {1}}),
+        )
+        clear = simulate_with_faults(
+            network,
+            lambda v: RetransmittingFloodProgram(values[v], horizon=12),
+            FaultPlan(),
+        )
+        assert blocked.output_of(4) == 1  # retransmission repaired it
+        assert clear.output_of(4) == 1
+        # One fewer delivered message in the blocked run.
+        assert blocked.metrics.messages == clear.metrics.messages - 1
 
     def test_zero_probability_matches_reliable_run(self):
         graph = harary_graph(4, 12)

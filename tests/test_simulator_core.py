@@ -1,9 +1,13 @@
 """Simulator core: messages, network, runner, model enforcement."""
 
+import random
+
 import networkx as nx
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+
+from repro.graphs.generators import harary_graph
 
 from repro.errors import (
     GraphValidationError,
@@ -49,6 +53,13 @@ class TestPayloadBits:
         assert msg.sender == 0
         assert msg.bits == payload_bits((1, 2))
 
+    def test_message_equality_and_hash(self):
+        a, b = Message.build(0, (1, 2)), Message.build(0, (1, 2))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Message.build(1, (1, 2))
+        assert len({a, b}) == 1  # usable in sets/dict keys
+
 
 class TestNetwork:
     def test_ids_distinct(self):
@@ -82,6 +93,44 @@ class TestNetwork:
         assert [n1.node_id(v) for v in n1.nodes] == [
             n2.node_id(v) for v in n2.nodes
         ]
+
+    def test_index_view_round_trips(self):
+        g = nx.path_graph(7)
+        net = Network(g, rng=1)
+        for v in net.nodes:
+            assert net.node_at(net.index_of(v)) == v
+        assert net.index_map == {v: i for i, v in enumerate(net.nodes)}
+
+    def test_neighbor_indices_match_neighbor_labels(self):
+        g = harary_graph(4, 12)
+        net = Network(g, rng=2)
+        for v in net.nodes:
+            i = net.index_of(v)
+            assert tuple(net.node_at(j) for j in net.neighbor_indices(i)) == (
+                net.neighbors(v)
+            )
+        assert len(net.neighbor_index_table()) == net.n
+
+    def test_node_by_id_inverts_node_id(self):
+        net = Network(nx.cycle_graph(9), rng=3)
+        for v in net.nodes:
+            assert net.node_by_id(net.node_id(v)) == v
+
+    def test_indexed_graph_exposed(self):
+        net = Network(nx.cycle_graph(5), rng=1)
+        assert net.indexed.n == 5
+        assert net.indexed.m == net.m == 5
+
+    def test_id_draw_attempt_budget_raises(self):
+        """A degenerate RNG that always returns the same id must fail
+        loudly instead of spinning forever."""
+
+        class StuckRng(random.Random):
+            def getrandbits(self, _bits):
+                return 7
+
+        with pytest.raises(SimulationError):
+            Network(nx.path_graph(3), rng=StuckRng())
 
 
 class _EchoOnce(NodeProgram):
