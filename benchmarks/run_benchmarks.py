@@ -1,6 +1,6 @@
 """Machine-readable benchmark driver for the repo's hot paths.
 
-Two suites, each timing a rewrite against its preserved reference
+Three suites, each timing a rewrite against its preserved reference
 implementation and writing a JSON file at the repo root (the perf
 trajectory: future PRs append runs and regressions become diffable
 numbers instead of anecdotes):
@@ -15,12 +15,16 @@ numbers instead of anecdotes):
   and shared-MST workloads, outputs asserted identical →
   ``BENCH_simulator.json`` (see :mod:`bench_simulator`). Acceptance
   gate: ≥ 2× rounds/sec on flooding at n = 1000.
+* ``cds_packing`` — the kernel-backed CDS / dominating-tree packing vs
+  the pre-kernel loop (:mod:`repro.core.cds_packing_reference`),
+  packings asserted bit-identical → ``BENCH_cds_packing.json`` (see
+  :mod:`bench_cds_packing`). Acceptance gate: ≥ 1.5× at n = 500.
 
 Run from the repo root::
 
-    PYTHONPATH=src python benchmarks/run_benchmarks.py                 # both
+    PYTHONPATH=src python benchmarks/run_benchmarks.py                 # all
     PYTHONPATH=src python benchmarks/run_benchmarks.py --quick         # CI-sized
-    PYTHONPATH=src python benchmarks/run_benchmarks.py --suite simulator
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --suite cds_packing
 """
 
 from __future__ import annotations
@@ -140,21 +144,33 @@ def _run_spanning(args) -> None:
     print(f"wrote {out}")
 
 
+def _forwarded_args(args, suite: str):
+    """CLI flags forwarded to a sub-benchmark's own ``main``; unset ones
+    fall back to that module's defaults (which differ per suite)."""
+    forwarded = ["--quick"] if args.quick else []
+    if args.repeats is not None:
+        forwarded += ["--repeats", str(args.repeats)]
+    if args.seed is not None:
+        forwarded += ["--seed", str(args.seed)]
+    if args.out is not None and args.suite == suite:
+        forwarded += ["--out", str(args.out)]
+    return forwarded
+
+
 def _run_simulator(args) -> None:
     try:
         import bench_simulator
     except ImportError:  # running as a module from the repo root
         from benchmarks import bench_simulator
-    simulator_args = ["--quick"] if args.quick else []
-    # Forward explicit flags; unset ones fall back to bench_simulator's
-    # own defaults (which differ from the spanning suite's).
-    if args.repeats is not None:
-        simulator_args += ["--repeats", str(args.repeats)]
-    if args.seed is not None:
-        simulator_args += ["--seed", str(args.seed)]
-    if args.out is not None and args.suite == "simulator":
-        simulator_args += ["--out", str(args.out)]
-    bench_simulator.main(simulator_args)
+    bench_simulator.main(_forwarded_args(args, "simulator"))
+
+
+def _run_cds(args) -> None:
+    try:
+        import bench_cds_packing
+    except ImportError:  # running as a module from the repo root
+        from benchmarks import bench_cds_packing
+    bench_cds_packing.main(_forwarded_args(args, "cds_packing"))
 
 
 def main(argv=None) -> int:
@@ -164,17 +180,17 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=["all", "spanning", "simulator"],
+        choices=["all", "spanning", "simulator", "cds_packing"],
         default="all",
         help="which benchmark suite(s) to run",
     )
     parser.add_argument(
         "--repeats", type=int, default=None,
-        help="timing repeats (default: 3 spanning / 10 simulator)",
+        help="timing repeats (default: 3 spanning/cds_packing / 10 simulator)",
     )
     parser.add_argument(
         "--seed", type=int, default=None,
-        help="seed (default: 9 spanning / 3 simulator)",
+        help="seed (default: 9 spanning/cds_packing / 3 simulator)",
     )
     parser.add_argument(
         "--out",
@@ -189,6 +205,8 @@ def main(argv=None) -> int:
         _run_spanning(args)
     if args.suite in ("all", "simulator"):
         _run_simulator(args)
+    if args.suite in ("all", "cds_packing"):
+        _run_cds(args)
     return 0
 
 

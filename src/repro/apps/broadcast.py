@@ -19,6 +19,10 @@ The schedulers are deliberately *not* NodeProgram simulations: the packing
 fixes the routes, so only the queueing is left, and a token-level model
 measures throughput/congestion orders of magnitude faster while enforcing
 the identical per-round capacity constraints.
+
+Every entry point's ``rng`` defaults to seed 0 (not OS entropy): a
+workload that omits the argument is still exactly reproducible, and
+passing one seed pins the whole run — tree assignment included.
 """
 
 from __future__ import annotations
@@ -65,7 +69,7 @@ class BroadcastOutcome:
 def assign_messages_to_trees(
     trees: Sequence[WeightedTree],
     n_messages: int,
-    rng: RngLike = None,
+    rng: RngLike = 0,
 ) -> Dict[int, int]:
     """Oblivious assignment: each message picks a tree ∝ its weight."""
     if not trees:
@@ -93,7 +97,7 @@ def assign_messages_to_trees(
 def vertex_broadcast(
     packing: DominatingTreePacking,
     sources: Dict[int, Hashable],
-    rng: RngLike = None,
+    rng: RngLike = 0,
     max_rounds: int = 1_000_000,
 ) -> BroadcastOutcome:
     """Broadcast ``sources`` (message id → origin node) via random trees
@@ -189,7 +193,7 @@ def vertex_broadcast(
 def edge_broadcast(
     packing: SpanningTreePacking,
     sources: Dict[int, Hashable],
-    rng: RngLike = None,
+    rng: RngLike = 0,
     max_rounds: int = 1_000_000,
 ) -> BroadcastOutcome:
     """Broadcast via random trees of a spanning tree packing under

@@ -5,7 +5,8 @@ is completion in ``Õ(η + (N + n)/k)`` rounds of V-CONGEST by handing
 each message to a random dominating tree and broadcasting inside it.
 :func:`gossip` builds the message placement and runs the
 :func:`repro.apps.broadcast.vertex_broadcast` scheduler; experiment E5
-sweeps ``N`` and ``k`` against the bound.
+sweeps ``N`` and ``k`` against the bound. ``rng`` defaults to seed 0
+(not OS entropy), so an omitted seed still yields a reproducible run.
 """
 
 from __future__ import annotations
@@ -43,7 +44,7 @@ def place_messages(
     nodes: List[Hashable],
     n_messages: int,
     max_per_node: int,
-    rng: RngLike = None,
+    rng: RngLike = 0,
 ) -> Dict[int, Hashable]:
     """Scatter ``n_messages`` over ``nodes`` with per-node cap η."""
     rand = ensure_rng(rng)
@@ -65,7 +66,7 @@ def gossip(
     packing: DominatingTreePacking,
     n_messages: Optional[int] = None,
     max_per_node: int = 1,
-    rng: RngLike = None,
+    rng: RngLike = 0,
 ) -> GossipOutcome:
     """All-to-all dissemination through a dominating tree packing.
 

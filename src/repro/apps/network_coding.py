@@ -127,7 +127,7 @@ def rlnc_gossip(
     sources: Dict[int, Hashable],
     payload_bits: Optional[int] = None,
     budget_bits: Optional[int] = None,
-    rng: RngLike = None,
+    rng: RngLike = 0,
     max_slots: int = 1_000_000,
 ) -> CodedBroadcastOutcome:
     """All-to-all dissemination of ``sources`` by RLNC gossip.
@@ -229,7 +229,7 @@ def compare_with_tree_broadcast(
     sources: Dict[int, Hashable],
     payload_bits: Optional[int] = None,
     budget_bits: Optional[int] = None,
-    rng: RngLike = None,
+    rng: RngLike = 0,
 ) -> ThroughputComparison:
     """Run both dissemination schemes on identical workloads.
 

@@ -61,7 +61,7 @@ def vertex_congestion_report(
     packing: DominatingTreePacking,
     sources: Dict[int, Hashable],
     k: int,
-    rng: RngLike = None,
+    rng: RngLike = 0,
     outcome: Optional[BroadcastOutcome] = None,
 ) -> CongestionReport:
     """Vertex-congestion competitiveness of random-tree broadcast routing."""
@@ -88,7 +88,7 @@ def edge_congestion_report(
     packing: SpanningTreePacking,
     sources: Dict[int, Hashable],
     lam: int,
-    rng: RngLike = None,
+    rng: RngLike = 0,
     outcome: Optional[BroadcastOutcome] = None,
 ) -> CongestionReport:
     """Edge-congestion competitiveness of random-tree broadcast routing."""

@@ -9,6 +9,7 @@ command line::
     repro pack-spanning hypercube:4 --seed 5
     repro broadcast harary:6,24 --messages 24 --seed 7
     repro simulate harary:6,24 --program flood-min --seed 3 --trace
+    repro simulate harary:4,16 --program cds_packing --model congested-clique
     repro experiments
 
 Graph specifications are ``family:arg1,arg2,…``:
@@ -286,6 +287,7 @@ _EXPERIMENTS = [
     ("E21", "bench_shared_mst", "Lemma 5.1 simultaneous MSTs"),
     ("E22", "bench_point_to_point", "§1.3.1 point-to-point √n barrier"),
     ("E23", "bench_simulator", "engine rounds/sec (indexed vs reference)"),
+    ("E24", "bench_cds_packing", "CDS kernel speed (indexed vs reference)"),
     ("F1-F3", "bench_figures", "paper figures (text renderings)"),
     ("A1-A5", "bench_ablation", "design-choice ablations"),
 ]

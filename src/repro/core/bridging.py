@@ -24,6 +24,17 @@ order and matches each to the first available bridging-adjacent component;
 since a pair is skipped only when one endpoint is already matched, the
 result is a maximal matching — exactly the structure Lemma 4.4 needs,
 and the same matching discipline as the linked-list sweep of Appendix C.
+
+Since the kernel port the sweep runs entirely on the
+:class:`~repro.core.virtual_graph.CdsIndex` view: integer node indices,
+flat adjacency in ``graph.neighbors()`` order, and
+:class:`~repro.fastgraph.IntUnionFind` component representatives. The
+RNG consumption sequence and every candidate-enumeration order are the
+reference implementation's exactly (node-iteration order = index order,
+class sets with identical insertion histories, closed neighborhoods in
+adjacency order), so assignments are bit-identical to
+:mod:`repro.core.cds_packing_reference` under a fixed seed — the
+equivalence suite pins this.
 """
 
 from __future__ import annotations
@@ -33,7 +44,7 @@ from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 import networkx as nx
 
-from repro.core.virtual_graph import VirtualGraph, VirtualNode
+from repro.core.virtual_graph import VirtualGraph
 from repro.utils.rng import RngLike, ensure_rng
 
 
@@ -62,22 +73,28 @@ def jump_start(vg: VirtualGraph, rng: RngLike = None) -> None:
     """
     rand = ensure_rng(rng)
     t = vg.n_classes
+    n = vg.index.n
+    assign_at = vg.assign_at
     for layer in range(1, vg.layers // 2 + 1):
-        for real in vg.graph.nodes():
+        for i in range(n):
             for vtype in (1, 2, 3):
-                vg.assign(VirtualNode(real, layer, vtype), rand.randrange(t))
+                assign_at(i, layer, vtype, rand.randrange(t))
 
 
-def _adjacent_components(
-    vg: VirtualGraph, real: Hashable, class_id: int
-) -> Set[Hashable]:
-    """Old components of ``class_id`` adjacent to a new node on ``real``
-    (component representatives, via the closed neighborhood)."""
-    state = vg.classes[class_id]
-    reps: Set[Hashable] = set()
-    for w in closed_neighborhood(vg.graph, real):
-        if state.is_active(w):
-            reps.add(state.component_of(w))
+def _adjacent_reps(
+    adj: List[List[int]], mult: Dict[int, int], rep: List[int], i: int
+) -> Set[int]:
+    """Old components of one class adjacent to a new node on index ``i``
+    (component representative indices, via the closed neighborhood).
+    ``mult``/``rep`` are the class's active-index dict and its
+    representative table for this layer, unbundled by the caller to keep
+    the sweep monomorphic."""
+    reps: Set[int] = set()
+    if i in mult:
+        reps.add(rep[i])
+    for j in adj[i]:
+        if j in mult:
+            reps.add(rep[j])
     return reps
 
 
@@ -98,48 +115,66 @@ def assign_layer(
     another). Both default to the paper's algorithm.
     """
     rand = ensure_rng(rng)
-    graph = vg.graph
+    index = vg.index
+    adj = index.adj
+    n = index.n
     t = vg.n_classes
+    classes = vg.classes
+    real_classes_at = vg.real_classes_at
     excess_before = vg.excess_components()
+    # Per-class hot-path views. No class gains members until the final
+    # apply loop, so each class's component representatives are constant
+    # throughout the sweep: resolve them once per (class, active node)
+    # here instead of once per neighborhood visit. ``reps[c][i]`` is only
+    # meaningful where ``i`` is active in class ``c``.
+    mults: List[Dict[int, int]] = [s.multiplicity_by_index for s in classes]
+    reps_table: List[List[int]] = []
+    for s in classes:
+        rep = [0] * n
+        find = s._uf.find
+        for i in s.multiplicity_by_index:
+            rep[i] = find(i)
+        reps_table.append(rep)
 
-    # Step 1: type-1 and type-3 new nodes pick random classes.
-    type1_class: Dict[Hashable, int] = {}
-    type3_class: Dict[Hashable, int] = {}
-    for real in graph.nodes():
-        type1_class[real] = rand.randrange(t)
-        type3_class[real] = rand.randrange(t)
+    # Step 1: type-1 and type-3 new nodes pick random classes (one t1/t3
+    # draw pair per node, in node order — the reference's RNG sequence).
+    type1_class: List[int] = [0] * n
+    type3_class: List[int] = [0] * n
+    for i in range(n):
+        type1_class[i] = rand.randrange(t)
+        type3_class[i] = rand.randrange(t)
 
     # Deactivation (condition (b)): a component already bridged to another
     # component of its class by some type-1 new node needs no type-2 spend.
-    deactivated: Set[Tuple[int, Hashable]] = set()
-    for real, class_id in type1_class.items():
-        reps = _adjacent_components(vg, real, class_id)
+    deactivated: Set[Tuple[int, int]] = set()
+    for i in range(n):
+        class_id = type1_class[i]
+        reps = _adjacent_reps(adj, mults[class_id], reps_table[class_id], i)
         if len(reps) >= 2:
             deactivated.update((class_id, rep) for rep in reps)
 
     # Suitable components of each type-3 new node (feeds condition (c)).
-    suitable3: Dict[Hashable, Set[Hashable]] = {
-        real: _adjacent_components(vg, real, class_id)
-        for real, class_id in type3_class.items()
-    }
+    suitable3: List[Set[int]] = [
+        _adjacent_reps(adj, mults[type3_class[i]], reps_table[type3_class[i]], i)
+        for i in range(n)
+    ]
 
     # Steps 2–3: bridging adjacency + greedy maximal matching over type-2
     # new nodes in random order.
-    matched: Set[Tuple[int, Hashable]] = set()
-    type2_class: Dict[Hashable, int] = {}
+    matched: Set[Tuple[int, int]] = set()
+    type2_class: List[int] = [0] * n
     bridging_candidates = 0
     random_type2 = 0
-    order = list(graph.nodes())
+    order = list(range(n))
     rand.shuffle(order)
-    for real in order:
-        neighborhood = closed_neighborhood(graph, real)
+    for i in order:
+        neighborhood = [i, *adj[i]]
         # Candidate (class, component) pairs satisfying condition (a).
-        candidates: List[Tuple[int, Hashable]] = []
-        seen: Set[Tuple[int, Hashable]] = set()
+        candidates: List[Tuple[int, int]] = []
+        seen: Set[Tuple[int, int]] = set()
         for w in neighborhood:
-            for class_id in vg.real_classes[w]:
-                rep = vg.classes[class_id].component_of(w)
-                key = (class_id, rep)
+            for class_id in real_classes_at[w]:
+                key = (class_id, reps_table[class_id][w])
                 if key not in seen:
                     seen.add(key)
                     candidates.append(key)
@@ -171,13 +206,14 @@ def assign_layer(
         if assigned is None:
             assigned = rand.randrange(t)
             random_type2 += 1
-        type2_class[real] = assigned
+        type2_class[i] = assigned
 
     # Apply all 3n assignments (projections update under the hood).
-    for real in graph.nodes():
-        vg.assign(VirtualNode(real, new_layer, 1), type1_class[real])
-        vg.assign(VirtualNode(real, new_layer, 2), type2_class[real])
-        vg.assign(VirtualNode(real, new_layer, 3), type3_class[real])
+    assign_at = vg.assign_at
+    for i in range(n):
+        assign_at(i, new_layer, 1, type1_class[i])
+        assign_at(i, new_layer, 2, type2_class[i])
+        assign_at(i, new_layer, 3, type3_class[i])
 
     return LayerStats(
         layer=new_layer,

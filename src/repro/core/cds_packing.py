@@ -25,25 +25,44 @@ the function always returns a valid packing (or raises
 When ``k`` is unknown, :func:`fractional_cds_packing` runs the try-and-error
 guessing of Remark 3.1 over ``k ∈ {n/2, n/4, ...}``, accepting the first
 guess for which at least half the classes pass the test.
+
+Implementation: the whole pipeline runs on the :mod:`repro.fastgraph`
+kernel. The graph is canonicalized **once** at entry into a
+:class:`~repro.core.virtual_graph.CdsIndex` (and shared across the guess
+loop's repeated constructions); the recursion maintains per-class
+:class:`~repro.fastgraph.IntUnionFind` projections
+(:mod:`repro.core.bridging`); class validity — domination plus induced
+connectivity — is decided on flat index arrays (connectivity is a single
+component-count read off the union-find, domination one adjacency scan);
+and the per-class BFS dominating trees are extracted index-side,
+replicating ``nx.bfs_tree``'s traversal order, before becoming
+:class:`networkx.Graph` objects at the API boundary. Results are
+bit-identical to the preserved pre-kernel implementation
+(:mod:`repro.core.cds_packing_reference`) under fixed seeds —
+``tests/test_cds_equivalence.py`` enforces this and
+``BENCH_cds_packing.json`` records the speedup.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Hashable, List, Optional, Sequence, Set, Tuple
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
-from repro.errors import GraphValidationError, PackingConstructionError
+from repro.errors import (
+    GraphValidationError,
+    PackingConstructionError,
+    PackingValidationError,
+)
 from repro.core.bridging import LayerStats, run_recursion
 from repro.core.tree_packing import (
+    _TOLERANCE,
     DominatingTreePacking,
     WeightedTree,
-    spanning_tree_of,
 )
-from repro.core.virtual_graph import VirtualGraph, default_layer_count
-from repro.graphs.connectivity import is_connected_dominating_set
+from repro.core.virtual_graph import CdsIndex, VirtualGraph, default_layer_count
 from repro.utils.rng import RngLike, ensure_rng
 
 
@@ -89,26 +108,97 @@ def build_cds_classes(
     n_classes: int,
     n_layers: int,
     rng: RngLike = None,
+    index: Optional[CdsIndex] = None,
 ) -> Tuple[VirtualGraph, List[LayerStats]]:
     """Run the full recursive class assignment; returns the raw classes.
 
     This is the algorithm of Section 3.1 without the testing/retry wrapper;
     exposed separately for the analysis experiments (E8, E9, E10) that need
-    the un-filtered trajectory.
+    the un-filtered trajectory. ``index`` shares one canonicalization
+    across repeated constructions.
     """
-    vg = VirtualGraph(graph, layers=n_layers, n_classes=n_classes)
+    vg = VirtualGraph(graph, layers=n_layers, n_classes=n_classes, index=index)
     history = run_recursion(vg, rng)
     return vg, history
 
 
 def _valid_class_ids(graph: nx.Graph, vg: VirtualGraph) -> List[int]:
-    """Classes whose real projection is a CDS (the Appendix E criteria)."""
+    """Classes whose real projection is a CDS (the Appendix E criteria).
+
+    Index-side: induced connectivity is one component-count read off the
+    class union-find (the projection's components are exactly what it
+    tracks); domination is a single adjacency scan over non-members.
+    """
+    index = vg.index
+    adj = index.adj
+    n = index.n
+    member = bytearray(n)
     valid = []
     for state in vg.classes:
-        members = state.active_reals
-        if members and is_connected_dominating_set(graph, members):
+        mult = state.multiplicity_by_index
+        if not mult or state.n_components() != 1:
+            continue
+        for i in mult:
+            member[i] = 1
+        dominated = True
+        for j in range(n):
+            if member[j]:
+                continue
+            for u in adj[j]:
+                if member[u]:
+                    break
+            else:
+                dominated = False
+                break
+        for i in mult:
+            member[i] = 0
+        if dominated:
             valid.append(state.class_id)
     return valid
+
+
+def _bfs_tree_indices(
+    adj: List[List[int]], member: bytearray, root: int, n_members: int
+) -> List[Tuple[int, int]]:
+    """BFS tree edges over the members, in nx traversal order.
+
+    Visits neighbors in adjacency order from ``root`` — exactly the
+    traversal ``nx.bfs_tree(graph.subgraph(members), root)`` performs —
+    so the extracted dominating tree matches the reference's
+    :func:`~repro.core.tree_packing.spanning_tree_of` edge for edge.
+    """
+    visited = bytearray(len(member))
+    visited[root] = 1
+    queue = deque([root])
+    edges: List[Tuple[int, int]] = []
+    while queue:
+        a = queue.popleft()
+        for b in adj[a]:
+            if member[b] and not visited[b]:
+                visited[b] = 1
+                edges.append((a, b))
+                queue.append(b)
+    if len(edges) != n_members - 1:
+        raise PackingValidationError(
+            "node set does not induce a connected graph"
+        )
+    return edges
+
+
+def _members_tree_graph(
+    index: CdsIndex, members: Sequence[int], edges: List[Tuple[int, int]]
+) -> nx.Graph:
+    """A labeled tree graph on exactly ``members`` (ascending index order
+    = graph node order, the order the reference's subgraph view reports).
+
+    Materialization runs once per *valid class*, not in the per-layer
+    sweep, so the supported networkx API is fast enough here.
+    """
+    tree = nx.Graph()
+    nodes = index.nodes
+    tree.add_nodes_from(nodes[i] for i in members)
+    tree.add_edges_from((nodes[a], nodes[b]) for a, b in edges)
+    return tree
 
 
 def _packing_from_classes(
@@ -122,24 +212,50 @@ def _packing_from_classes(
     dominates the uniform ``1/max-load`` weighting, tightening the
     achieved Ω(k / log n) size. Trees are per-class BFS spanning trees of
     the CDS (the same object as the paper's 0/1-weight MST trick).
+
+    Index-side verification happens here: domination and induced
+    connectivity of every class were established by
+    :func:`_valid_class_ids`, the BFS guarantees each tree spans its
+    class, and the per-vertex load bound is checked below on flat
+    arrays — the same constraints
+    :meth:`~repro.core.tree_packing.DominatingTreePacking.verify` checks
+    on the nx objects.
     """
-    class_nodes = {
-        class_id: vg.classes[class_id].active_reals for class_id in class_ids
+    index = vg.index
+    adj = index.adj
+    n = index.n
+    class_members: Dict[int, List[int]] = {
+        class_id: sorted(vg.classes[class_id].multiplicity_by_index)
+        for class_id in class_ids
     }
-    membership: dict = {v: 0 for v in graph.nodes()}
-    for members in class_nodes.values():
-        for v in members:
-            membership[v] += 1
+    load = [0] * n
+    for members in class_members.values():
+        for i in members:
+            load[i] += 1
+    member = bytearray(n)
+    vertex_load = [0.0] * n
     weighted = []
-    for class_id, members in class_nodes.items():
-        tree = spanning_tree_of(graph, members)
-        class_max_load = max(membership[v] for v in members)
+    for class_id, members in class_members.items():
+        for i in members:
+            member[i] = 1
+        edges = _bfs_tree_indices(adj, member, members[0], len(members))
+        for i in members:
+            member[i] = 0
+        class_max_load = max(load[i] for i in members)
+        weight = 1.0 / max(1, class_max_load)
+        for i in members:
+            vertex_load[i] += weight
         weighted.append(
             WeightedTree(
-                tree=tree,
-                weight=1.0 / max(1, class_max_load),
+                tree=_members_tree_graph(index, members, edges),
+                weight=weight,
                 class_id=class_id,
             )
+        )
+    max_load = max(vertex_load, default=0.0)
+    if max_load > 1.0 + _TOLERANCE:
+        raise PackingValidationError(
+            f"vertex capacity violated: max node load {max_load} > 1"
         )
     return DominatingTreePacking(graph, weighted)
 
@@ -149,11 +265,14 @@ def construct_cds_packing(
     k_guess: int,
     params: Optional[PackingParameters] = None,
     rng: RngLike = None,
+    index: Optional[CdsIndex] = None,
 ) -> CdsPackingResult:
     """Build a packing for a known (2-approximate) connectivity guess.
 
     Retries with halved class counts when too few classes verify — the
-    library-level guarantee is that the returned packing is always valid.
+    library-level guarantee is that the returned packing is always valid
+    (the defining constraints are re-checked index-side during
+    construction). ``index`` shares a prebuilt canonicalization.
     """
     if graph.number_of_nodes() < 2:
         raise GraphValidationError("graph must have at least 2 nodes")
@@ -163,16 +282,17 @@ def construct_cds_packing(
         raise GraphValidationError("k_guess must be >= 1")
     params = params or PackingParameters()
     rand = ensure_rng(rng)
+    if index is None:
+        index = CdsIndex(graph)
 
     t_requested = params.n_classes(k_guess)
     n_layers = params.n_layers(graph.number_of_nodes())
     t = t_requested
     for attempt in range(1, params.max_attempts + 1):
-        vg, history = build_cds_classes(graph, t, n_layers, rand)
+        vg, history = build_cds_classes(graph, t, n_layers, rand, index=index)
         valid = _valid_class_ids(graph, vg)
         if valid:
             packing = _packing_from_classes(graph, vg, valid)
-            packing.verify()
             return CdsPackingResult(
                 packing=packing,
                 virtual_graph=vg,
@@ -197,25 +317,29 @@ def fractional_cds_packing(
     k: Optional[int] = None,
     params: Optional[PackingParameters] = None,
     rng: RngLike = None,
+    index: Optional[CdsIndex] = None,
 ) -> CdsPackingResult:
     """Fractional dominating tree packing (Theorems 1.1/1.2 object).
 
     ``k`` is an optional 2-approximation of the vertex connectivity; when
     omitted, the try-and-error guessing of Remark 3.1 finds a suitable
     scale: guesses ``n/2, n/4, …`` are tried until at least an
-    ``accept_fraction`` of the classes pass the CDS test.
+    ``accept_fraction`` of the classes pass the CDS test. The graph is
+    canonicalized once and the :class:`CdsIndex` shared across guesses.
     """
     params = params or PackingParameters()
     rand = ensure_rng(rng)
+    if index is None:
+        index = CdsIndex(graph)
     if k is not None:
-        return construct_cds_packing(graph, k, params, rand)
+        return construct_cds_packing(graph, k, params, rand, index=index)
 
     n = graph.number_of_nodes()
     guess = max(1, n // 2)
     best: Optional[CdsPackingResult] = None
     while True:
         try:
-            result = construct_cds_packing(graph, guess, params, rand)
+            result = construct_cds_packing(graph, guess, params, rand, index=index)
         except PackingConstructionError:
             result = None
         if result is not None:

@@ -1,7 +1,7 @@
 """Distributed fractional CDS packing (Appendix B, Theorem B.1).
 
 The same recursion as :mod:`repro.core.cds_packing`, executed as a
-V-CONGEST protocol on the round simulator. Per layer:
+protocol on the round simulator. Per layer:
 
 1. **Component identification** (B.1) — parallel per-class min-id floods
    (the Theorem B.2 subroutine; one multi-key flood run covers all
@@ -24,13 +24,22 @@ entries — i.e. one *meta-round* = ``3L`` real V-CONGEST rounds (Section
 3.1). The result reports measured meta-rounds and the derived real-round
 estimate, plus the analytic Theorem B.2 bounds for the substituted
 component-identification subroutine (DESIGN.md Section 2/5).
+
+**Transports.** The protocol runs under ``Model.V_CONGEST`` (the paper's
+model) or ``Model.CONGESTED_CLIQUE`` (every broadcast reaches all n−1
+nodes). Protocol *decisions* consume only traffic from graph neighbors —
+every heard map is filtered through :func:`_from_neighbors`, in
+deterministic ``graph.neighbors()`` order — so under a fixed seed both
+transports produce the **same packing**; only the message/bit accounting
+differs. The scenario layer exposes this as the registered
+``cds_packing`` program (``repro simulate … --program cds_packing``),
+backed by :func:`run_cds_packing_scenario`.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
 
 import networkx as nx
 
@@ -51,11 +60,14 @@ from repro.simulator.metrics import (
     SimulationMetrics,
 )
 from repro.simulator.network import Network
-from repro.simulator.runner import Model, default_message_budget
+from repro.simulator.runner import Model, SimulationResult
 from repro.utils.mathutil import whp_repeats
 from repro.utils.rng import RngLike, ensure_rng
 
 _CONNECTOR = -1  # the special "connector" symbol of Appendix B.2
+
+# Communication models the Appendix B protocol is defined for.
+_SUPPORTED_MODELS = (Model.V_CONGEST, Model.CONGESTED_CLIQUE)
 
 
 @dataclass
@@ -72,8 +84,35 @@ class DistributedCdsResult:
         return self.result.packing
 
 
+def _from_neighbors(
+    network: Network, heard: Dict[Hashable, Dict[Hashable, Any]]
+) -> Dict[Hashable, Dict[Hashable, Any]]:
+    """Restrict heard maps to graph neighbors, in adjacency order.
+
+    Under ``CONGESTED_CLIQUE`` a broadcast reaches every node; the
+    protocol's decisions must stay graph-local, so each node discards
+    non-neighbor traffic. The fixed iteration order also makes every
+    downstream set-insertion sequence transport-independent, which is
+    what pins the same-seed same-packing guarantee across transports.
+    """
+    graph = network.graph
+    return {
+        v: {
+            u: heard_v[u]
+            for u in graph.neighbors(v)
+            if u in heard_v
+        }
+        for v, heard_v in ((v, heard[v]) for v in network.nodes)
+    }
+
+
 def _identify_class_components(
-    network: Network, vg: VirtualGraph, metrics: SimulationMetrics
+    network: Network,
+    vg: VirtualGraph,
+    metrics: SimulationMetrics,
+    model: Model,
+    tracer=None,
+    max_rounds: int = 100000,
 ) -> Dict[Hashable, Dict[int, int]]:
     """Per-class component ids for every active (node, class) pair.
 
@@ -91,7 +130,8 @@ def _identify_class_components(
         }
     keys_bound = max((len(vg.real_classes[v]) for v in network.nodes), default=1)
     result = multikey_flood(
-        network, values, allowed, minimize=True, keys_bound=keys_bound
+        network, values, allowed, minimize=True, keys_bound=keys_bound,
+        model=model, tracer=tracer, max_rounds=max_rounds,
     )
     metrics.merge(result.metrics)
     metrics.record_phase("component-identification", result.metrics.rounds)
@@ -103,6 +143,9 @@ def _flood_deactivation(
     vg: VirtualGraph,
     deactivated_seed: Dict[Hashable, Set[int]],
     metrics: SimulationMetrics,
+    model: Model,
+    tracer=None,
+    max_rounds: int = 100000,
 ) -> Dict[Hashable, Set[int]]:
     """Spread per-class deactivation bits inside components (max-flood)."""
     graph = network.graph
@@ -119,7 +162,8 @@ def _flood_deactivation(
         }
     keys_bound = max((len(vg.real_classes[v]) for v in network.nodes), default=1)
     result = multikey_flood(
-        network, values, allowed, minimize=False, keys_bound=keys_bound
+        network, values, allowed, minimize=False, keys_bound=keys_bound,
+        model=model, tracer=tracer, max_rounds=max_rounds,
     )
     metrics.merge(result.metrics)
     metrics.record_phase("deactivation-flood", result.metrics.rounds)
@@ -137,6 +181,9 @@ def _matching_stages(
     lists: Dict[Hashable, List[Tuple[int, int]]],
     metrics: SimulationMetrics,
     rand,
+    model: Model,
+    tracer=None,
+    max_rounds: int = 100000,
 ) -> Dict[Hashable, Optional[int]]:
     """Appendix B.3: staged proposal matching; returns type-2 class choices
     (None where the node stayed unmatched)."""
@@ -146,7 +193,6 @@ def _matching_stages(
     value_bits = 4 * max(8, n.bit_length())
     assigned: Dict[Hashable, Optional[int]] = {v: None for v in network.nodes}
     matched_components: Set[Tuple[int, int]] = set()
-    budget = 8 * default_message_budget(n)
 
     for _ in range(stages):
         # Unmatched type-2 nodes propose to their best-valued listed component.
@@ -162,7 +208,8 @@ def _matching_stages(
                     best = (draw, class_id, comp_id)
             draw, class_id, comp_id = best
             proposals[v] = (class_id, comp_id, draw, network.node_id(v))
-        heard, res = exchange_once(network, proposals, model=Model.V_CONGEST)
+        heard, res = exchange_once(network, proposals, model=model, tracer=tracer)
+        heard = _from_neighbors(network, heard)
         metrics.merge(res.metrics)
 
         # Component members absorb the best proposal addressed to them.
@@ -198,7 +245,8 @@ def _matching_stages(
             (len(vg.real_classes[v]) for v in network.nodes), default=1
         )
         flood = multikey_flood(
-            network, values, allowed, minimize=False, keys_bound=keys_bound
+            network, values, allowed, minimize=False, keys_bound=keys_bound,
+            model=model, tracer=tracer, max_rounds=max_rounds,
         )
         metrics.merge(flood.metrics)
         metrics.record_phase("matching-flood", flood.metrics.rounds)
@@ -213,7 +261,10 @@ def _matching_stages(
                 if best is not None and c in comp_of[v]
             )
             accept_payloads[v] = items if items else None
-        heard, res = exchange_once(network, accept_payloads, model=Model.V_CONGEST)
+        heard, res = exchange_once(
+            network, accept_payloads, model=model, tracer=tracer
+        )
+        heard = _from_neighbors(network, heard)
         metrics.merge(res.metrics)
 
         for v in network.nodes:
@@ -249,6 +300,9 @@ def _distributed_layer(
     new_layer: int,
     metrics: SimulationMetrics,
     rand,
+    model: Model,
+    tracer=None,
+    max_rounds: int = 100000,
 ) -> LayerStats:
     """One full layer of the Appendix B protocol."""
     graph = network.graph
@@ -256,7 +310,9 @@ def _distributed_layer(
     excess_before = vg.excess_components()
 
     # B.1: identify components of old nodes.
-    comp_of = _identify_class_components(network, vg, metrics)
+    comp_of = _identify_class_components(
+        network, vg, metrics, model, tracer, max_rounds
+    )
 
     # Local random choices for type-1 / type-3 new nodes.
     type1_class = {v: rand.randrange(t) for v in network.nodes}
@@ -266,7 +322,10 @@ def _distributed_layer(
     comp_payloads = {
         v: tuple(sorted(comp_of[v].items())) or None for v in network.nodes
     }
-    heard_comps, res = exchange_once(network, comp_payloads, model=Model.V_CONGEST)
+    heard_comps, res = exchange_once(
+        network, comp_payloads, model=model, tracer=tracer
+    )
+    heard_comps = _from_neighbors(network, heard_comps)
     metrics.merge(res.metrics)
 
     def classes_seen(v: Hashable) -> Dict[int, Set[int]]:
@@ -301,9 +360,11 @@ def _distributed_layer(
         else None
         for v in network.nodes
     }
-    _, res = exchange_once(network, connector_payloads, model=Model.V_CONGEST)
+    _, res = exchange_once(network, connector_payloads, model=model, tracer=tracer)
     metrics.merge(res.metrics)
-    deactivated_at = _flood_deactivation(network, vg, deact_seed, metrics)
+    deactivated_at = _flood_deactivation(
+        network, vg, deact_seed, metrics, model, tracer, max_rounds
+    )
 
     # Activity + component announcement (members tell neighbors whether
     # their component is still active): one meta-round.
@@ -315,8 +376,9 @@ def _distributed_layer(
         )
         activity_payloads[v] = items if items else None
     heard_activity, res = exchange_once(
-        network, activity_payloads, model=Model.V_CONGEST
+        network, activity_payloads, model=model, tracer=tracer
     )
+    heard_activity = _from_neighbors(network, heard_activity)
     metrics.merge(res.metrics)
 
     # B.2 type-3 messages m_w: (class, comp-id | connector).
@@ -332,7 +394,10 @@ def _distributed_layer(
             type3_payloads[w] = (class_id, next(iter(comps)))
         else:
             type3_payloads[w] = (class_id, _CONNECTOR)
-    heard_type3, res = exchange_once(network, type3_payloads, model=Model.V_CONGEST)
+    heard_type3, res = exchange_once(
+        network, type3_payloads, model=model, tracer=tracer
+    )
+    heard_type3 = _from_neighbors(network, heard_type3)
     metrics.merge(res.metrics)
 
     # Assemble List_v for every type-2 new node (conditions (a)-(c)).
@@ -370,7 +435,7 @@ def _distributed_layer(
 
     # B.3: staged maximal matching.
     type2_assigned = _matching_stages(
-        network, vg, comp_of, lists, metrics, rand
+        network, vg, comp_of, lists, metrics, rand, model, tracer, max_rounds
     )
     matched = sum(1 for c in type2_assigned.values() if c is not None)
     random_type2 = 0
@@ -403,20 +468,46 @@ def distributed_cds_packing(
     k_guess: int,
     params: Optional[PackingParameters] = None,
     rng: RngLike = None,
+    model: Model = Model.V_CONGEST,
+    network: Optional[Network] = None,
+    tracer=None,
+    max_rounds: int = 100000,
 ) -> DistributedCdsResult:
-    """Theorem B.1: the fractional CDS packing as a V-CONGEST protocol.
+    """Theorem B.1: the fractional CDS packing as a simulator protocol.
 
     Returns the packing plus a :class:`RoundReport` with measured
     meta-rounds, the derived real-round estimate (×3L multiplexing), and
     the analytic Theorem B.2 costs of the substituted subroutine.
+
+    ``model`` selects the transport (``V_CONGEST`` or
+    ``CONGESTED_CLIQUE``; decisions are graph-local either way, so the
+    packing is seed-identical across the two). ``network`` reuses an
+    existing :class:`Network` (the scenario layer passes its own; it
+    must wrap the same graph object when both are given); ``tracer``
+    records every subroutine's round schedule into one transcript;
+    ``max_rounds`` caps each inner flood subroutine (a runaway flood
+    raises :class:`~repro.errors.SimulationError` instead of spinning).
     """
+    if model not in _SUPPORTED_MODELS:
+        raise GraphValidationError(
+            f"distributed CDS packing runs on {[m.value for m in _SUPPORTED_MODELS]}; "
+            f"got {model.value!r}"
+        )
+    if network is not None:
+        if graph is not None and graph is not network.graph:
+            raise GraphValidationError(
+                "graph and network.graph disagree; pass one or the other "
+                "(or the same graph object)"
+            )
+        graph = network.graph
     if graph.number_of_nodes() < 2 or not nx.is_connected(graph):
         raise GraphValidationError("graph must be connected with >= 2 nodes")
     if k_guess < 1:
         raise GraphValidationError("k_guess must be >= 1")
     params = params or PackingParameters()
     rand = ensure_rng(rng)
-    network = Network(graph, rng=rand)
+    if network is None:
+        network = Network(graph, rng=rand)
     n = graph.number_of_nodes()
     n_layers = params.n_layers(n)
     t_requested = params.n_classes(k_guess)
@@ -433,12 +524,14 @@ def distributed_cds_packing(
         history: List[LayerStats] = []
         for layer in range(n_layers // 2 + 1, n_layers + 1):
             history.append(
-                _distributed_layer(network, vg, layer, metrics, rand)
+                _distributed_layer(
+                    network, vg, layer, metrics, rand, model, tracer,
+                    max_rounds,
+                )
             )
         valid = _valid_class_ids(graph, vg)
         if valid:
             packing = _packing_from_classes(graph, vg, valid)
-            packing.verify()
             result = CdsPackingResult(
                 packing=packing,
                 virtual_graph=vg,
@@ -469,4 +562,47 @@ def distributed_cds_packing(
     raise PackingConstructionError(
         "distributed CDS packing produced no valid class; "
         "graph too small or k_guess too large"
+    )
+
+
+def run_cds_packing_scenario(
+    network: Network,
+    model: Model = Model.V_CONGEST,
+    rng: RngLike = None,
+    tracer=None,
+    k_guess: Optional[int] = None,
+    params: Optional[PackingParameters] = None,
+    max_rounds: int = 100000,
+) -> SimulationResult:
+    """Scenario-layer entry point for the registered ``cds_packing`` program.
+
+    Runs :func:`distributed_cds_packing` on an existing network and
+    shapes the outcome as a :class:`SimulationResult`: each node's output
+    is the sorted tuple of *valid* class ids it belongs to — Section 2's
+    distributed output requirement (every node knows which dominating
+    trees contain it) — and the metrics are the accumulated meta-round
+    accounting. ``k_guess`` defaults to the minimum degree (a cheap local
+    upper bound on ``k``; the Remark 3.1 retry loop corrects
+    overestimates by halving the class count).
+    """
+    graph = network.graph
+    if k_guess is None:
+        k_guess = max(1, min(d for _, d in graph.degree()))
+    dist = distributed_cds_packing(
+        graph,
+        k_guess,
+        params,
+        rng,
+        model=model,
+        network=network,
+        tracer=tracer,
+        max_rounds=max_rounds,
+    )
+    valid = set(dist.result.valid_classes)
+    vg = dist.result.virtual_graph
+    outputs = {
+        v: tuple(sorted(vg.real_classes[v] & valid)) for v in network.nodes
+    }
+    return SimulationResult(
+        outputs=outputs, metrics=dist.report.measured, halted=True
     )

@@ -19,14 +19,23 @@ differ, and a maximum internally-disjoint family of short paths is simply
 one per eligible internal vertex. For *long* paths, internally-disjoint
 selection is a maximum matching problem on (u, w) pairs; we report the
 exact value via networkx matching.
+
+The vertex scans run on the :class:`~repro.core.virtual_graph.CdsIndex`
+canonicalization — flat membership arrays over integer node indices
+instead of per-vertex set lookups — with labels restored at the API
+boundary. :func:`component_connector_profile` canonicalizes once and
+reuses the index for every component.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Hashable, List, Set, Tuple
+from typing import Hashable, List, Optional, Set, Tuple
 
 import networkx as nx
+
+from repro.core.virtual_graph import CdsIndex
 
 
 @dataclass(frozen=True)
@@ -41,30 +50,52 @@ class ConnectorPathCount:
         return self.short + self.long
 
 
+def _side_flags(
+    index: CdsIndex,
+    component: Set[Hashable],
+    class_members: Set[Hashable],
+) -> Tuple[bytearray, bytearray]:
+    """Flat membership flags: (in ``Ψ(C)``, in ``Ψ(V_i \\ C)``)."""
+    n = index.n
+    index_of = index.index_of
+    in_comp = bytearray(n)
+    in_rest = bytearray(n)
+    for v in class_members:
+        if v in component:
+            in_comp[index_of[v]] = 1
+        else:
+            in_rest[index_of[v]] = 1
+    return in_comp, in_rest
+
+
 def short_connector_internals(
     graph: nx.Graph,
     component: Set[Hashable],
     class_members: Set[Hashable],
+    index: Optional[CdsIndex] = None,
 ) -> Set[Hashable]:
     """Internal vertices of short potential connector paths for ``component``.
 
     A vertex ``u ∉ Ψ(V_i)`` is such an internal vertex iff it neighbors
     both ``Ψ(C)`` and ``Ψ(V_i \\ C)``.
     """
-    rest = class_members - component
+    index = index if index is not None else CdsIndex(graph)
+    in_comp, in_rest = _side_flags(index, component, class_members)
+    adj = index.adj
+    nodes = index.nodes
     internals: Set[Hashable] = set()
-    for u in graph.nodes():
-        if u in class_members:
+    for u in range(index.n):
+        if in_comp[u] or in_rest[u]:
             continue
         sees_component = False
         sees_rest = False
-        for nb in graph.neighbors(u):
-            if nb in component:
+        for nb in adj[u]:
+            if in_comp[nb]:
                 sees_component = True
-            elif nb in rest:
+            elif in_rest[nb]:
                 sees_rest = True
             if sees_component and sees_rest:
-                internals.add(u)
+                internals.add(nodes[u])
                 break
     return internals
 
@@ -73,6 +104,7 @@ def long_connector_pairs(
     graph: nx.Graph,
     component: Set[Hashable],
     class_members: Set[Hashable],
+    index: Optional[CdsIndex] = None,
 ) -> List[Tuple[Hashable, Hashable]]:
     """Internal vertex pairs ``(u, w)`` of long potential connector paths.
 
@@ -80,23 +112,34 @@ def long_connector_pairs(
     ``Ψ(V_i \\ C)``; ``w`` neighbors ``Ψ(V_i \\ C)`` but not ``Ψ(C)``;
     ``u ~ w``; both outside ``Ψ(V_i)``.
     """
-    rest = class_members - component
-    side_c: Set[Hashable] = set()
-    side_rest: Set[Hashable] = set()
-    for u in graph.nodes():
-        if u in class_members:
+    index = index if index is not None else CdsIndex(graph)
+    in_comp, in_rest = _side_flags(index, component, class_members)
+    adj = index.adj
+    nodes = index.nodes
+    n = index.n
+    # 1 = sees only the component side, 2 = sees only the rest side.
+    side = bytearray(n)
+    for u in range(n):
+        if in_comp[u] or in_rest[u]:
             continue
-        sees_component = any(nb in component for nb in graph.neighbors(u))
-        sees_rest = any(nb in rest for nb in graph.neighbors(u))
+        sees_component = False
+        sees_rest = False
+        for nb in adj[u]:
+            if in_comp[nb]:
+                sees_component = True
+            elif in_rest[nb]:
+                sees_rest = True
         if sees_component and not sees_rest:
-            side_c.add(u)
+            side[u] = 1
         elif sees_rest and not sees_component:
-            side_rest.add(u)
-    pairs = []
-    for u in side_c:
-        for w in graph.neighbors(u):
-            if w in side_rest:
-                pairs.append((u, w))
+            side[u] = 2
+    pairs: List[Tuple[Hashable, Hashable]] = []
+    for u in range(n):
+        if side[u] != 1:
+            continue
+        for w in adj[u]:
+            if side[w] == 2:
+                pairs.append((nodes[u], nodes[w]))
     return pairs
 
 
@@ -104,6 +147,7 @@ def count_disjoint_connector_paths(
     graph: nx.Graph,
     component: Set[Hashable],
     class_members: Set[Hashable],
+    index: Optional[CdsIndex] = None,
 ) -> ConnectorPathCount:
     """Maximum internally vertex-disjoint connector path family sizes.
 
@@ -112,8 +156,9 @@ def count_disjoint_connector_paths(
     the short family (short and long internals are disjoint sets by
     minimality, so no interaction).
     """
-    shorts = short_connector_internals(graph, component, class_members)
-    pairs = long_connector_pairs(graph, component, class_members)
+    index = index if index is not None else CdsIndex(graph)
+    shorts = short_connector_internals(graph, component, class_members, index)
+    pairs = long_connector_pairs(graph, component, class_members, index)
     pair_graph = nx.Graph()
     pair_graph.add_edges_from(
         (u, w) for u, w in pairs if u not in shorts and w not in shorts
@@ -130,11 +175,34 @@ def component_connector_profile(
     Only meaningful when the class has ≥ 2 components (otherwise there is
     nothing to connect and the list of counts is empty).
     """
-    induced = graph.subgraph(class_members)
-    components = [set(c) for c in nx.connected_components(induced)]
+    index = CdsIndex(graph)
+    adj = index.adj
+    nodes = index.nodes
+    member = bytearray(index.n)
+    member_indices = [index.index_of[v] for v in class_members]
+    for i in member_indices:
+        member[i] = 1
+    # Components of the induced subgraph, discovered in node order (the
+    # same order nx.connected_components reports them).
+    seen = bytearray(index.n)
+    components: List[Set[Hashable]] = []
+    for start in sorted(member_indices):
+        if seen[start]:
+            continue
+        seen[start] = 1
+        queue = deque([start])
+        comp: Set[Hashable] = set()
+        while queue:
+            a = queue.popleft()
+            comp.add(nodes[a])
+            for b in adj[a]:
+                if member[b] and not seen[b]:
+                    seen[b] = 1
+                    queue.append(b)
+        components.append(comp)
     if len(components) < 2:
         return []
     return [
-        (comp, count_disjoint_connector_paths(graph, comp, class_members))
+        (comp, count_disjoint_connector_paths(graph, comp, class_members, index))
         for comp in components
     ]

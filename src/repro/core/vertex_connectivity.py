@@ -28,6 +28,7 @@ from repro.core.cds_packing import (
     PackingParameters,
     fractional_cds_packing,
 )
+from repro.core.virtual_graph import CdsIndex
 from repro.utils.rng import RngLike, ensure_rng
 
 
@@ -62,7 +63,12 @@ def approximate_vertex_connectivity(
     ``O(log n)`` stretch — the measured ratio benchmark (E7) reports how
     tight it is in practice.
     """
-    result = fractional_cds_packing(graph, k=None, params=params, rng=rng)
+    # Canonicalize once; the Remark 3.1 guess loop reuses the index for
+    # every construction attempt.
+    index = CdsIndex(graph)
+    result = fractional_cds_packing(
+        graph, k=None, params=params, rng=rng, index=index
+    )
     return estimate_from_packing(graph, result, approximation_constant)
 
 

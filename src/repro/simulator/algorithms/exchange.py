@@ -34,16 +34,20 @@ def exchange_once(
     network: Network,
     payloads: Dict[Hashable, Any],
     model: Model = Model.V_CONGEST,
+    tracer=None,
 ) -> Tuple[Dict[Hashable, Dict[Hashable, Any]], SimulationResult]:
     """Every node broadcasts ``payloads[node]``; returns what each heard.
 
     The returned outer dict maps node → {neighbor: payload}. Nodes with a
     ``None`` payload stay silent (their neighbors simply don't hear them).
+    Under ``Model.CONGESTED_CLIQUE`` the broadcast reaches *every* other
+    node, so the heard maps then span all senders, not just graph
+    neighbors. ``tracer`` optionally records the round schedule
+    (:class:`~repro.simulator.tracing.Tracer`).
     """
-    result = simulate(
-        network,
-        lambda node: ExchangeOnceProgram(payloads.get(node)),
-        model=model,
-    )
+    factory = lambda node: ExchangeOnceProgram(payloads.get(node))  # noqa: E731
+    if tracer is not None:
+        factory = tracer.wrap(factory)
+    result = simulate(network, factory, model=model)
     heard = {node: result.outputs[node] or {} for node in network.nodes}
     return heard, result

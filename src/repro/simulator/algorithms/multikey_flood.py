@@ -74,6 +74,8 @@ def multikey_flood(
     minimize: bool = True,
     keys_bound: int = 1,
     model: Model = Model.V_CONGEST,
+    tracer=None,
+    max_rounds: int = 100000,
 ) -> SimulationResult:
     """Run the multi-key flood; returns per-node final value maps.
 
@@ -82,15 +84,20 @@ def multikey_flood(
     is the set of neighbors whose messages count for that key.
     ``keys_bound`` is the maximum number of keys any node holds — it
     scales the message budget (one meta-round of virtual messages).
+    Because the per-key ``allowed`` sets gate which senders count, the
+    final value maps are identical under ``Model.CONGESTED_CLIQUE`` —
+    only the delivery accounting changes. ``tracer`` optionally records
+    the round schedule.
     """
     from repro.simulator.runner import default_message_budget
 
     budget = (keys_bound + 2) * default_message_budget(network.n)
     runner = SyncRunner(network, model=model, bits_per_message=budget)
-    return runner.run(
-        lambda node: MultiKeyFloodProgram(
-            values=values.get(node, {}),
-            allowed=allowed.get(node, {}),
-            minimize=minimize,
-        )
+    factory = lambda node: MultiKeyFloodProgram(  # noqa: E731
+        values=values.get(node, {}),
+        allowed=allowed.get(node, {}),
+        minimize=minimize,
     )
+    if tracer is not None:
+        factory = tracer.wrap(factory)
+    return runner.run(factory, max_rounds=max_rounds)

@@ -21,8 +21,10 @@ by the plan's generator; scheduled drops name exact (sender, receiver,
 round) deliveries, so adversarial-loss tests are *exactly* reproducible
 — no RNG involved. The plan's generator follows the shared
 ``ensure_rng`` seed path end to end: give the plan a seed directly, or
-leave it unset and :func:`simulate_with_faults` derives it from the run
-seed, so one seed pins the whole faulty execution.
+leave it unset and :class:`~repro.simulator.runner.SyncRunner` derives
+it from the run seed at construction, so one seed pins the whole faulty
+execution on every path (scenario, :func:`simulate_with_faults`, or a
+bare runner).
 """
 
 from __future__ import annotations
@@ -43,7 +45,7 @@ from repro.simulator.message import Message
 from repro.simulator.network import Network
 from repro.simulator.node import Context, NodeProgram
 from repro.simulator.runner import Model, SimulationResult, SyncRunner
-from repro.utils.rng import RngLike, ensure_rng, fresh_seed
+from repro.utils.rng import RngLike, ensure_rng
 
 # A directed delivery: (sender, receiver).
 DirectedEdge = Tuple[Hashable, Hashable]
@@ -100,9 +102,11 @@ class FaultPlan:
     def reseed(self, rng: RngLike) -> "FaultPlan":
         """Rebind the plan's drop generator (returns self).
 
-        This is the hook :func:`simulate_with_faults` uses to derive the
-        plan's randomness from the shared run seed when the plan was
-        built without one.
+        This is the hook :class:`~repro.simulator.runner.SyncRunner`
+        uses to derive the plan's randomness from the shared run seed
+        when the plan was built without one (``rng`` stays ``None``, so
+        every runner construction re-derives — reusing one plan object
+        across identically-seeded runners stays reproducible).
         """
         self._rand = ensure_rng(rng)
         return self
@@ -192,13 +196,11 @@ def simulate_with_faults(
     plan attached; see the runner for semantics of the return value.
 
     If the plan was built without its own ``rng``, its drop generator is
-    derived from this function's ``rng`` (one :func:`fresh_seed` draw), so
-    a single seed reproduces the entire faulty run — context randomness
-    *and* message losses.
+    derived from this function's ``rng`` (one :func:`fresh_seed` draw
+    inside :class:`SyncRunner`), so a single seed reproduces the entire
+    faulty run — context randomness *and* message losses.
     """
     rand = ensure_rng(rng)
-    if fault_plan.rng is None:
-        fault_plan.reseed(fresh_seed(rand))
     runner = SyncRunner(
         network,
         model=model,

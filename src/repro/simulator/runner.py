@@ -186,6 +186,15 @@ class SyncRunner:
         # Optional repro.simulator.faults.FaultPlan; None = reliable run.
         if fault_plan is not None:
             _check_plan_nodes(fault_plan, network)
+            # A plan built without its own seed derives its drop
+            # generator from the run rng (one fresh_seed draw), so the
+            # whole faulty execution is reproducible from the run seed —
+            # previously a bare SyncRunner left such plans on OS entropy.
+            # plan.rng stays None, so every runner construction
+            # re-derives: reusing one plan object across two
+            # identically-seeded runners yields identical runs.
+            if getattr(fault_plan, "rng", 0) is None:
+                fault_plan.reseed(fresh_seed(self._rng))
         self.fault_plan = fault_plan
         self.engine = engine
 

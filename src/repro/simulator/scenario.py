@@ -38,26 +38,34 @@ from repro.simulator.runner import (
     Transport,
 )
 from repro.simulator.tracing import RoundTrace, Tracer
-from repro.utils.rng import RngLike, ensure_rng, fresh_seed
+from repro.utils.rng import RngLike, ensure_rng
 
 TopologySpec = Union[str, nx.Graph, Callable[[], nx.Graph]]
 ProgramFactory = Callable[[Hashable], NodeProgram]
 ProgramBuilder = Callable[[Network], ProgramFactory]
+# A composite workload: drives its own (possibly many) simulations on the
+# prebuilt network and returns one aggregate SimulationResult.
+ProgramDriver = Callable[..., SimulationResult]
 
 
 @dataclass(frozen=True)
 class ScenarioProgram:
     """A named, registry-resident workload.
 
-    ``build(network)`` returns the per-node program factory;
-    ``model`` is the program's natural communication model (a scenario
-    may override it).
+    Exactly one of ``build`` / ``driver`` is set. ``build(network)``
+    returns the per-node program factory the runner executes directly;
+    ``driver(network, model=…, rng=…, tracer=…, max_rounds=…)`` runs a
+    *composite* protocol (e.g. the Appendix B CDS packing, which chains
+    many floods and exchanges) and returns the aggregate
+    :class:`SimulationResult`. ``model`` is the program's natural
+    communication model (a scenario may override it).
     """
 
     name: str
     description: str
-    build: ProgramBuilder
+    build: Optional[ProgramBuilder] = None
     model: Model = Model.V_CONGEST
+    driver: Optional[ProgramDriver] = None
 
 
 PROGRAM_REGISTRY: Dict[str, ScenarioProgram] = {}
@@ -181,9 +189,15 @@ class Scenario:
         program = self.resolve()
         rand = ensure_rng(self.seed)
         network = Network(self.build_graph(), rng=rand)
+        if program.driver is not None:
+            return self._run_driver(program, network, rand)
+        if program.build is None:
+            raise GraphValidationError(
+                f"program {program.name!r} has neither build nor driver"
+            )
+        # An unseeded fault plan gets its drop generator derived from
+        # the run rng inside SyncRunner (one fresh_seed draw per run).
         plan = self.fault_plan
-        if plan is not None and plan.rng is None:
-            plan.reseed(fresh_seed(rand))
         factory = program.build(network)
         tracer = Tracer() if self.trace else None
         if tracer is not None:
@@ -199,6 +213,53 @@ class Scenario:
         )
         start = time.perf_counter()
         result = runner.run(factory, max_rounds=self.max_rounds)
+        wall = time.perf_counter() - start
+        return ScenarioRun(
+            scenario=self,
+            network=network,
+            result=result,
+            trace=tracer.trace if tracer is not None else None,
+            wall_seconds=wall,
+        )
+
+    def _run_driver(
+        self, program: ScenarioProgram, network: Network, rand
+    ) -> ScenarioRun:
+        """Execute a composite driver program on the prebuilt network."""
+        if self.fault_plan is not None:
+            raise GraphValidationError(
+                f"program {program.name!r} is a composite driver and does "
+                "not support fault plans"
+            )
+        if self.transport is not None:
+            raise GraphValidationError(
+                f"program {program.name!r} selects its transport via the "
+                "model; custom transports are not supported"
+            )
+        if self.bits_per_message is not None:
+            raise GraphValidationError(
+                f"program {program.name!r} sizes its own message budgets; "
+                "bits_per_message is not supported"
+            )
+        from contextlib import nullcontext
+
+        from repro.simulator.runner import engine_context
+
+        tracer = Tracer() if self.trace else None
+        engine = (
+            engine_context(self.engine)
+            if self.engine is not None
+            else nullcontext()
+        )
+        start = time.perf_counter()
+        with engine:
+            result = program.driver(
+                network,
+                model=self.model or program.model,
+                rng=rand,
+                tracer=tracer,
+                max_rounds=self.max_rounds,
+            )
         wall = time.perf_counter() - start
         return ScenarioRun(
             scenario=self,
@@ -301,6 +362,29 @@ register_program(
         description="global minimum in one Congested-Clique round",
         build=_clique_min_builder,
         model=Model.CONGESTED_CLIQUE,
+    )
+)
+
+
+def _cds_packing_driver(
+    network: Network,
+    model: Model = Model.V_CONGEST,
+    rng: RngLike = None,
+    tracer=None,
+    max_rounds: int = 100000,
+) -> "SimulationResult":
+    from repro.core.cds_packing_distributed import run_cds_packing_scenario
+
+    return run_cds_packing_scenario(
+        network, model=model, rng=rng, tracer=tracer, max_rounds=max_rounds
+    )
+
+
+register_program(
+    ScenarioProgram(
+        name="cds_packing",
+        description="Appendix B distributed fractional CDS packing (Thm B.1)",
+        driver=_cds_packing_driver,
     )
 )
 

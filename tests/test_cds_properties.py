@@ -1,0 +1,123 @@
+"""Property-based paper-invariant checks for the CDS-packing pipeline.
+
+Randomized (seeded, tier-1-fast) hypothesis suite over the defining
+invariants of Theorems 1.1/1.2 on sampled k-connected graphs. Every
+check goes through the *independent* networkx oracles in
+:mod:`repro.graphs.connectivity` — never the index-side fast paths under
+test — so a kernel bug cannot vouch for itself:
+
+* every packed class is a connected dominating set (footnote 1);
+* the achieved fractional size respects the Ω(k / log n) lower-bound
+  shape (with the construction's own conservative constant);
+* fractional feasibility: every vertex carries total weight ≤ 1;
+* every node sits in at most 3L = O(log n) trees (Theorem 1.1's
+  membership bound).
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.cds_packing import PackingParameters, construct_cds_packing
+from repro.graphs.connectivity import (
+    is_connected_dominating_set,
+    is_dominating_tree,
+    vertex_connectivity,
+)
+from repro.graphs.generators import harary_graph, random_k_connected
+
+_TOLERANCE = 1e-9
+
+_fast = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _sampled_graph(family: str, k: int, n: int, seed: int):
+    if n <= k + 1:
+        n = k + 8
+    if family == "harary":
+        return harary_graph(k, n)
+    return random_k_connected(n, k, rng=seed)
+
+
+@_fast
+@given(
+    family=st.sampled_from(["harary", "random_k"]),
+    k=st.sampled_from([3, 4, 5, 6]),
+    n=st.integers(12, 28),
+    seed=st.integers(0, 10_000),
+)
+def test_every_class_is_a_connected_dominating_set(family, k, n, seed):
+    """Domination + induced connectivity of every packed class, via the
+    nx oracle (not the union-find/bytearray path that selected them)."""
+    g = _sampled_graph(family, k, n, seed)
+    result = construct_cds_packing(g, k, rng=seed)
+    assert result.valid_classes
+    for wt in result.packing:
+        assert is_connected_dominating_set(g, set(wt.tree.nodes()))
+        assert is_dominating_tree(g, wt.tree)
+
+
+@_fast
+@given(
+    k=st.sampled_from([3, 4, 5, 6]),
+    n=st.integers(12, 28),
+    seed=st.integers(0, 10_000),
+)
+def test_packing_size_lower_bound_shape(k, n, seed):
+    """Ω(k / log n): with t = k classes requested, the verified packing's
+    size stays above a conservative constant times k / ln n, and never
+    exceeds the exact connectivity (the upper certification)."""
+    if n <= k + 1:
+        n = k + 8
+    g = harary_graph(k, n)
+    result = construct_cds_packing(
+        g, k, params=PackingParameters(class_factor=1.0), rng=seed
+    )
+    size = result.size
+    assert size >= 0.05 * k / math.log(n), (
+        f"packing size {size} collapsed below Ω(k/log n) at k={k}, n={n}"
+    )
+    assert size <= vertex_connectivity(g) + _TOLERANCE
+
+
+@_fast
+@given(
+    family=st.sampled_from(["harary", "random_k"]),
+    k=st.sampled_from([3, 4, 5]),
+    n=st.integers(12, 26),
+    seed=st.integers(0, 10_000),
+)
+def test_per_vertex_fractional_feasibility(family, k, n, seed):
+    """Σ_{τ ∋ v} x_τ ≤ 1 at every vertex, recomputed from the trees."""
+    g = _sampled_graph(family, k, n, seed)
+    result = construct_cds_packing(g, k, rng=seed)
+    loads = result.packing.node_loads()
+    assert max(loads.values()) <= 1.0 + _TOLERANCE
+    for wt in result.packing:
+        assert 0.0 <= wt.weight <= 1.0 + _TOLERANCE
+    assert abs(result.size - sum(wt.weight for wt in result.packing)) <= _TOLERANCE
+
+
+@_fast
+@given(
+    k=st.sampled_from([3, 4, 5]),
+    n=st.integers(12, 26),
+    seed=st.integers(0, 10_000),
+)
+def test_membership_bound(k, n, seed):
+    """Each node appears in at most 3L trees — Theorem 1.1's O(log n)
+    membership bound, with L the constructed layer count."""
+    if n <= k + 1:
+        n = k + 8
+    g = harary_graph(k, n)
+    result = construct_cds_packing(g, k, rng=seed)
+    bound = 3 * result.virtual_graph.layers
+    counts = result.packing.trees_per_node()
+    assert max(counts.values()) <= bound
