@@ -1,0 +1,182 @@
+"""E25: session-cached pipeline vs per-call canonicalization.
+
+The :class:`repro.api.GraphSession` exists so the standard workload —
+estimate vertex connectivity, build the CDS packing, broadcast over it —
+pays for canonicalization (and the underlying packing construction)
+once instead of once per call. This benchmark times the full
+estimate → pack → broadcast pipeline both ways on the same graph and
+seed, asserts the outputs are identical, and records the speedup →
+``BENCH_api.json`` (via ``run_benchmarks.py --suite api``).
+
+* **per-call** — the legacy free-function path:
+  ``approximate_vertex_connectivity`` + ``fractional_cds_packing`` +
+  ``vertex_broadcast``, each call re-canonicalizing the graph and the
+  first two each running their own packing construction.
+* **session** — one ``GraphSession``: ``connectivity()`` and
+  ``pack_cds()`` share a single construction over a single index, and
+  ``broadcast()`` rides on the cached packing.
+
+Gate: the cached session pipeline must beat the per-call pipeline on
+every row (the acceptance criterion for the API-layer PR).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import time
+from typing import Callable, Dict, List
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+MESSAGES = 16
+
+
+def _cases(quick: bool):
+    from repro.graphs.generators import harary_graph, random_regular_connected
+
+    if quick:
+        return [
+            ("harary(6,48)", lambda: harary_graph(6, 48)),
+            ("regular(8,80)", lambda: random_regular_connected(8, 80, rng=3)),
+        ]
+    return [
+        ("harary(6,120)", lambda: harary_graph(6, 120)),
+        ("regular(8,250)", lambda: random_regular_connected(8, 250, rng=3)),
+        ("harary(8,400)", lambda: harary_graph(8, 400)),
+    ]
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> tuple:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result
+
+
+def _per_call_pipeline(graph, seed: int):
+    """The pre-API shape: three free calls, three canonicalizations."""
+    from repro.apps.broadcast import vertex_broadcast
+    from repro.core.cds_packing import fractional_cds_packing
+    from repro.core.vertex_connectivity import approximate_vertex_connectivity
+
+    estimate = approximate_vertex_connectivity(graph, rng=seed)
+    packing = fractional_cds_packing(graph, rng=seed).packing
+    nodes = sorted(graph.nodes(), key=str)
+    sources = {i: nodes[i % len(nodes)] for i in range(MESSAGES)}
+    outcome = vertex_broadcast(packing, sources, rng=seed)
+    return estimate, packing, outcome
+
+
+def _session_pipeline(graph, seed: int):
+    """The API shape: one session, one index, one construction."""
+    from repro.api import GraphSession
+
+    session = GraphSession(graph)
+    estimate = session.connectivity(seed=seed)
+    packing = session.pack_cds(seed=seed).raw.packing
+    outcome = session.broadcast(messages=MESSAGES, seed=seed).raw
+    return estimate, packing, outcome
+
+
+def run(quick: bool = False, repeats: int = 3, seed: int = 9) -> Dict:
+    """Time both pipelines; assert identical outputs per row."""
+    rows: List[Dict] = []
+    for name, builder in _cases(quick):
+        graph = builder()
+        per_call_s, per_call = _best_of(
+            lambda: _per_call_pipeline(graph, seed), repeats
+        )
+        session_s, session_out = _best_of(
+            lambda: _session_pipeline(graph, seed), repeats
+        )
+        estimate, packing, outcome = per_call
+        s_estimate, s_packing, s_outcome = session_out
+        if (
+            estimate.lower_bound != s_estimate.payload["lower_bound"]
+            or estimate.upper_bound != s_estimate.payload["upper_bound"]
+            or packing.size != s_packing.size
+            or outcome.rounds != s_outcome.rounds
+            or outcome.tree_assignment != s_outcome.tree_assignment
+        ):
+            raise AssertionError(
+                f"{name}: session and per-call pipelines diverged"
+            )
+        speedup = per_call_s / session_s
+        if not quick and speedup <= 1.0:
+            # The full-size gate: one construction + one index must beat
+            # three canonicalizations + two constructions. (--quick rows
+            # are too small to time-gate without flaking.)
+            raise AssertionError(
+                f"{name}: cached session ({session_s:.4f}s) did not beat "
+                f"per-call canonicalization ({per_call_s:.4f}s)"
+            )
+        rows.append(
+            {
+                "graph": name,
+                "n": graph.number_of_nodes(),
+                "m": graph.number_of_edges(),
+                "seed": seed,
+                "messages": MESSAGES,
+                "packing_size": packing.size,
+                "broadcast_rounds": outcome.rounds,
+                "per_call_s": round(per_call_s, 6),
+                "session_s": round(session_s, 6),
+                "speedup": round(speedup, 2),
+            }
+        )
+    return {
+        "benchmark": "api",
+        "unit": "seconds (best of repeats, wall clock)",
+        "pipeline": "connectivity -> pack_cds -> broadcast",
+        "repeats": repeats,
+        "gate": "cached session beats per-call canonicalization on every row",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": rows,
+    }
+
+
+def smoke():
+    """Tiny run + equality gate for the bench-smoke tier."""
+    report = run(quick=True, repeats=1)
+    assert report["results"], "api bench produced no rows"
+    for row in report["results"]:
+        assert row["packing_size"] > 0
+        assert row["session_s"] > 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="tiny graphs")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=9)
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_api.json",
+        help="output JSON path (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+    report = run(quick=args.quick, repeats=args.repeats, seed=args.seed)
+    args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    for row in report["results"]:
+        print(
+            "{graph:>16}  n={n:<4} m={m:<5} per-call={per_call_s:.3f}s "
+            "session={session_s:.3f}s speedup={speedup}x "
+            "rounds={broadcast_rounds}".format(**row)
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

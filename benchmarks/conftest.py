@@ -1,6 +1,6 @@
 """Benchmark helpers: compact table printing + shared fixtures.
 
-Each benchmark regenerates one experiment of the index in DESIGN.md §4,
+Each benchmark regenerates one experiment of the index in DESIGN.md §5,
 printing the paper's claim next to the measured values (EXPERIMENTS.md
 records a snapshot of these tables). Timings come from pytest-benchmark;
 the printed tables carry the scientific content.

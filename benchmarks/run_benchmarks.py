@@ -19,6 +19,11 @@ numbers instead of anecdotes):
   the pre-kernel loop (:mod:`repro.core.cds_packing_reference`),
   packings asserted bit-identical → ``BENCH_cds_packing.json`` (see
   :mod:`bench_cds_packing`). Acceptance gate: ≥ 1.5× at n = 500.
+* ``api`` — the session-cached estimate→pack→broadcast pipeline
+  (:class:`repro.api.GraphSession`) vs the per-call free-function path,
+  outputs asserted identical → ``BENCH_api.json`` (see
+  :mod:`bench_api`). Acceptance gate: cached beats per-call on every
+  full-size row.
 
 Run from the repo root::
 
@@ -173,6 +178,14 @@ def _run_cds(args) -> None:
     bench_cds_packing.main(_forwarded_args(args, "cds_packing"))
 
 
+def _run_api(args) -> None:
+    try:
+        import bench_api
+    except ImportError:  # running as a module from the repo root
+        from benchmarks import bench_api
+    bench_api.main(_forwarded_args(args, "api"))
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -180,7 +193,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=["all", "spanning", "simulator", "cds_packing"],
+        choices=["all", "spanning", "simulator", "cds_packing", "api"],
         default="all",
         help="which benchmark suite(s) to run",
     )
@@ -207,6 +220,8 @@ def main(argv=None) -> int:
         _run_simulator(args)
     if args.suite in ("all", "cds_packing"):
         _run_cds(args)
+    if args.suite in ("all", "api"):
+        _run_api(args)
     return 0
 
 

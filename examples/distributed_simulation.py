@@ -1,50 +1,53 @@
 #!/usr/bin/env python
 """Run the Appendix B protocol on the V-CONGEST round simulator.
 
-Shows the full distributed pipeline: the per-layer component
-identification / bridging / matching phases, meta-round accounting, the
-analytic Theorem B.2 bound for the substituted subroutine, and the
-Appendix E tester validating a partition on the same simulator.
+Shows the full distributed pipeline through the :mod:`repro.api`
+session layer: the per-layer component identification / bridging /
+matching phases, meta-round accounting, the analytic Theorem B.2 bound
+for the substituted subroutine, and the Appendix E tester validating a
+partition on the same simulator.
 
 Run:  python examples/distributed_simulation.py
 """
 
+from repro.api import GraphSession
 from repro.core.cds_packing import PackingParameters
-from repro.core.cds_packing_distributed import distributed_cds_packing
 from repro.core.packing_tester import (
     cds_partition_test_centralized,
     distributed_cds_partition_test,
 )
-from repro.graphs.connectivity import vertex_connectivity
-from repro.graphs.generators import harary_graph
 from repro.simulator.network import Network
 
 
 def main() -> None:
-    graph = harary_graph(6, 30)
-    k = vertex_connectivity(graph)
+    session = GraphSession("harary:6,30")
+    k = session.exact_vertex_connectivity()
     print(f"graph: n=30, k={k}; running Theorem B.1 on the simulator...")
 
-    result = distributed_cds_packing(
-        graph, k, params=PackingParameters(), rng=11
+    envelope = session.pack_cds_distributed(
+        k, seed=11, params=PackingParameters()
     )
-    print(f"\npacking: {len(result.packing)} dominating trees, "
-          f"size {result.result.size:.3f}")
-    print(f"meta-rounds (virtual-graph rounds): {result.meta_rounds}")
+    result = envelope.raw
+    print(f"\npacking: {envelope.payload['n_trees']} dominating trees, "
+          f"size {envelope.payload['size']:.3f}")
+    print(f"meta-rounds (virtual-graph rounds): "
+          f"{envelope.payload['meta_rounds']}")
     print(f"real V-CONGEST rounds (x3L multiplexing): "
-          f"{result.real_round_estimate}")
+          f"{envelope.payload['real_round_estimate']}")
     print(f"analytic Theorem B.2 subroutine bound: "
-          f"{result.report.analytic_total():.0f} rounds")
+          f"{envelope.payload['analytic_round_bound']:.0f} rounds")
     print("\nper-phase round breakdown:")
     for phase, rounds in sorted(result.report.measured.phase_rounds.items()):
         print(f"  {phase:<26} {rounds}")
-    print(f"total messages: {result.report.measured.messages}, "
-          f"total bits: {result.report.measured.bits}")
+    print(f"total messages: {envelope.payload['messages']}, "
+          f"total bits: {envelope.payload['bits']}")
 
-    # The Appendix E tester, on a partition of the same network.
+    # The Appendix E tester, on a partition of the same session graph
+    # (the network shares the session's canonicalization).
     print("\nAppendix E tester on a 2-class partition:")
+    graph = session.graph
     class_of = {v: v % 2 for v in graph.nodes()}
-    network = Network(graph, rng=12)
+    network = Network(graph, rng=12, indexed=session.indexed)
     central = cds_partition_test_centralized(graph, class_of, 2)
     distributed = distributed_cds_partition_test(network, class_of, 2, rng=13)
     print(f"  centralized verdict:  passed={central.passed}")

@@ -5,7 +5,8 @@ The repository implements the classical comparators from scratch
 (repro.baselines): Dinic max-flow, Even–Tarjan exact vertex
 connectivity, Stoer–Wagner global min cut, and the Roskind–Tarjan
 matroid-union packing of edge-disjoint spanning trees. This example
-runs them side by side with the paper's decompositions:
+runs them side by side with the paper's decompositions, each computed
+through a :class:`repro.api.GraphSession`:
 
 * the exact spanning-tree packing number vs. the Tutte/Nash-Williams
   bound vs. the MWU fractional packing size (Theorem 1.3), and
@@ -16,7 +17,8 @@ Run:  python examples/exact_baselines.py
 
 import math
 
-from repro.baselines.mincut import edge_connectivity_exact, stoer_wagner_min_cut
+from repro.api import GraphSession
+from repro.baselines.mincut import stoer_wagner_min_cut
 from repro.baselines.tree_packing_exact import (
     max_spanning_tree_packing,
     spanning_tree_packing_number,
@@ -24,9 +26,7 @@ from repro.baselines.tree_packing_exact import (
 from repro.baselines.vertex_connectivity_exact import (
     even_tarjan_vertex_connectivity,
 )
-from repro.core.spanning_packing import fractional_spanning_tree_packing
-from repro.core.vertex_connectivity import approximate_vertex_connectivity
-from repro.graphs.generators import clique_chain, fat_cycle, harary_graph, hypercube
+from repro.graphs.generators import harary_graph
 
 
 def spanning_side() -> None:
@@ -37,18 +37,15 @@ def spanning_side() -> None:
     )
     print(header)
     print("-" * len(header))
-    for name, graph in [
-        ("harary(6,18)", harary_graph(6, 18)),
-        ("hypercube(4)", hypercube(4)),
-        ("fat_cycle(3,5)", fat_cycle(3, 5)),
-    ]:
-        lam = edge_connectivity_exact(graph)
-        tutte = math.ceil((lam - 1) / 2)
-        exact = spanning_tree_packing_number(graph)
-        packing = fractional_spanning_tree_packing(graph, rng=5).packing
+    for spec in ("harary:6,18", "hypercube:4", "fat_cycle:3,5"):
+        session = GraphSession(spec)
+        envelope = session.pack_spanning(seed=5)
+        exact = spanning_tree_packing_number(session.graph)
         print(
-            f"{name:<18} {lam:>6} {tutte:>6} {exact:>8} "
-            f"{packing.size:>8.2f} {packing.max_edge_load():>11.3f}"
+            f"{spec:<18} {envelope.payload['lam']:>6} "
+            f"{envelope.payload['target']:>6} {exact:>8} "
+            f"{envelope.payload['size']:>8.2f} "
+            f"{envelope.payload['max_edge_load']:>11.3f}"
         )
 
     # The exact trees are genuinely edge-disjoint and spanning:
@@ -68,17 +65,18 @@ def vertex_side() -> None:
     )
     print(header)
     print("-" * len(header))
-    for name, graph in [
-        ("harary(4,20)", harary_graph(4, 20)),
-        ("clique_chain(4,5)", clique_chain(4, 5)),
-        ("fat_cycle(3,6)", fat_cycle(3, 6)),
-    ]:
-        k, cut = even_tarjan_vertex_connectivity(graph, with_cut=True)
-        estimate = approximate_vertex_connectivity(graph, rng=7)
-        interval = f"[{estimate.lower_bound:.1f}, {estimate.upper_bound:.1f}]"
+    for spec in ("harary:4,20", "clique_chain:4,5", "fat_cycle:3,6"):
+        session = GraphSession(spec)
+        k, cut = even_tarjan_vertex_connectivity(session.graph, with_cut=True)
+        estimate = session.connectivity(seed=7)
+        payload = estimate.payload
+        interval = (
+            f"[{payload['lower_bound']:.1f}, {payload['upper_bound']:.1f}]"
+        )
+        contains = payload["lower_bound"] <= k <= payload["upper_bound"]
         print(
-            f"{name:<18} {k:>7} {len(cut) if cut else '-':>8} "
-            f"{interval:>20} {str(estimate.contains(k)):>10}"
+            f"{spec:<18} {k:>7} {len(cut) if cut else '-':>8} "
+            f"{interval:>20} {str(contains):>10}"
         )
 
     value, side = stoer_wagner_min_cut(harary_graph(4, 20))

@@ -5,33 +5,33 @@ conjecture via vertex-disjoint dominating trees.
 Zehavi and Itai (1989) conjectured every k-connected graph has k vertex
 independent spanning trees; it is open for k >= 4. The paper's integral
 dominating tree packing gives Omega(k/log^2 n) such trees algorithmically:
-take vertex-disjoint dominating trees, attach all other vertices as
-leaves, and the root-to-v paths of different trees are internally
+take vertex-disjoint dominating trees (here via
+:meth:`repro.api.GraphSession.pack_integral`), attach all other vertices
+as leaves, and the root-to-v paths of different trees are internally
 vertex-disjoint — for *any* root.
 
 Run:  python examples/independent_trees.py
 """
 
+from repro.api import GraphSession
 from repro.core.independent_trees import (
     independent_trees_from_packing,
     verify_vertex_independent,
 )
-from repro.core.integral_packing import integral_cds_packing
-from repro.graphs.connectivity import vertex_connectivity
-from repro.graphs.generators import fat_cycle
 
 
 def main() -> None:
-    graph = fat_cycle(8, 4)  # vertex connectivity 16
-    k = vertex_connectivity(graph)
-    print(f"graph: n={graph.number_of_nodes()}, k={k}")
+    session = GraphSession("fat_cycle:8,4")  # vertex connectivity 16
+    graph = session.graph
+    k = session.exact_vertex_connectivity()
+    print(f"graph: n={session.n}, k={k}")
 
-    result = integral_cds_packing(graph, class_factor=3.0, rng=17)
-    print(f"vertex-disjoint dominating trees found: {result.size} "
+    result = session.pack_integral(kind="cds", class_factor=3.0, seed=17)
+    print(f"vertex-disjoint dominating trees found: {result.payload['size']} "
           f"[paper: Omega(k/log^2 n)]")
 
     for root in list(graph.nodes())[:3]:
-        trees = independent_trees_from_packing(result.packing, root=root)
+        trees = independent_trees_from_packing(result.raw.packing, root=root)
         ok = verify_vertex_independent(graph, trees, root)
         print(f"  root {root}: {len(trees)} vertex independent spanning "
               f"trees -> independence verified: {ok}")

@@ -3,6 +3,9 @@
 
 1. Build G(X, Y) and check Lemma G.4's cut dichotomy with exact oracles:
    kappa = 4 when |X∩Y| = 1, kappa >= w when X∩Y = ∅; diameter <= 3.
+   (The constructed graphs go through :class:`repro.api.GraphSession`,
+   which accepts prebuilt ``nx.Graph`` objects — the exact oracle and
+   the estimate machinery run against the same canonical session.)
 2. Run the Alice/Bob simulation of Lemma G.6 on a real protocol and
    verify the 2BT bit budget.
 3. Decide disjointness by thresholding connectivity (Theorem G.2's
@@ -13,7 +16,8 @@ Run:  python examples/lowerbound_reduction.py
 
 import networkx as nx
 
-from repro.graphs.connectivity import min_vertex_cut, vertex_connectivity
+from repro.api import GraphSession
+from repro.graphs.connectivity import min_vertex_cut
 from repro.lowerbounds.construction import build_g_xy, expected_min_cut
 from repro.lowerbounds.disjointness import (
     decide_disjointness_via_connectivity,
@@ -26,10 +30,11 @@ def main() -> None:
 
     print("case 1: X = {2,3}, Y = {3,4}  (intersection {3})")
     inst = build_g_xy(h=h, ell=ell, w=w, x_set={2, 3}, y_set={3, 4})
-    kappa = vertex_connectivity(inst.graph)
+    session = GraphSession(inst.graph, label="G(X,Y) case 1")
+    kappa = session.exact_vertex_connectivity()
     cut = min_vertex_cut(inst.graph)
     _, predicted = expected_min_cut(inst)
-    print(f"  n={inst.graph.number_of_nodes()}, "
+    print(f"  n={session.n}, "
           f"diameter={nx.diameter(inst.graph)} (Lemma G.4: <= 3)")
     print(f"  kappa = {kappa} (Lemma G.4: exactly 4)")
     print(f"  min cut = {sorted(map(str, cut))}")
@@ -38,7 +43,8 @@ def main() -> None:
 
     print("\ncase 2: X = {1,2}, Y = {3,4}  (disjoint)")
     inst2 = build_g_xy(h=h, ell=ell, w=w, x_set={1, 2}, y_set={3, 4})
-    kappa2 = vertex_connectivity(inst2.graph)
+    session2 = GraphSession(inst2.graph, label="G(X,Y) case 2")
+    kappa2 = session2.exact_vertex_connectivity()
     print(f"  kappa = {kappa2} (Lemma G.4: >= w = {w})")
 
     print("\nreduction verdicts (disjoint iff kappa > 4):")

@@ -7,32 +7,33 @@ messages needs N coefficient bits per packet, so coded throughput decays
 as the batch grows, while routing over a dominating tree packing keeps a
 per-message header of only ceil(log2 N) bits.
 
-This example runs both schemes on the same workloads and prints the
-throughput race, including the crossover point.
+This example packs once through a :class:`repro.api.GraphSession`, runs
+both schemes on the same workloads, and prints the throughput race,
+including the crossover point.
 
 Run:  python examples/network_coding_vs_trees.py
 """
 
+from repro.api import GraphSession
 from repro.apps.network_coding import compare_with_tree_broadcast
-from repro.core.cds_packing import fractional_cds_packing
-from repro.graphs.connectivity import vertex_connectivity
-from repro.graphs.generators import harary_graph
 
 BUDGET_BITS = 24
 
 
 def main() -> None:
-    graph = harary_graph(6, 24)
-    k = vertex_connectivity(graph)
+    session = GraphSession("harary:6,24")
+    graph = session.graph
+    k = session.exact_vertex_connectivity()
     print(
-        f"graph: Harary n={graph.number_of_nodes()} k={k}, "
+        f"graph: Harary n={session.n} k={k}, "
         f"message budget {BUDGET_BITS} bits"
     )
 
-    packing = fractional_cds_packing(graph, rng=3).packing
+    pack = session.pack_cds(seed=3)
+    packing = pack.raw.packing
     print(
-        f"dominating tree packing: {len(packing)} trees, "
-        f"size {packing.size:.2f}\n"
+        f"dominating tree packing: {pack.payload['n_trees']} trees, "
+        f"size {pack.payload['size']:.2f}\n"
     )
 
     header = (
@@ -42,7 +43,7 @@ def main() -> None:
     print(header)
     print("-" * len(header))
     for batch in (12, 24, 72, 240, 480):
-        sources = {i: i % graph.number_of_nodes() for i in range(batch)}
+        sources = {i: i % session.n for i in range(batch)}
         comparison = compare_with_tree_broadcast(
             graph, packing, sources, budget_bits=BUDGET_BITS, rng=11
         )

@@ -1,60 +1,66 @@
 #!/usr/bin/env python
-"""Quickstart: decompose a graph's connectivity into tree packings.
+"""Quickstart: decompose a graph's connectivity through one session.
 
-Builds a well-connected graph, computes both decompositions of the paper,
-verifies them against the Section 2 definitions, and prints the headline
-quantities of Theorems 1.1 and 1.3.
+Opens a :class:`repro.api.GraphSession` on a well-connected graph —
+canonicalized exactly once — computes both decompositions of the paper,
+verifies them against the Section 2 definitions, and prints the
+headline quantities of Theorems 1.1 and 1.3.
 
 Run:  python examples/quickstart.py
 """
 
 import math
 
-from repro.core.cds_packing import fractional_cds_packing
-from repro.core.spanning_packing import (
-    MwuParameters,
-    fractional_spanning_tree_packing,
-)
-from repro.graphs.connectivity import edge_connectivity, vertex_connectivity
-from repro.graphs.generators import harary_graph
+from repro.api import GraphSession
+from repro.core.spanning_packing import MwuParameters
 
 
 def main() -> None:
-    # A Harary graph: vertex and edge connectivity exactly 8.
-    graph = harary_graph(8, 40)
-    n = graph.number_of_nodes()
-    k = vertex_connectivity(graph)
-    lam = edge_connectivity(graph)
-    print(f"graph: n={n}, m={graph.number_of_edges()}, k={k}, lambda={lam}")
+    # A Harary graph: vertex and edge connectivity exactly 8. One
+    # session = one canonicalization for everything below.
+    session = GraphSession("harary:8,40")
+    n = session.n
+    k = session.exact_vertex_connectivity()
+    lam = session.exact_edge_connectivity()
+    print(f"graph: n={n}, m={session.m}, k={k}, lambda={lam}")
+    print(f"session fingerprint: {session.fingerprint}")
 
     # --- Theorem 1.1/1.2: fractional dominating tree packing ---------
-    result = fractional_cds_packing(graph, k=k, rng=1)
-    packing = result.packing
+    result = session.pack_cds(k=k, seed=1)
+    packing = result.raw.packing
     packing.verify()  # raises if any Section 2 constraint fails
     memberships = packing.trees_per_node()
     print("\nfractional dominating tree packing (Theorem 1.1/1.2):")
-    print(f"  trees:            {len(packing)}")
-    print(f"  size (sum of w):  {packing.size:.3f}   "
+    print(f"  trees:            {result.payload['n_trees']}")
+    print(f"  size (sum of w):  {result.payload['size']:.3f}   "
           f"[paper: Omega(k/log n) = Omega({k / math.log(n):.2f})]")
-    print(f"  max node load:    {packing.max_node_load():.3f}  (must be <= 1)")
+    print(f"  max node load:    {result.payload['max_node_load']:.3f}  "
+          f"(must be <= 1)")
     print(f"  trees per node:   max {max(memberships.values())}   "
           f"[paper: O(log n)]")
     print(f"  max tree diam:    {packing.max_diameter()}   "
           f"[paper: O~(n/k) = O~({n / k:.1f})]")
 
     # --- Theorem 1.3: fractional spanning tree packing ----------------
-    sp = fractional_spanning_tree_packing(
-        graph, params=MwuParameters(epsilon=0.15), rng=2
-    )
-    sp.packing.verify()
+    sp = session.pack_spanning(params=MwuParameters(epsilon=0.15), seed=2)
+    sp.raw.packing.verify()
     print("\nfractional spanning tree packing (Theorem 1.3):")
-    print(f"  distinct trees:   {len(sp.packing)}")
-    print(f"  size:             {sp.size:.3f}   "
+    print(f"  distinct trees:   {sp.payload['n_trees']}")
+    print(f"  size:             {sp.payload['size']:.3f}   "
           f"[paper: ceil((lambda-1)/2)(1-eps) = "
-          f"{sp.target}*(1-0.15) = {sp.target * 0.85:.2f}]")
-    print(f"  max edge load:    {sp.packing.max_edge_load():.3f}  (<= 1)")
-    print(f"  MWU iterations:   {max(t.iterations for t in sp.traces)}   "
+          f"{sp.payload['target']}*(1-0.15) = "
+          f"{sp.payload['target'] * 0.85:.2f}]")
+    print(f"  max edge load:    {sp.payload['max_edge_load']:.3f}  (<= 1)")
+    print(f"  MWU iterations:   {sp.payload['mwu_iterations']}   "
           f"[paper: O(log^3 n)]")
+
+    # Both constructions shared one canonicalization:
+    print(f"\nsession stats: {session.stats}")
+
+    # Every envelope serializes losslessly — the JSON below is what the
+    # batch executor streams per job:
+    print("\nenvelope (JSON, first 200 chars):")
+    print(f"  {result.to_json()[:200]}...")
 
 
 if __name__ == "__main__":

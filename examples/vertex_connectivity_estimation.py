@@ -4,29 +4,22 @@
 The dominating tree packing's size certifies a lower bound on k and
 (w.h.p.) an O(log n) upper bound — the first near-linear-time
 approximation toward the Aho–Hopcroft–Ullman conjecture. This example
-sweeps graph families and compares the estimate against the exact
-max-flow oracle.
+sweeps graph families through :class:`repro.api.GraphSession` (one
+session per family: the exact oracle and the estimate share the same
+canonical graph) and compares estimate against exact.
 
 Run:  python examples/vertex_connectivity_estimation.py
 """
 
-from repro.core.vertex_connectivity import approximate_vertex_connectivity
-from repro.graphs.connectivity import vertex_connectivity
-from repro.graphs.generators import (
-    clique_chain,
-    fat_cycle,
-    harary_graph,
-    hypercube,
-    torus_grid,
-)
+from repro.api import GraphSession
 
 FAMILIES = [
-    ("harary(4, 24)", lambda: harary_graph(4, 24)),
-    ("harary(8, 32)", lambda: harary_graph(8, 32)),
-    ("clique_chain(4, 7)", lambda: clique_chain(4, 7)),
-    ("fat_cycle(3, 7)", lambda: fat_cycle(3, 7)),
-    ("hypercube(5)", lambda: hypercube(5)),
-    ("torus(5, 6)", lambda: torus_grid(5, 6)),
+    "harary:4,24",
+    "harary:8,32",
+    "clique_chain:4,7",
+    "fat_cycle:3,7",
+    "hypercube:5",
+    "torus:5,6",
 ]
 
 
@@ -34,14 +27,19 @@ def main() -> None:
     header = f"{'family':<20} {'true k':>7} {'lower':>7} {'upper':>8} {'ok?':>5}"
     print(header)
     print("-" * len(header))
-    for name, builder in FAMILIES:
-        graph = builder()
-        k_true = vertex_connectivity(graph)  # the expensive oracle
-        est = approximate_vertex_connectivity(graph, rng=7)  # Õ(m)
-        ok = "yes" if est.contains(k_true) else "NO"
+    for spec in FAMILIES:
+        session = GraphSession(spec)
+        estimate = session.connectivity(seed=7, exact=True)  # Õ(m) + oracle
+        payload = estimate.payload
+        k_true = payload["exact_k"]
+        ok = (
+            "yes"
+            if payload["lower_bound"] <= k_true <= payload["upper_bound"]
+            else "NO"
+        )
         print(
-            f"{name:<20} {k_true:>7} {est.lower_bound:>7.1f} "
-            f"{est.upper_bound:>8.1f} {ok:>5}"
+            f"{spec:<20} {k_true:>7} {payload['lower_bound']:>7.1f} "
+            f"{payload['upper_bound']:>8.1f} {ok:>5}"
         )
     print("\nlower bound is *certified* (any packing of size s implies "
           "k >= s);\nupper bound holds w.h.p. by Theorem 1.1's "

@@ -4,6 +4,13 @@ A *sweep* maps a function over a parameter grid with independent seeded
 trials per point, collecting :class:`TrialRecord` rows; :func:`aggregate`
 reduces them per point (mean/min/max); :func:`loglog_slope` fits the
 scaling exponent used by the runtime experiments (E2).
+
+:func:`batch_sweep` is the session-layer form: it feeds a
+:class:`repro.api.JobSpec` list (or matrix) through the
+:mod:`repro.api.batch` executor — one :class:`~repro.api.GraphSession`
+per graph, deterministic per-job seeds, optional process fan-out — and
+folds the returned envelopes into the same :class:`TrialRecord` rows,
+so the aggregation helpers below work unchanged on API-driven sweeps.
 """
 
 from __future__ import annotations
@@ -88,6 +95,57 @@ def sweep(
                 )
             )
     return result
+
+
+def batch_sweep(
+    jobs,
+    base_seed: int = None,
+    processes: int = None,
+) -> SweepResult:
+    """Run a batch of :class:`repro.api.JobSpec` jobs into a sweep.
+
+    ``jobs`` is anything :func:`repro.api.load_jobs` accepts — an
+    explicit job list, a ``graphs × tasks × seeds`` matrix mapping, or a
+    JSON file path. Each result envelope becomes one
+    :class:`TrialRecord`: the parameter point is (graph, task,
+    transport, label) and the values are the envelope's numeric payload
+    fields. Failed jobs contribute an ``error = 1.0`` value instead of
+    silently vanishing, so aggregate coverage stays visible.
+    """
+    from repro.api import batch as api_batch
+
+    # Pass the original source through (not the pre-loaded list) so a
+    # matrix-level base_seed field reaches run(); the separate load only
+    # pairs jobs with their in-order results.
+    job_list = api_batch.load_jobs(jobs)
+    results = api_batch.run(
+        jobs, base_seed=base_seed, processes=processes
+    )
+    sweep_result = SweepResult()
+    for job, envelope in zip(job_list, results):
+        point = {"graph": job.graph, "task": job.task}
+        if job.transport is not None:
+            point["transport"] = job.transport
+        if job.label is not None:
+            point["label"] = job.label
+        if "error" in envelope.payload:
+            values = {"error": 1.0}
+        else:
+            values = {
+                name: float(value)
+                for name, value in envelope.payload.items()
+                if isinstance(value, (int, float))
+                and not isinstance(value, bool)
+            }
+            values["error"] = 0.0
+        sweep_result.records.append(
+            TrialRecord(
+                params=tuple(sorted(point.items(), key=lambda kv: kv[0])),
+                seed=envelope.seed,
+                values=tuple(sorted(values.items(), key=lambda kv: kv[0])),
+            )
+        )
+    return sweep_result
 
 
 def aggregate(

@@ -1,0 +1,372 @@
+"""Batch executor: fan declarative job specs across processes.
+
+A :class:`JobSpec` names one unit of work — *graph × task × seed ×
+transport (+ task kwargs)* — and :func:`run` executes a list of them,
+streaming one canonical JSONL row (a serialized
+:class:`~repro.api.envelope.Result`) per job, in job order. This is the
+substrate every sweep/serving layer sits on:
+
+* **session reuse** — jobs are grouped by graph spec and each group runs
+  through one :class:`~repro.api.GraphSession`, so a graph is
+  canonicalized once no matter how many tasks hit it;
+* **deterministic seeds** — a job without an explicit seed gets one
+  derived from ``sha256(base_seed | job index | job key)``, so the same
+  spec file always produces byte-identical JSONL (rows are
+  :meth:`~repro.api.envelope.Result.canonical_json`: sorted keys, no
+  timings);
+* **process fan-out** — ``processes > 1`` distributes graph groups over
+  a :class:`~concurrent.futures.ProcessPoolExecutor`; rows are
+  reassembled in job order, so parallel and serial runs emit identical
+  output.
+
+The matrix shorthand :func:`expand_matrix` turns
+``{"graphs": [...], "tasks": [...], "seeds": [...]}`` into the full
+cross product; ``repro batch jobs.json`` is the CLI face.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.api.envelope import Result
+from repro.api.session import SESSION_TASKS, GraphSession
+from repro.errors import GraphValidationError
+
+_SEED_SPACE = 2**63
+
+
+@dataclass
+class JobSpec:
+    """One declarative unit of batch work.
+
+    ``seed=None`` means "derive deterministically from the batch's
+    ``base_seed`` and this job's position/identity"; an explicit int is
+    used verbatim. ``transport`` maps to the task's transport-like
+    argument (``broadcast``: vertex/edge; ``simulate``: the model).
+    ``params`` are extra keyword arguments for the session method.
+    """
+
+    graph: str
+    task: str = "connectivity"
+    seed: Optional[int] = None
+    transport: Optional[str] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.task not in SESSION_TASKS:
+            raise GraphValidationError(
+                f"unknown batch task {self.task!r}; valid tasks: "
+                + ", ".join(SESSION_TASKS)
+            )
+
+    def key(self) -> str:
+        """Canonical identity string (seed derivation input)."""
+        return json.dumps(
+            {
+                "graph": self.graph,
+                "task": self.task,
+                "transport": self.transport,
+                "params": self.params,
+                "label": self.label,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"graph": self.graph, "task": self.task}
+        if self.seed is not None:
+            body["seed"] = self.seed
+        if self.transport is not None:
+            body["transport"] = self.transport
+        if self.params:
+            body["params"] = self.params
+        if self.label is not None:
+            body["label"] = self.label
+        return body
+
+    @classmethod
+    def from_dict(cls, body: Mapping[str, Any]) -> "JobSpec":
+        unknown = set(body) - {
+            "graph", "task", "seed", "transport", "params", "label"
+        }
+        if unknown:
+            raise GraphValidationError(
+                f"unknown JobSpec field(s) {sorted(unknown)}; valid "
+                "fields: graph, task, seed, transport, params, label"
+            )
+        if "graph" not in body:
+            raise GraphValidationError("a JobSpec requires a 'graph' spec")
+        return cls(
+            graph=body["graph"],
+            task=body.get("task", "connectivity"),
+            seed=body.get("seed"),
+            transport=body.get("transport"),
+            params=dict(body.get("params", {})),
+            label=body.get("label"),
+        )
+
+
+def derive_seed(base_seed: int, index: int, job: JobSpec) -> int:
+    """Deterministic per-job seed: sha256 over base seed, position, and
+    the job's canonical identity — stable across runs and processes."""
+    digest = hashlib.sha256(
+        f"{base_seed}|{index}|{job.key()}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") % _SEED_SPACE
+
+
+def expand_matrix(matrix: Mapping[str, Any]) -> List[JobSpec]:
+    """Cross-product shorthand → the explicit job list.
+
+    Keys: ``graphs`` (required), ``tasks`` (default
+    ``["connectivity"]``), ``seeds`` (explicit seed values; default one
+    derived seed), ``trials`` (N derived-seed repetitions; exclusive
+    with ``seeds``), ``transports`` (default ``[None]``), ``params`` (a
+    mapping *task name → kwargs* applied to that task's jobs), and
+    ``base_seed`` (consumed by :func:`run` as its seed-derivation base
+    when the caller does not pass one explicitly).
+
+    Expansion order is graphs ▸ tasks ▸ transports ▸ seeds — the JSONL
+    row order of the resulting batch.
+    """
+    if "graphs" not in matrix or not matrix["graphs"]:
+        raise GraphValidationError("job matrix requires a non-empty 'graphs'")
+    unknown = set(matrix) - {
+        "graphs", "tasks", "seeds", "trials", "transports", "params",
+        "base_seed",
+    }
+    if unknown:
+        raise GraphValidationError(
+            f"unknown job-matrix field(s) {sorted(unknown)}; valid fields: "
+            "graphs, tasks, seeds, trials, transports, params, base_seed"
+        )
+    if "seeds" in matrix and "trials" in matrix:
+        raise GraphValidationError(
+            "job matrix takes 'seeds' (explicit) or 'trials' (derived), "
+            "not both"
+        )
+    tasks = list(matrix.get("tasks", ["connectivity"]))
+    transports = list(matrix.get("transports", [None]))
+    params_by_task = dict(matrix.get("params", {}))
+    unknown_param_tasks = set(params_by_task) - set(SESSION_TASKS)
+    if unknown_param_tasks:
+        raise GraphValidationError(
+            f"job-matrix params name unknown task(s) "
+            f"{sorted(unknown_param_tasks)}; valid tasks: "
+            + ", ".join(SESSION_TASKS)
+        )
+    if "seeds" in matrix:
+        seeds: Sequence[Optional[int]] = list(matrix["seeds"])
+    else:
+        trials = int(matrix.get("trials", 1))
+        if trials < 1:
+            raise GraphValidationError("'trials' must be >= 1")
+        # Repeated trials stay label-free: the executor's per-job seed
+        # derivation (position-aware) already makes them independent,
+        # and identical labels keep them one sweep point downstream.
+        seeds = [None] * trials
+    jobs: List[JobSpec] = []
+    for graph in matrix["graphs"]:
+        for task in tasks:
+            for transport in transports:
+                for seed in seeds:
+                    jobs.append(
+                        JobSpec(
+                            graph=graph,
+                            task=task,
+                            seed=seed,
+                            transport=transport,
+                            params=dict(params_by_task.get(task, {})),
+                        )
+                    )
+    return jobs
+
+
+def load_jobs(source: Union[str, Mapping, Sequence]) -> List[JobSpec]:
+    """Jobs from a JSON file path, a matrix mapping, or a list of dicts."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return load_jobs(json.load(handle))
+    if isinstance(source, Mapping):
+        return expand_matrix(source)
+    if isinstance(source, Sequence):
+        return [
+            job if isinstance(job, JobSpec) else JobSpec.from_dict(job)
+            for job in source
+        ]
+    raise GraphValidationError(
+        f"cannot interpret job source {type(source).__name__!r}; expected "
+        "a path, a job-matrix mapping, or a list of job dicts"
+    )
+
+
+def _execute_job(session: GraphSession, job: JobSpec, seed: int) -> Result:
+    kwargs = dict(job.params)
+    if job.transport is not None:
+        if job.task == "broadcast":
+            kwargs["transport"] = job.transport
+        elif job.task == "simulate":
+            kwargs["model"] = job.transport
+        else:
+            raise GraphValidationError(
+                f"task {job.task!r} does not take a transport "
+                f"(got {job.transport!r})"
+            )
+    method = getattr(session, job.task)
+    return method(seed=seed, **kwargs)
+
+
+def _error_result(job: JobSpec, seed: Optional[int], error: Exception) -> Result:
+    return Result(
+        task=job.task,
+        graph=job.graph,
+        fingerprint="",
+        n=0,
+        m=0,
+        seed=seed,
+        params={"transport": job.transport, **job.params},
+        payload={"error": f"{type(error).__name__}: {error}"},
+    )
+
+
+def _execute_items(
+    items: List[Tuple[int, Dict[str, Any], int]]
+) -> List[Tuple[int, Result]]:
+    """Run one graph's jobs through a single shared session.
+
+    The one job-execution loop — both the serial path and the
+    process-pool worker go through it. *Any* per-job failure (bad
+    params raising TypeError included, not just ReproError) becomes an
+    error-row envelope: one broken job must not abort the batch.
+    """
+    rows: List[Tuple[int, Result]] = []
+    session: Optional[GraphSession] = None
+    for index, job_body, seed in items:
+        job = JobSpec.from_dict(job_body)
+        try:
+            if session is None:
+                session = GraphSession(job.graph)
+            result = _execute_job(session, job, seed)
+        except Exception as error:  # noqa: BLE001 — error row, keep going
+            result = _error_result(job, seed, error)
+        rows.append((index, result))
+    return rows
+
+
+def _run_group(
+    graph_spec: str, items: List[Tuple[int, Dict[str, Any], int]]
+) -> List[Tuple[int, Dict[str, Any], str]]:
+    """Process-pool worker: :func:`_execute_items` over plain dicts.
+
+    The canonical JSONL row is precomputed here so parallel runs
+    serialize exactly like serial ones (the ``raw`` object does not
+    cross the process boundary).
+    """
+    return [
+        (index, result.to_dict(include_timings=True),
+         result.canonical_json())
+        for index, result in _execute_items(items)
+    ]
+
+
+def run(
+    jobs: Union[str, Mapping, Sequence],
+    base_seed: Optional[int] = None,
+    processes: Optional[int] = None,
+    jsonl: Optional[IO[str]] = None,
+    include_timings: bool = False,
+) -> List[Result]:
+    """Execute a batch; return envelopes in job order.
+
+    ``jobs`` — anything :func:`load_jobs` accepts. ``base_seed`` —
+    seed-derivation base; ``None`` takes the job matrix's ``base_seed``
+    field when ``jobs`` is a matrix mapping (or a file containing one),
+    else 0; an explicit argument always wins. ``processes`` —
+    ``None``/``0``/``1`` runs serially in-process (envelopes keep their
+    ``raw`` objects); ``> 1`` fans graph groups across a process pool.
+    ``jsonl`` — a text stream receiving one row per job, in job order;
+    rows are :meth:`~repro.api.envelope.Result.canonical_json` unless
+    ``include_timings`` (then timings ride along and byte-identity
+    across runs no longer holds).
+    """
+    if base_seed is None:
+        source: Any = jobs
+        if isinstance(source, str):
+            with open(source, "r", encoding="utf-8") as handle:
+                source = json.load(handle)
+        if isinstance(source, Mapping):
+            base_seed = int(source.get("base_seed", 0))
+        else:
+            base_seed = 0
+    job_list = load_jobs(jobs)
+    seeds = [
+        job.seed if job.seed is not None else derive_seed(base_seed, i, job)
+        for i, job in enumerate(job_list)
+    ]
+
+    # Group by graph spec: one GraphSession (one canonicalization) per
+    # distinct graph, preserving each group's in-order execution.
+    groups: Dict[str, List[Tuple[int, Dict[str, Any], int]]] = {}
+    for index, (job, seed) in enumerate(zip(job_list, seeds)):
+        groups.setdefault(job.graph, []).append(
+            (index, job.to_dict(), seed)
+        )
+
+    ordered: List[Optional[Result]] = [None] * len(job_list)
+    rows: List[Optional[str]] = [None] * len(job_list)
+
+    if processes is not None and processes > 1 and len(groups) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=processes) as pool:
+            for group_rows in pool.map(
+                _run_group, groups.keys(), groups.values()
+            ):
+                for index, body, canonical in group_rows:
+                    ordered[index] = Result.from_dict(body)
+                    rows[index] = canonical
+    else:
+        # Serial path: same loop, keeping `.raw` on the envelopes.
+        for items in groups.values():
+            for index, result in _execute_items(items):
+                ordered[index] = result
+                rows[index] = result.canonical_json()
+
+    results = [result for result in ordered if result is not None]
+    if jsonl is not None:
+        for result, canonical in zip(results, rows):
+            if include_timings:
+                jsonl.write(
+                    json.dumps(
+                        result.to_dict(include_timings=True),
+                        sort_keys=True,
+                        separators=(",", ":"),
+                    )
+                )
+            else:
+                jsonl.write(canonical)
+            jsonl.write("\n")
+    return results
+
+
+def run_to_jsonl(
+    jobs: Union[str, Mapping, Sequence],
+    path: str,
+    base_seed: Optional[int] = None,
+    processes: Optional[int] = None,
+    include_timings: bool = False,
+) -> List[Result]:
+    """:func:`run` with rows streamed to a file at ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        return run(
+            jobs,
+            base_seed=base_seed,
+            processes=processes,
+            jsonl=handle,
+            include_timings=include_timings,
+        )

@@ -1,15 +1,20 @@
 """Command-line interface: run the decompositions from a shell.
 
-Installed as the ``repro`` console script. The CLI exposes the public
-API on named graph families so results are reproducible from a single
-command line::
+Installed as the ``repro`` console script. Every subcommand routes
+through the :mod:`repro.api` session layer — one
+:class:`~repro.api.GraphSession` per invocation, typed
+:class:`~repro.api.Result` envelopes underneath — so the CLI, the
+library, and the batch executor all compute through the same front
+door. ``--json`` on a task subcommand prints the envelope instead of
+the human rendering::
 
     repro connectivity harary:6,24
     repro pack-cds harary:6,24 --seed 3
-    repro pack-spanning hypercube:4 --seed 5
+    repro pack-spanning hypercube:4 --seed 5 --json
     repro broadcast harary:6,24 --messages 24 --seed 7
     repro simulate harary:6,24 --program flood-min --seed 3 --trace
     repro simulate harary:4,16 --program cds_packing --model congested-clique
+    repro batch jobs.json --out results.jsonl --processes 4
     repro experiments
 
 Graph specifications are ``family:arg1,arg2,…``:
@@ -24,6 +29,9 @@ Graph specifications are ``family:arg1,arg2,…``:
 ``gnp:n,p[,seed]``        connected Erdős–Rényi
 ``complete:n``            complete graph K_n
 ========================  =============================================
+
+(The table is generated from :data:`repro.api.GRAPH_FAMILIES`; run
+``repro info`` for the live listing.)
 """
 
 from __future__ import annotations
@@ -32,68 +40,33 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-import networkx as nx
-
 from repro import __version__
+from repro.api import GraphSession, parse_graph_spec  # noqa: F401  (re-export)
+from repro.api.envelope import Result
 from repro.errors import GraphValidationError, ReproError
-from repro.graphs import generators
+
+# ``parse_graph_spec`` stays importable from here for backward
+# compatibility; it now lives in (and is re-exported from) repro.api.
 
 
-def parse_graph_spec(spec: str) -> nx.Graph:
-    """Build a graph from a ``family:args`` specification string."""
-    family, _, argument_text = spec.partition(":")
-    raw_args = [a for a in argument_text.split(",") if a] if argument_text else []
-
-    def ints(count: int, optional: int = 0) -> List[int]:
-        if not (count <= len(raw_args) <= count + optional):
-            raise GraphValidationError(
-                f"family {family!r} expects {count} argument(s), "
-                f"got {len(raw_args)}"
-            )
-        try:
-            return [int(a) for a in raw_args]
-        except ValueError as exc:
-            raise GraphValidationError(f"non-integer argument in {spec!r}") from exc
-
-    if family == "harary":
-        k, n = ints(2)
-        return generators.harary_graph(k, n)
-    if family == "clique_chain":
-        k, length = ints(2)
-        return generators.clique_chain(k, length)
-    if family == "fat_cycle":
-        width, length = ints(2)
-        return generators.fat_cycle(width, length)
-    if family == "hypercube":
-        (dimension,) = ints(1)
-        return generators.hypercube(dimension)
-    if family == "torus":
-        rows, cols = ints(2)
-        return generators.torus_grid(rows, cols)
-    if family == "regular":
-        values = ints(2, optional=1)
-        degree, n = values[0], values[1]
-        seed = values[2] if len(values) > 2 else 0
-        return generators.random_regular_connected(degree, n, rng=seed)
-    if family == "gnp":
-        if len(raw_args) not in (2, 3):
-            raise GraphValidationError("gnp expects n,p[,seed]")
-        n = int(raw_args[0])
-        p = float(raw_args[1])
-        seed = int(raw_args[2]) if len(raw_args) > 2 else 0
-        return generators.gnp_connected(n, p, rng=seed)
-    if family == "complete":
-        (n,) = ints(1)
-        return nx.complete_graph(n)
-    raise GraphValidationError(f"unknown graph family {family!r}")
+def _emit(args: argparse.Namespace, envelope: Result) -> bool:
+    """Print the envelope when ``--json`` was passed; returns True if
+    the human rendering should be skipped."""
+    if getattr(args, "json", False):
+        print(envelope.to_json(indent=2))
+        return True
+    return False
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.api import family_signatures
+
     print(f"repro {__version__} — Distributed Connectivity Decomposition")
     print("Censor-Hillel, Ghaffari, Kuhn (PODC 2014; arXiv:1311.5317)")
     print()
     print("subpackages:")
     for name, what in [
+        ("repro.api", "GraphSession front door, envelopes, batch executor"),
         ("repro.core", "CDS/spanning tree packings, testers, VC approx"),
         ("repro.simulator", "V-CONGEST / E-CONGEST round simulator"),
         ("repro.graphs", "generators, oracles, sampling, certificates"),
@@ -102,42 +75,44 @@ def _cmd_info(args: argparse.Namespace) -> int:
         ("repro.lowerbounds", "Appendix G construction + 2-party simulation"),
     ]:
         print(f"  {name:<20} {what}")
+    print()
+    print("graph families:")
+    for signature, description in family_signatures():
+        print(f"  {signature:<22} {description}")
     return 0
 
 
 def _cmd_connectivity(args: argparse.Namespace) -> int:
-    from repro.baselines.mincut import edge_connectivity_exact
-    from repro.baselines.vertex_connectivity_exact import (
-        even_tarjan_vertex_connectivity,
-    )
-    from repro.core.vertex_connectivity import approximate_vertex_connectivity
-
-    graph = parse_graph_spec(args.graph)
-    n, m = graph.number_of_nodes(), graph.number_of_edges()
-    k, _ = even_tarjan_vertex_connectivity(graph)
-    lam = edge_connectivity_exact(graph)
-    print(f"graph: {args.graph}  n={n}  m={m}")
+    session = GraphSession(args.graph)
+    envelope = session.connectivity(seed=args.seed, exact=True)
+    if _emit(args, envelope):
+        return 0
+    payload = envelope.payload
+    k, lam = payload["exact_k"], payload["exact_lambda"]
+    print(f"graph: {args.graph}  n={envelope.n}  m={envelope.m}")
     print(f"vertex connectivity k = {k}   (exact, Even–Tarjan)")
     print(f"edge connectivity   λ = {lam}   (exact, Stoer–Wagner)")
-    estimate = approximate_vertex_connectivity(graph, rng=args.seed)
+    contains = payload["lower_bound"] <= k <= payload["upper_bound"]
     print(
-        f"Corollary 1.7 estimate: k ∈ [{estimate.lower_bound:.2f}, "
-        f"{estimate.upper_bound:.2f}]  (contains k: {estimate.contains(k)})"
+        f"Corollary 1.7 estimate: k ∈ [{payload['lower_bound']:.2f}, "
+        f"{payload['upper_bound']:.2f}]  (contains k: {contains})"
     )
     return 0
 
 
 def _cmd_pack_cds(args: argparse.Namespace) -> int:
-    from repro.core.cds_packing import fractional_cds_packing
-
-    graph = parse_graph_spec(args.graph)
-    result = fractional_cds_packing(graph, rng=args.seed)
-    packing = result.packing
-    print(f"graph: {args.graph}  n={graph.number_of_nodes()}")
+    session = GraphSession(args.graph)
+    envelope = session.pack_cds(seed=args.seed)
+    if _emit(args, envelope):
+        return 0
+    payload = envelope.payload
+    packing = envelope.raw.packing
+    print(f"graph: {args.graph}  n={envelope.n}")
     print(f"classes requested/used/valid: "
-          f"{result.t_requested}/{result.t_used}/{len(result.valid_classes)}")
-    print(f"packing size (Σ weights): {packing.size:.3f}")
-    print(f"max node load:            {packing.max_node_load():.3f}")
+          f"{payload['t_requested']}/{payload['t_used']}/"
+          f"{payload['n_valid_classes']}")
+    print(f"packing size (Σ weights): {payload['size']:.3f}")
+    print(f"max node load:            {payload['max_node_load']:.3f}")
     print(f"max tree diameter:        {packing.max_diameter()}")
     if args.verbose:
         for index, wt in enumerate(packing.trees):
@@ -151,38 +126,36 @@ def _cmd_pack_cds(args: argparse.Namespace) -> int:
 
 
 def _cmd_pack_spanning(args: argparse.Namespace) -> int:
-    from repro.baselines.mincut import edge_connectivity_exact
-    from repro.core.spanning_packing import fractional_spanning_tree_packing
-
-    graph = parse_graph_spec(args.graph)
-    lam = edge_connectivity_exact(graph)
-    result = fractional_spanning_tree_packing(graph, rng=args.seed)
-    packing = result.packing
-    tutte = max(1, -(-(lam - 1) // 2))
-    print(f"graph: {args.graph}  λ={lam}  Tutte bound ⌈(λ-1)/2⌉={tutte}")
-    print(f"packing size:   {packing.size:.3f}")
-    print(f"size / bound:   {packing.size / tutte:.3f}")
-    print(f"max edge load:  {packing.max_edge_load():.3f}")
-    print(f"distinct trees: {len(packing.trees)}")
+    session = GraphSession(args.graph)
+    envelope = session.pack_spanning(seed=args.seed)
+    if _emit(args, envelope):
+        return 0
+    payload = envelope.payload
+    packing = envelope.raw.packing
+    print(f"graph: {args.graph}  λ={payload['lam']}  "
+          f"Tutte bound ⌈(λ-1)/2⌉={payload['target']}")
+    print(f"packing size:   {payload['size']:.3f}")
+    print(f"size / bound:   {payload['size'] / payload['target']:.3f}")
+    print(f"max edge load:  {payload['max_edge_load']:.3f}")
+    print(f"distinct trees: {payload['n_trees']}")
     packing.verify()
     print("verification: OK (spanning, trees, loads)")
     return 0
 
 
 def _cmd_broadcast(args: argparse.Namespace) -> int:
-    from repro.apps.broadcast import vertex_broadcast
-    from repro.core.cds_packing import fractional_cds_packing
-
-    graph = parse_graph_spec(args.graph)
-    nodes = sorted(graph.nodes(), key=str)
-    sources = {i: nodes[i % len(nodes)] for i in range(args.messages)}
-    result = fractional_cds_packing(graph, rng=args.seed)
-    outcome = vertex_broadcast(result.packing, sources, rng=args.seed)
+    session = GraphSession(args.graph)
+    envelope = session.broadcast(
+        messages=args.messages, seed=args.seed, transport=args.transport
+    )
+    if _emit(args, envelope):
+        return 0
+    payload = envelope.payload
     print(f"graph: {args.graph}  messages={args.messages}")
-    print(f"rounds:            {outcome.rounds}")
-    print(f"throughput:        {outcome.throughput:.3f} msgs/round")
-    print(f"max vertex congestion: {outcome.max_vertex_congestion}")
-    print(f"max edge congestion:   {outcome.max_edge_congestion}")
+    print(f"rounds:            {payload['rounds']}")
+    print(f"throughput:        {payload['throughput']:.3f} msgs/round")
+    print(f"max vertex congestion: {payload['max_vertex_congestion']}")
+    print(f"max edge congestion:   {payload['max_edge_congestion']}")
     return 0
 
 
@@ -208,8 +181,7 @@ def _parse_crash_spec(specs: List[str]):
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.simulator.faults import FaultPlan
-    from repro.simulator.runner import Model
-    from repro.simulator.scenario import Scenario, available_programs
+    from repro.simulator.scenario import available_programs
 
     if args.list_programs:
         print("registered scenario programs:")
@@ -229,28 +201,29 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             drop_probability=args.drop,
             crash_rounds=_parse_crash_spec(args.crash),
         )
-    scenario = Scenario(
-        topology=args.graph,
+    session = GraphSession(args.graph)
+    envelope = session.simulate(
         program=args.program,
-        model=Model(args.model) if args.model else None,
+        model=args.model,
         seed=args.seed,
         fault_plan=plan,
         max_rounds=args.max_rounds,
         trace=args.trace,
         engine=args.engine,
+        show_outputs=args.show_outputs,
     )
-    run = scenario.run()
-    summary = run.summary()
-    program = scenario.resolve()
-    print(f"graph: {args.graph}  n={summary['n']}  m={summary['m']}")
-    print(f"program: {program.name} — {program.description}")
-    print(f"model:   {(scenario.model or program.model).value}"
-          f"   engine: {scenario.engine or 'indexed'}")
-    print(f"rounds:   {summary['rounds']}  (halted: {summary['halted']})")
-    print(f"messages: {summary['messages']}   bits: {summary['bits']}")
-    print(f"max message: {summary['max_message_bits']} bits")
-    print(f"wall: {summary['wall_seconds']:.4f}s   "
-          f"rounds/sec: {summary['rounds_per_sec']:.1f}")
+    if _emit(args, envelope):
+        return 0
+    payload = envelope.payload
+    run = envelope.raw
+    print(f"graph: {args.graph}  n={envelope.n}  m={envelope.m}")
+    print(f"program: {payload['program']} — {payload['description']}")
+    print(f"model:   {payload['model']}   engine: {payload['engine']}")
+    print(f"rounds:   {payload['rounds']}  (halted: {payload['halted']})")
+    print(f"messages: {payload['messages']}   bits: {payload['bits']}")
+    print(f"max message: {payload['max_message_bits']} bits")
+    print(f"wall: {run.wall_seconds:.4f}s   "
+          f"rounds/sec: {run.rounds_per_sec:.1f}")
     outputs = run.result.outputs
     shown = list(outputs.items())[: args.show_outputs]
     if shown:
@@ -261,6 +234,33 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print()
         print(run.trace.render(limit=args.trace_limit))
     return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.api import batch
+
+    # The path goes straight through: run() loads it itself so a
+    # matrix-level base_seed field is honored.
+    if args.out is not None:
+        results = batch.run_to_jsonl(
+            args.jobs,
+            args.out,
+            base_seed=args.base_seed,
+            processes=args.processes,
+            include_timings=args.timings,
+        )
+        errors = sum(1 for r in results if "error" in r.payload)
+        print(f"wrote {len(results)} row(s) to {args.out}"
+              + (f"  ({errors} failed)" if errors else ""))
+        return 1 if errors else 0
+    results = batch.run(
+        args.jobs,
+        base_seed=args.base_seed,
+        processes=args.processes,
+        jsonl=sys.stdout,
+        include_timings=args.timings,
+    )
+    return 1 if any("error" in r.payload for r in results) else 0
 
 
 _EXPERIMENTS = [
@@ -288,6 +288,7 @@ _EXPERIMENTS = [
     ("E22", "bench_point_to_point", "§1.3.1 point-to-point √n barrier"),
     ("E23", "bench_simulator", "engine rounds/sec (indexed vs reference)"),
     ("E24", "bench_cds_packing", "CDS kernel speed (indexed vs reference)"),
+    ("E25", "bench_api", "session-cached pipeline vs per-call canonicalization"),
     ("F1-F3", "bench_figures", "paper figures (text renderings)"),
     ("A1-A5", "bench_ablation", "design-choice ablations"),
 ]
@@ -321,6 +322,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
+    def add_json_flag(subparser) -> None:
+        subparser.add_argument(
+            "--json", action="store_true",
+            help="print the typed result envelope as JSON",
+        )
+
     commands.add_parser("info", help="library overview").set_defaults(
         handler=_cmd_info
     )
@@ -330,6 +337,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     connectivity.add_argument("graph", help="graph spec, e.g. harary:6,24")
     connectivity.add_argument("--seed", type=int, default=0)
+    add_json_flag(connectivity)
     connectivity.set_defaults(handler=_cmd_connectivity)
 
     pack_cds = commands.add_parser(
@@ -338,6 +346,7 @@ def build_parser() -> argparse.ArgumentParser:
     pack_cds.add_argument("graph")
     pack_cds.add_argument("--seed", type=int, default=0)
     pack_cds.add_argument("--verbose", action="store_true")
+    add_json_flag(pack_cds)
     pack_cds.set_defaults(handler=_cmd_pack_cds)
 
     pack_spanning = commands.add_parser(
@@ -345,6 +354,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pack_spanning.add_argument("graph")
     pack_spanning.add_argument("--seed", type=int, default=0)
+    add_json_flag(pack_spanning)
     pack_spanning.set_defaults(handler=_cmd_pack_spanning)
 
     broadcast = commands.add_parser(
@@ -353,6 +363,11 @@ def build_parser() -> argparse.ArgumentParser:
     broadcast.add_argument("graph")
     broadcast.add_argument("--messages", type=int, default=16)
     broadcast.add_argument("--seed", type=int, default=0)
+    broadcast.add_argument(
+        "--transport", default="vertex", choices=["vertex", "edge"],
+        help="vertex: CDS packing / V-CONGEST; edge: spanning / E-CONGEST",
+    )
+    add_json_flag(broadcast)
     broadcast.set_defaults(handler=_cmd_broadcast)
 
     simulate = commands.add_parser(
@@ -402,7 +417,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-programs", action="store_true",
         help="list registered scenario programs and exit",
     )
+    add_json_flag(simulate)
     simulate.set_defaults(handler=_cmd_simulate)
+
+    batch = commands.add_parser(
+        "batch",
+        help="run a JobSpec matrix, streaming JSONL result envelopes",
+        description=(
+            "Execute a JSON job file (a list of JobSpec dicts, or a "
+            "graphs × tasks × seeds matrix) through the repro.api batch "
+            "executor. Rows are canonical result-envelope JSON, one per "
+            "job, in job order — byte-identical for the same spec file."
+        ),
+    )
+    batch.add_argument("jobs", help="path to the JSON job file")
+    batch.add_argument(
+        "--out", default=None, help="JSONL output path (default: stdout)"
+    )
+    batch.add_argument(
+        "--processes", type=int, default=None,
+        help="fan graph groups across N processes (default: serial)",
+    )
+    batch.add_argument(
+        "--base-seed", type=int, default=None,
+        help="base for deterministic per-job seed derivation "
+             "(default: the job file's base_seed field, else 0)",
+    )
+    batch.add_argument(
+        "--timings", action="store_true",
+        help="include wall-clock timings in rows (breaks byte-identity)",
+    )
+    batch.set_defaults(handler=_cmd_batch)
 
     commands.add_parser(
         "experiments", help="list the experiment index"

@@ -211,6 +211,7 @@ def integral_spanning_packing(
     lam: Optional[int] = None,
     parts_factor: float = 0.5,
     rng: RngLike = None,
+    indexed: Optional[IndexedGraph] = None,
 ) -> SpanningTreePacking:
     """Edge-disjoint spanning tree packing of size Ω(λ / log n).
 
@@ -232,7 +233,8 @@ def integral_spanning_packing(
         lam = edge_connectivity(graph)
     n = graph.number_of_nodes()
     parts = max(1, int(parts_factor * lam / math.log(max(n, 2))))
-    indexed = IndexedGraph.from_networkx(graph)
+    if indexed is None:
+        indexed = IndexedGraph.from_networkx(graph)
     assignment = karger_edge_index_partition(indexed.m, parts, rand)
     buckets: List[List[int]] = [[] for _ in range(parts)]
     for i, part_id in enumerate(assignment):

@@ -279,6 +279,7 @@ def fractional_spanning_tree_packing(
     lam: Optional[int] = None,
     params: Optional[MwuParameters] = None,
     rng: RngLike = None,
+    indexed: Optional[IndexedGraph] = None,
 ) -> SpanningPackingResult:
     """Theorem 1.3: fractional spanning tree packing of size ≈ ⌈(λ−1)/2⌉(1−ε).
 
@@ -292,6 +293,10 @@ def fractional_spanning_tree_packing(
     ``lam`` is not supplied): each part's connectivity is ``λ/η`` up to
     ``1 ± ε`` by Karger's theorem, so parts are sized with
     ``max(1, λ // η)`` instead of re-running the oracle per part.
+
+    ``indexed`` shares a prebuilt canonicalization (e.g. a
+    :class:`repro.api.GraphSession`'s); the RNG stream is unaffected, so
+    results are bit-identical with or without it.
     """
     if graph.number_of_nodes() < 2:
         raise GraphValidationError("graph must have at least 2 nodes")
@@ -303,7 +308,8 @@ def fractional_spanning_tree_packing(
     if lam is None:
         lam = edge_connectivity(graph)
 
-    indexed = IndexedGraph.from_networkx(graph)
+    if indexed is None:
+        indexed = IndexedGraph.from_networkx(graph)
     eta = choose_karger_parts(lam, n, params.epsilon)
     if eta <= 1:
         part_edge_lists: List[List[int]] = [list(range(indexed.m))]

@@ -52,6 +52,7 @@ def approximate_vertex_connectivity(
     params: Optional[PackingParameters] = None,
     rng: RngLike = None,
     approximation_constant: float = 6.0,
+    index: Optional[CdsIndex] = None,
 ) -> VertexConnectivityEstimate:
     """Corollary 1.7: an O(log n)-approximation of vertex connectivity.
 
@@ -61,11 +62,13 @@ def approximate_vertex_connectivity(
 
     ``approximation_constant`` is the concrete constant in the
     ``O(log n)`` stretch — the measured ratio benchmark (E7) reports how
-    tight it is in practice.
+    tight it is in practice. ``index`` shares a prebuilt canonicalization
+    (e.g. a :class:`repro.api.GraphSession`'s) across calls.
     """
     # Canonicalize once; the Remark 3.1 guess loop reuses the index for
     # every construction attempt.
-    index = CdsIndex(graph)
+    if index is None:
+        index = CdsIndex(graph)
     result = fractional_cds_packing(
         graph, k=None, params=params, rng=rng, index=index
     )

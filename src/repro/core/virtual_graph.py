@@ -66,9 +66,19 @@ class CdsIndex:
 
     __slots__ = ("graph", "indexed", "nodes", "index_of", "adj", "n")
 
-    def __init__(self, graph: nx.Graph) -> None:
+    def __init__(
+        self, graph: nx.Graph, indexed: Optional[IndexedGraph] = None
+    ) -> None:
         self.graph = graph
-        self.indexed = IndexedGraph.from_networkx(graph)
+        if indexed is None:
+            indexed = IndexedGraph.from_networkx(graph)
+        elif indexed.n != graph.number_of_nodes() or (
+            indexed.m != graph.number_of_edges()
+        ):
+            raise GraphValidationError(
+                "prebuilt IndexedGraph does not match the graph"
+            )
+        self.indexed = indexed
         self.nodes: List[Hashable] = self.indexed.nodes
         self.index_of: Dict[Hashable, int] = self.indexed.index_of
         index_of = self.index_of

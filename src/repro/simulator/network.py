@@ -18,7 +18,7 @@ mapping ad hoc.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
 import networkx as nx
 
@@ -41,6 +41,7 @@ class Network:
         graph: nx.Graph,
         rng: RngLike = None,
         require_connected: bool = True,
+        indexed: Optional[IndexedGraph] = None,
     ) -> None:
         if graph.number_of_nodes() == 0:
             raise GraphValidationError("network must have at least one node")
@@ -48,7 +49,17 @@ class Network:
             raise GraphValidationError("network graph must be connected")
         self._graph = graph
         # Canonicalize once: node → dense integer index, flat edge array.
-        self._indexed = IndexedGraph.from_networkx(graph)
+        # A prebuilt canonicalization (e.g. a GraphSession's) may be
+        # shared; the id-draw RNG stream is unaffected either way.
+        if indexed is None:
+            indexed = IndexedGraph.from_networkx(graph)
+        elif indexed.n != graph.number_of_nodes() or (
+            indexed.m != graph.number_of_edges()
+        ):
+            raise GraphValidationError(
+                "prebuilt IndexedGraph does not match the network graph"
+            )
+        self._indexed = indexed
         self._nodes: List[Hashable] = self._indexed.nodes
         self._index_of: Dict[Hashable, int] = self._indexed.index_of
         # Neighbor order is pinned to graph.neighbors() (adjacency

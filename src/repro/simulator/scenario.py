@@ -28,6 +28,7 @@ from typing import Any, Callable, Dict, Hashable, List, Optional, Union
 import networkx as nx
 
 from repro.errors import GraphValidationError
+from repro.fastgraph import IndexedGraph
 from repro.simulator.faults import FaultPlan
 from repro.simulator.network import Network
 from repro.simulator.node import NodeProgram
@@ -131,7 +132,11 @@ class Scenario:
     ``fault_plan`` — optional :class:`FaultPlan` (its RNG is derived
     from ``seed`` when unset, so one seed pins the faulty run);
     ``trace`` — record a :class:`RoundTrace` alongside the result;
-    ``engine`` — round-loop implementation (``None``: module default).
+    ``engine`` — round-loop implementation (``None``: module default);
+    ``indexed`` — prebuilt :class:`~repro.fastgraph.IndexedGraph`
+    canonicalization of the topology (e.g. a
+    :class:`repro.api.GraphSession`'s), shared with the network instead
+    of re-canonicalizing; the run RNG stream is unaffected.
     """
 
     topology: TopologySpec
@@ -145,6 +150,7 @@ class Scenario:
     engine: Optional[str] = None
     transport: Optional[Transport] = None
     name: str = ""
+    indexed: Optional["IndexedGraph"] = None
 
     def with_overrides(self, **changes: Any) -> "Scenario":
         """A copy with the given fields replaced (sweep helper)."""
@@ -158,7 +164,7 @@ class Scenario:
         if callable(self.topology):
             return self.topology()
         if isinstance(self.topology, str):
-            from repro.cli import parse_graph_spec  # lazy: avoid cycle
+            from repro.api.specs import parse_graph_spec  # lazy: avoid cycle
 
             return parse_graph_spec(self.topology)
         raise GraphValidationError(
@@ -188,7 +194,7 @@ class Scenario:
         """Build the network + runner and execute the scenario."""
         program = self.resolve()
         rand = ensure_rng(self.seed)
-        network = Network(self.build_graph(), rng=rand)
+        network = Network(self.build_graph(), rng=rand, indexed=self.indexed)
         if program.driver is not None:
             return self._run_driver(program, network, rand)
         if program.build is None:

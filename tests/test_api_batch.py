@@ -1,0 +1,261 @@
+"""Batch executor: deterministic seeds, byte-identical JSONL, session
+reuse, process fan-out equivalence."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.api import (
+    JobSpec,
+    derive_seed,
+    expand_matrix,
+    load_jobs,
+    run,
+    run_to_jsonl,
+)
+from repro.errors import GraphValidationError
+from repro.fastgraph import IndexedGraph
+
+MATRIX = {
+    "graphs": ["harary:4,12", "hypercube:3"],
+    "tasks": ["connectivity", "pack_cds"],
+    "trials": 2,
+}
+
+
+def _jsonl(jobs, **kwargs) -> str:
+    stream = io.StringIO()
+    run(jobs, jsonl=stream, **kwargs)
+    return stream.getvalue()
+
+
+class TestJobSpec:
+    def test_unknown_task_rejected(self):
+        with pytest.raises(GraphValidationError, match="valid tasks"):
+            JobSpec(graph="harary:4,12", task="teleport")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(GraphValidationError, match="valid"):
+            JobSpec.from_dict({"graph": "harary:4,12", "speed": 11})
+
+    def test_round_trip(self):
+        job = JobSpec(
+            graph="harary:4,12", task="broadcast", transport="vertex",
+            params={"messages": 4}, label="x",
+        )
+        assert JobSpec.from_dict(job.to_dict()) == job
+
+
+class TestMatrixExpansion:
+    def test_cross_product_order(self):
+        jobs = expand_matrix(MATRIX)
+        assert len(jobs) == 8  # 2 graphs x 2 tasks x 2 trials
+        assert [j.graph for j in jobs[:4]] == ["harary:4,12"] * 4
+        assert [j.task for j in jobs[:2]] == ["connectivity"] * 2
+        # trials are label-free duplicates; position-aware seed
+        # derivation makes them independent
+        assert jobs[0].label is None and jobs[1].label is None
+        assert jobs[0] == jobs[1]
+
+    def test_explicit_seeds_pass_through(self):
+        jobs = expand_matrix({"graphs": ["hypercube:3"], "seeds": [7, 8]})
+        assert [j.seed for j in jobs] == [7, 8]
+
+    def test_params_are_per_task(self):
+        jobs = expand_matrix(
+            {
+                "graphs": ["hypercube:3"],
+                "tasks": ["broadcast", "connectivity"],
+                "params": {"broadcast": {"messages": 4}},
+            }
+        )
+        by_task = {j.task: j for j in jobs}
+        assert by_task["broadcast"].params == {"messages": 4}
+        assert by_task["connectivity"].params == {}
+
+    def test_seeds_and_trials_conflict(self):
+        with pytest.raises(GraphValidationError, match="not both"):
+            expand_matrix(
+                {"graphs": ["hypercube:3"], "seeds": [1], "trials": 2}
+            )
+
+    def test_unknown_matrix_field(self):
+        with pytest.raises(GraphValidationError, match="valid fields"):
+            expand_matrix({"graphs": ["hypercube:3"], "speed": 11})
+
+    def test_params_for_unknown_task(self):
+        with pytest.raises(GraphValidationError, match="unknown task"):
+            expand_matrix(
+                {"graphs": ["hypercube:3"], "params": {"teleport": {}}}
+            )
+
+
+class TestSeedDerivation:
+    def test_deterministic(self):
+        job = JobSpec(graph="harary:4,12", task="pack_cds")
+        assert derive_seed(0, 3, job) == derive_seed(0, 3, job)
+
+    def test_varies_by_position_base_and_identity(self):
+        job = JobSpec(graph="harary:4,12", task="pack_cds")
+        other = JobSpec(graph="harary:4,12", task="connectivity")
+        seeds = {
+            derive_seed(0, 0, job),
+            derive_seed(0, 1, job),
+            derive_seed(1, 0, job),
+            derive_seed(0, 0, other),
+        }
+        assert len(seeds) == 4
+
+    def test_explicit_seed_respected_in_rows(self):
+        rows = _jsonl([JobSpec(graph="hypercube:3", seed=42)])
+        assert json.loads(rows)["seed"] == 42
+
+
+class TestDeterministicJsonl:
+    def test_same_spec_byte_identical(self):
+        assert _jsonl(MATRIX) == _jsonl(MATRIX)
+
+    def test_parallel_matches_serial(self):
+        serial = _jsonl(MATRIX)
+        parallel = _jsonl(MATRIX, processes=2)
+        assert parallel == serial
+
+    def test_rows_are_valid_envelopes_in_job_order(self):
+        jobs = expand_matrix(MATRIX)
+        lines = _jsonl(MATRIX).splitlines()
+        assert len(lines) == len(jobs)
+        for job, line in zip(jobs, lines):
+            row = json.loads(line)
+            assert row["graph"] == job.graph
+            assert row["task"] == job.task
+            assert "timings" not in row
+
+    def test_run_to_jsonl_file(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        results = run_to_jsonl(MATRIX, str(path))
+        assert len(path.read_text().splitlines()) == len(results)
+
+    def test_timings_flag_adds_timings(self):
+        rows = _jsonl([JobSpec(graph="hypercube:3")], include_timings=True)
+        assert "timings" in json.loads(rows)
+
+
+class TestExecution:
+    def test_one_canonicalization_per_graph(self, monkeypatch):
+        counts = {"indexed": 0}
+        original = IndexedGraph.from_networkx.__func__
+
+        def counting(cls, graph):
+            counts["indexed"] += 1
+            return original(cls, graph)
+
+        monkeypatch.setattr(
+            IndexedGraph, "from_networkx", classmethod(counting)
+        )
+        run(
+            [
+                JobSpec(graph="harary:4,12", task="connectivity"),
+                JobSpec(graph="harary:4,12", task="pack_cds"),
+                JobSpec(graph="harary:4,12", task="broadcast"),
+                JobSpec(graph="hypercube:3", task="pack_spanning"),
+            ]
+        )
+        assert counts["indexed"] == 2  # one per distinct graph
+
+    def test_serial_results_keep_raw(self):
+        results = run([JobSpec(graph="hypercube:3", task="pack_cds")])
+        assert results[0].raw is not None
+        assert results[0].raw.packing.size > 0
+
+    def test_error_row_does_not_abort(self):
+        results = run(
+            [
+                JobSpec(graph="mystery:1", task="connectivity"),
+                JobSpec(graph="hypercube:3", task="connectivity"),
+            ]
+        )
+        assert "error" in results[0].payload
+        assert "unknown graph family" in results[0].payload["error"]
+        assert "lower_bound" in results[1].payload
+
+    def test_malformed_params_become_error_rows_not_crashes(self):
+        # Non-ReproError failures (TypeError from bad kwargs here) must
+        # also produce error rows, serial and parallel alike.
+        jobs = [
+            JobSpec(
+                graph="hypercube:3", task="broadcast",
+                params={"messages": "four"},
+            ),
+            JobSpec(
+                graph="harary:4,12", task="connectivity",
+                params={"bogus": 1},
+            ),
+            JobSpec(graph="harary:4,12", task="connectivity"),
+        ]
+        for processes in (None, 2):
+            results = run(jobs, processes=processes)
+            assert "error" in results[0].payload
+            assert "error" in results[1].payload
+            assert "lower_bound" in results[2].payload
+
+    def test_matrix_base_seed_is_honored(self):
+        matrix = {"graphs": ["hypercube:3"], "tasks": ["pack_cds"]}
+        default = _jsonl(matrix)
+        reseeded = _jsonl({**matrix, "base_seed": 999})
+        assert json.loads(default)["seed"] != json.loads(reseeded)["seed"]
+        # an explicit run() argument still wins over the matrix field
+        explicit = _jsonl({**matrix, "base_seed": 999}, base_seed=0)
+        assert explicit == default
+
+    def test_transport_routing(self):
+        results = run(
+            [
+                JobSpec(
+                    graph="harary:4,12", task="broadcast",
+                    transport="edge", params={"messages": 4},
+                ),
+                JobSpec(
+                    graph="harary:4,12", task="simulate",
+                    transport="e-congest",
+                ),
+            ]
+        )
+        assert results[0].payload["transport"] == "edge"
+        assert results[1].payload["model"] == "e-congest"
+
+    def test_transport_on_wrong_task(self):
+        results = run(
+            [JobSpec(graph="hypercube:3", task="pack_cds", transport="edge")]
+        )
+        assert "error" in results[0].payload
+
+    def test_load_jobs_from_file(self, tmp_path):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps(MATRIX))
+        assert len(load_jobs(str(path))) == 8
+
+
+class TestBatchSweepBridge:
+    def test_sweep_rows_from_envelopes(self):
+        from repro.analysis.sweeps import aggregate, batch_sweep
+
+        result = batch_sweep(
+            {
+                "graphs": ["harary:4,12"],
+                "tasks": ["connectivity"],
+                "trials": 2,
+            }
+        )
+        assert len(result.records) == 2
+        (point, mean, low, high), = aggregate(result, "lower_bound")
+        assert dict(point)["graph"] == "harary:4,12"
+        assert low <= mean <= high
+
+    def test_sweep_marks_errors(self):
+        from repro.analysis.sweeps import batch_sweep
+
+        result = batch_sweep([{"graph": "mystery:1"}])
+        assert result.records[0].value("error") == 1.0

@@ -1,0 +1,139 @@
+"""Result envelopes: every task's envelope survives a JSON round trip.
+
+``Result.from_json(r.to_json()) == r`` must hold exactly — including
+payloads carrying ``Fraction``, ``frozenset``, ``set``, ``tuple``, and
+dicts with non-string keys, which the envelope codec tags rather than
+flattens.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro.api import GraphSession
+from repro.api.envelope import Result, decode_value, encode_value
+from repro.errors import GraphValidationError
+
+SPEC = "harary:4,12"
+
+
+class TestCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            0,
+            -7,
+            3.5,
+            "text",
+            Fraction(22, 7),
+            frozenset({1, 2, 3}),
+            {1, 2, 3},
+            (1, "two", 3.0),
+            [1, [2, [3]]],
+            {"plain": {"nested": [1, 2]}},
+            {(1, 2): "tuple-key", 3: "int-key"},
+            frozenset({frozenset({1, 2}), frozenset({3})}),
+            {"mix": (Fraction(1, 3), frozenset({(1, 2)}))},
+        ],
+    )
+    def test_round_trip(self, value):
+        encoded = encode_value(value)
+        json.dumps(encoded)  # must be pure JSON
+        decoded = decode_value(encoded)
+        assert decoded == value
+        assert type(decoded) is type(value)
+
+    def test_set_encoding_is_deterministic(self):
+        a = encode_value(frozenset({5, 1, 9, 3}))
+        b = encode_value(frozenset({9, 3, 5, 1}))
+        assert json.dumps(a) == json.dumps(b)
+
+    def test_rejects_arbitrary_objects(self):
+        with pytest.raises(TypeError, match="cannot encode"):
+            encode_value(object())
+
+    def test_fraction_is_exact(self):
+        fraction = Fraction(10**30 + 1, 10**30)
+        assert decode_value(encode_value(fraction)) == fraction
+
+
+def _round_trips(envelope: Result) -> None:
+    restored = Result.from_json(envelope.to_json())
+    assert restored == envelope  # `raw` is excluded from equality
+    assert restored.payload == envelope.payload
+    assert restored.params == envelope.params
+    assert restored.timings == envelope.timings
+    # canonical (timing-free) form parses and matches on content
+    canonical = json.loads(envelope.canonical_json())
+    assert canonical["payload"] == json.loads(envelope.to_json())["payload"]
+    assert "timings" not in canonical
+
+
+class TestEveryTaskEnvelope:
+    @pytest.fixture(scope="class")
+    def session(self):
+        return GraphSession(SPEC)
+
+    def test_connectivity(self, session):
+        _round_trips(session.connectivity(seed=3))
+
+    def test_connectivity_exact(self, session):
+        _round_trips(session.connectivity(seed=3, exact=True))
+
+    def test_pack_cds(self, session):
+        _round_trips(session.pack_cds(seed=3))
+
+    def test_pack_spanning(self, session):
+        _round_trips(session.pack_spanning(seed=3))
+
+    def test_pack_integral_cds(self):
+        _round_trips(
+            GraphSession("fat_cycle:4,4").pack_integral(
+                kind="cds", class_factor=2.0, seed=17
+            )
+        )
+
+    def test_pack_integral_spanning(self, session):
+        _round_trips(session.pack_integral(kind="spanning", seed=3))
+
+    def test_broadcast(self, session):
+        _round_trips(session.broadcast(messages=6, seed=3))
+
+    def test_gossip(self, session):
+        _round_trips(session.gossip(seed=3))
+
+    def test_simulate(self, session):
+        _round_trips(session.simulate(program="flood-min", seed=3))
+
+    def test_pack_cds_distributed(self):
+        _round_trips(
+            GraphSession("harary:4,10").pack_cds_distributed(4, seed=3)
+        )
+
+    def test_synthetic_payload_with_exotic_types(self, session):
+        envelope = session.pack_cds(seed=3)
+        exotic = Result(
+            task=envelope.task,
+            graph=envelope.graph,
+            fingerprint=envelope.fingerprint,
+            n=envelope.n,
+            m=envelope.m,
+            seed=envelope.seed,
+            params=dict(envelope.params),
+            payload={
+                **envelope.payload,
+                "weights_exact": (Fraction(1, 3), Fraction(2, 3)),
+                "tree_nodes": frozenset({0, 1, 2}),
+                "per_node": {0: Fraction(1, 2), (1, 2): "pair"},
+            },
+        )
+        _round_trips(exotic)
+
+    def test_missing_field_raises(self):
+        with pytest.raises(GraphValidationError, match="missing"):
+            Result.from_dict({"task": "pack_cds"})

@@ -32,21 +32,40 @@ class TestGraphSpecParsing:
         graph = parse_graph_spec("fat_cycle:3,5")
         assert graph.number_of_nodes() == 15
 
-    def test_unknown_family(self):
-        with pytest.raises(GraphValidationError):
+    def test_unknown_family_lists_valid_families(self):
+        with pytest.raises(GraphValidationError) as excinfo:
             parse_graph_spec("mystery:1,2")
+        message = str(excinfo.value)
+        assert "unknown graph family 'mystery'" in message
+        for family in ("harary", "hypercube", "gnp", "torus"):
+            assert family in message
 
-    def test_wrong_arity(self):
-        with pytest.raises(GraphValidationError):
+    def test_wrong_arity_names_signature(self):
+        with pytest.raises(GraphValidationError) as excinfo:
             parse_graph_spec("harary:4")
+        message = str(excinfo.value)
+        assert "harary:k,n" in message
+        assert "expects 2" in message
 
-    def test_non_integer_argument(self):
-        with pytest.raises(GraphValidationError):
+    def test_non_integer_argument_names_token(self):
+        with pytest.raises(GraphValidationError) as excinfo:
             parse_graph_spec("harary:4,abc")
+        message = str(excinfo.value)
+        assert "'abc'" in message
+        assert "argument 2" in message
 
     def test_gnp_needs_probability(self):
         with pytest.raises(GraphValidationError):
             parse_graph_spec("gnp:12")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(GraphValidationError):
+            parse_graph_spec("")
+
+    def test_parser_is_the_api_layer_one(self):
+        import repro.api
+
+        assert parse_graph_spec is repro.api.parse_graph_spec
 
 
 class TestCommands:
