@@ -1,20 +1,28 @@
-"""Round-loop throughput of the simulation engine (rounds/sec).
+"""Round-loop throughput of the simulation engines (rounds/sec).
 
-Measures the indexed engine against the preserved reference loop
-(:mod:`repro.simulator.runner_reference`) on two workloads built through
-the scenario layer:
+Measures the registered engines against each other on workloads built
+through the scenario layer:
 
 * **flooding** — extremum flood on a random 8-regular graph: the
   saturated-broadcast hot path (every node transmits in round 1, traffic
-  decays as the extremum spreads);
+  decays as the extremum spreads). Runs ``indexed`` vs ``reference``
+  vs ``sharded`` (the multiprocess engine, where the platform can fork);
+  the reference loop is only timed up to n = 1000 — past that it only
+  slows the sweep down without informing it.
 * **shared-mst** — :func:`simultaneous_msts` over a 2-part Karger edge
   partition: the composite Lemma 5.1 workload (subgraph floods, BFS,
-  pipelined upcast) that chains many simulations end to end.
+  pipelined upcast) that chains many simulations end to end
+  (``indexed`` vs ``reference``).
 
-Both run at n ∈ {100, 500, 1000}; the acceptance gate of the engine
-refactor is the flooding row at n = 1000: **≥ 2× rounds/sec** over the
-reference loop with identical outputs (the engine-equivalence suite pins
-bit-identity; this bench pins the speed).
+Flooding runs at n ∈ {100, 500, 1000, 2000, 5000}; the n = 2000/5000
+rows are the scale points of the sharded engine (E26): with ≥ 4 workers
+on real cores the acceptance gate is **≥ 1.5× rounds/sec over the
+indexed engine at n = 5000**. The ``workers`` field records how many
+processes actually ran — on a single-core machine the sharded rows
+measure pure barrier overhead (speedup < 1) and say so honestly.
+
+Every row asserts identical outputs and round counts across engines
+(the equivalence suites pin full bit-identity; this bench pins speed).
 
 Run from the repo root::
 
@@ -28,34 +36,64 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import platform
 import time
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
-ENGINES = ("indexed", "reference")
+#: The reference loop is a correctness oracle, not a contender; past
+#: this n it is dropped from the timing sweep.
+REFERENCE_MAX_N = 1000
 
 
-def _sizes(quick: bool):
+def _flood_sizes(quick: bool):
+    return (24, 60) if quick else (100, 500, 1000, 2000, 5000)
+
+
+def _mst_sizes(quick: bool):
     return (24, 60) if quick else (100, 500, 1000)
 
 
-def _flood_rounds_per_sec(graph, engine: str, repeats: int, seed: int):
+def _default_workers() -> int:
+    return max(1, min(os.cpu_count() or 1, 4))
+
+
+def _flood_engines(workers: int):
+    from repro.simulator.runner_sharded import fork_available
+
+    engines = ["indexed", "reference"]
+    if fork_available() and workers >= 1:
+        engines.append("sharded")
+    return engines
+
+
+def _flood_rounds_per_sec(
+    graph, engine: str, repeats: int, seed: int, workers: Optional[int]
+):
     """Total rounds / total wall seconds over ``repeats`` runs (network
-    built once; only the round loop is timed)."""
+    built once; only the round loop — including, for the sharded
+    engine, its fork/barrier overhead — is timed)."""
     from repro.simulator.algorithms.flooding import ExtremumFloodProgram
     from repro.simulator.network import Network
     from repro.simulator.runner import SyncRunner
 
     network = Network(graph, rng=seed)
     factory = lambda v: ExtremumFloodProgram(network.node_id(v))  # noqa: E731
-    SyncRunner(network, rng=seed, engine=engine).run(factory)  # warmup
+    shards = workers if engine == "sharded" else None
+
+    def once():
+        return SyncRunner(
+            network, rng=seed, engine=engine, shards=shards
+        ).run(factory)
+
+    once()  # warmup
     rounds = 0
     start = time.perf_counter()
     for _ in range(repeats):
-        result = SyncRunner(network, rng=seed, engine=engine).run(factory)
+        result = once()
         rounds += result.metrics.rounds
     elapsed = time.perf_counter() - start
     return rounds, elapsed, result.outputs
@@ -78,55 +116,121 @@ def _shared_mst_rounds_per_sec(graph, engine: str, seed: int):
     return rounds, elapsed, result.forests
 
 
-def run(quick: bool = False, repeats: int = 10, seed: int = 3) -> Dict:
+def _engine_cell(rounds: int, elapsed: float) -> Dict:
+    return {
+        "rounds": rounds,
+        "seconds": round(elapsed, 6),
+        "rounds_per_sec": round(rounds / max(elapsed, 1e-9), 1),
+    }
+
+
+def run(
+    quick: bool = False,
+    repeats: int = 10,
+    seed: int = 3,
+    workers: Optional[int] = None,
+) -> Dict:
     from repro.graphs.generators import random_regular_connected
 
+    if workers is None:
+        workers = _default_workers()
     rows: List[Dict] = []
-    for n in _sizes(quick):
+
+    # -- flooding: the engine shoot-out, up to the E26 scale points ----
+    flood_engines = _flood_engines(workers)
+    for n in _flood_sizes(quick):
         graph = random_regular_connected(8, n, rng=1)
-        for program, measure in (
-            ("flooding", lambda eng: _flood_rounds_per_sec(graph, eng, repeats, seed)),
-            ("shared-mst", lambda eng: _shared_mst_rounds_per_sec(graph, eng, seed)),
-        ):
-            per_engine = {}
-            payloads = {}
-            for engine in ENGINES:
-                rounds, elapsed, payload = measure(engine)
-                per_engine[engine] = {
-                    "rounds": rounds,
-                    "seconds": round(elapsed, 6),
-                    "rounds_per_sec": round(rounds / max(elapsed, 1e-9), 1),
-                }
-                payloads[engine] = payload
-            if payloads["indexed"] != payloads["reference"]:
+        # Big graphs amortize fixed costs already; fewer repeats keep
+        # the sweep honest without an hour of reference-loop time.
+        n_repeats = repeats if n <= 1000 else max(2, repeats // 3)
+        engines = [
+            engine
+            for engine in flood_engines
+            if engine != "reference" or n <= REFERENCE_MAX_N
+        ]
+        per_engine = {}
+        payloads = {}
+        for engine in engines:
+            rounds, elapsed, payload = _flood_rounds_per_sec(
+                graph, engine, n_repeats, seed, workers
+            )
+            per_engine[engine] = _engine_cell(rounds, elapsed)
+            payloads[engine] = payload
+        for engine in engines[1:]:
+            if payloads[engine] != payloads["indexed"]:
                 raise AssertionError(
-                    f"{program} n={n}: engines disagree on outputs"
+                    f"flooding n={n}: {engine} disagrees with indexed "
+                    "on outputs"
                 )
             assert (
-                per_engine["indexed"]["rounds"]
-                == per_engine["reference"]["rounds"]
-            ), f"{program} n={n}: engines disagree on round counts"
-            rows.append(
-                {
-                    "program": program,
-                    "n": n,
-                    "m": graph.number_of_edges(),
-                    "seed": seed,
-                    "rounds": per_engine["indexed"]["rounds"],
-                    "indexed": per_engine["indexed"],
-                    "reference": per_engine["reference"],
-                    "speedup": round(
-                        per_engine["indexed"]["rounds_per_sec"]
-                        / per_engine["reference"]["rounds_per_sec"],
-                        2,
-                    ),
-                }
+                per_engine[engine]["rounds"]
+                == per_engine["indexed"]["rounds"]
+            ), f"flooding n={n}: {engine} disagrees on round counts"
+        row = {
+            "program": "flooding",
+            "n": n,
+            "m": graph.number_of_edges(),
+            "seed": seed,
+            "repeats": n_repeats,
+            "rounds": per_engine["indexed"]["rounds"],
+            **per_engine,
+        }
+        if "reference" in per_engine:
+            row["speedup"] = round(
+                per_engine["indexed"]["rounds_per_sec"]
+                / per_engine["reference"]["rounds_per_sec"],
+                2,
             )
+        if "sharded" in per_engine:
+            row["workers"] = workers
+            row["sharded_speedup"] = round(
+                per_engine["sharded"]["rounds_per_sec"]
+                / per_engine["indexed"]["rounds_per_sec"],
+                2,
+            )
+        rows.append(row)
+
+    # -- shared-mst: the composite workload (single-process engines) ---
+    for n in _mst_sizes(quick):
+        graph = random_regular_connected(8, n, rng=1)
+        per_engine = {}
+        payloads = {}
+        for engine in ("indexed", "reference"):
+            rounds, elapsed, payload = _shared_mst_rounds_per_sec(
+                graph, engine, seed
+            )
+            per_engine[engine] = _engine_cell(rounds, elapsed)
+            payloads[engine] = payload
+        if payloads["indexed"] != payloads["reference"]:
+            raise AssertionError(
+                f"shared-mst n={n}: engines disagree on outputs"
+            )
+        assert (
+            per_engine["indexed"]["rounds"]
+            == per_engine["reference"]["rounds"]
+        ), f"shared-mst n={n}: engines disagree on round counts"
+        rows.append(
+            {
+                "program": "shared-mst",
+                "n": n,
+                "m": graph.number_of_edges(),
+                "seed": seed,
+                "rounds": per_engine["indexed"]["rounds"],
+                **per_engine,
+                "speedup": round(
+                    per_engine["indexed"]["rounds_per_sec"]
+                    / per_engine["reference"]["rounds_per_sec"],
+                    2,
+                ),
+            }
+        )
     return {
         "benchmark": "simulator_round_loop",
         "unit": "rounds per wall-clock second (outputs asserted identical)",
-        "engines": list(ENGINES),
+        "engines": flood_engines,
         "flood_repeats": repeats,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
         "machine": platform.machine(),
         "results": rows,
@@ -135,11 +239,13 @@ def run(quick: bool = False, repeats: int = 10, seed: int = 3) -> Dict:
 
 def smoke() -> None:
     """Tiny end-to-end run for the tier-1 bench_smoke marker."""
-    report = run(quick=True, repeats=2)
+    report = run(quick=True, repeats=2, workers=2)
     assert report["results"], "simulator bench produced no rows"
     for row in report["results"]:
         assert row["rounds"] > 0
         assert row["indexed"]["rounds_per_sec"] > 0
+        if "sharded" in row:
+            assert row["sharded"]["rounds_per_sec"] > 0
 
 
 def main(argv=None) -> int:
@@ -147,6 +253,10 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true", help="tiny graphs")
     parser.add_argument("--repeats", type=int, default=10)
     parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="sharded-engine worker count (default: one per core, max 4)",
+    )
     parser.add_argument(
         "--out",
         type=pathlib.Path,
@@ -156,20 +266,27 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
-    report = run(quick=args.quick, repeats=args.repeats, seed=args.seed)
+    report = run(
+        quick=args.quick, repeats=args.repeats, seed=args.seed,
+        workers=args.workers,
+    )
     args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     for row in report["results"]:
-        print(
-            "{program:>10} n={n:<5} rounds={rounds:<5} "
-            "indexed={i:>8.1f} r/s  reference={r:>8.1f} r/s  "
-            "speedup={speedup}x".format(
-                program=row["program"],
-                n=row["n"],
-                rounds=row["rounds"],
-                i=row["indexed"]["rounds_per_sec"],
-                r=row["reference"]["rounds_per_sec"],
-                speedup=row["speedup"],
+        cells = "  ".join(
+            f"{engine}={row[engine]['rounds_per_sec']:>9.1f} r/s"
+            for engine in ("indexed", "reference", "sharded")
+            if engine in row
+        )
+        extras = []
+        if "speedup" in row:
+            extras.append(f"idx/ref={row['speedup']}x")
+        if "sharded_speedup" in row:
+            extras.append(
+                f"shard/idx={row['sharded_speedup']}x@{row['workers']}w"
             )
+        print(
+            f"{row['program']:>10} n={row['n']:<5} rounds={row['rounds']:<5} "
+            f"{cells}  {' '.join(extras)}"
         )
     print(f"wrote {args.out}")
     return 0

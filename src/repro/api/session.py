@@ -563,6 +563,7 @@ class GraphSession:
         max_rounds: int = 100000,
         trace: bool = False,
         engine: Optional[str] = None,
+        shards: Optional[int] = None,
         show_outputs: Optional[int] = None,
     ) -> Result:
         """Run a registered scenario program on the round simulator.
@@ -571,8 +572,9 @@ class GraphSession:
         the session's canonicalization (``Scenario.indexed``); the run
         RNG stream is unchanged, so results match a standalone
         :class:`~repro.simulator.scenario.Scenario` bit for bit.
-        ``show_outputs`` caps how many node outputs enter the payload
-        (``None``: all).
+        ``shards`` sets the worker count of multiprocess engines
+        (``engine="sharded"``). ``show_outputs`` caps how many node
+        outputs enter the payload (``None``: all).
         """
         from repro.simulator.runner import Model
         from repro.simulator.scenario import Scenario
@@ -586,6 +588,7 @@ class GraphSession:
             max_rounds=max_rounds,
             trace=trace,
             engine=engine,
+            shards=shards,
             indexed=self.indexed,
         )
         resolved = scenario.resolve()
@@ -594,11 +597,13 @@ class GraphSession:
         outputs = list(run.result.outputs.items())
         if show_outputs is not None:
             outputs = outputs[:show_outputs]
+        from repro.simulator.runner import default_engine
+
         payload = {
             "program": resolved.name,
             "description": resolved.description,
             "model": (scenario.model or resolved.model).value,
-            "engine": engine or "indexed",
+            "engine": engine or default_engine(),
             "rounds": summary["rounds"],
             "messages": summary["messages"],
             "bits": summary["bits"],
@@ -613,6 +618,7 @@ class GraphSession:
                 "model": model,
                 "max_rounds": max_rounds,
                 "engine": engine,
+                "shards": shards,
                 "faults": fault_plan is not None,
             },
             payload, run,

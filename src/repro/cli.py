@@ -201,6 +201,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             drop_probability=args.drop,
             crash_rounds=_parse_crash_spec(args.crash),
         )
+    if args.engine is not None:
+        # Validate eagerly so a typo fails with the engine menu before
+        # any graph work happens (mirrors the graph-family errors).
+        from repro.simulator.runner import _require_engine
+
+        _require_engine(args.engine)
+    if args.shards is not None and args.engine != "sharded":
+        # Single-process engines ignore the worker count; a silent
+        # ignore would let users believe they parallelized.
+        raise GraphValidationError(
+            "--shards only applies to --engine sharded "
+            f"(got engine {args.engine or 'indexed'!r})"
+        )
     session = GraphSession(args.graph)
     envelope = session.simulate(
         program=args.program,
@@ -210,6 +223,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         max_rounds=args.max_rounds,
         trace=args.trace,
         engine=args.engine,
+        shards=args.shards,
         show_outputs=args.show_outputs,
     )
     if _emit(args, envelope):
@@ -289,6 +303,7 @@ _EXPERIMENTS = [
     ("E23", "bench_simulator", "engine rounds/sec (indexed vs reference)"),
     ("E24", "bench_cds_packing", "CDS kernel speed (indexed vs reference)"),
     ("E25", "bench_api", "session-cached pipeline vs per-call canonicalization"),
+    ("E26", "bench_simulator", "sharded-engine scale sweep (n up to 5000)"),
     ("F1-F3", "bench_figures", "paper figures (text renderings)"),
     ("A1-A5", "bench_ablation", "design-choice ablations"),
 ]
@@ -393,8 +408,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument(
-        "--engine", default=None, choices=["indexed", "reference"],
-        help="round-loop implementation (default: indexed)",
+        "--engine", default=None, metavar="ENGINE",
+        help=(
+            "round-loop implementation: indexed (default), reference, or "
+            "sharded (multiprocess); an unknown name lists the registered "
+            "engines"
+        ),
+    )
+    simulate.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help=(
+            "worker-process count for --engine sharded "
+            "(default: one per core, capped at 8)"
+        ),
     )
     simulate.add_argument(
         "--drop", type=float, default=0.0,

@@ -26,6 +26,7 @@ from repro.simulator.network import Network
 from repro.simulator.node import Context, NodeProgram
 from repro.simulator.runner import (
     Model,
+    ShardedRunner,
     SimulationResult,
     SyncRunner,
     available_engines,
@@ -64,6 +65,7 @@ __all__ = [
     "Model",
     "SimulationResult",
     "SyncRunner",
+    "ShardedRunner",
     "simulate",
     "available_engines",
     "engine_context",

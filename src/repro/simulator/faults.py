@@ -16,19 +16,26 @@ machinery:
   showing the fault plumbing composes with real protocols.
 
 A crashed node stops executing and transmitting from its crash round
-onward (crash-stop; no recovery). Random drops are per-message, decided
-by the plan's generator; scheduled drops name exact (sender, receiver,
-round) deliveries, so adversarial-loss tests are *exactly* reproducible
-— no RNG involved. The plan's generator follows the shared
-``ensure_rng`` seed path end to end: give the plan a seed directly, or
-leave it unset and :class:`~repro.simulator.runner.SyncRunner` derives
-it from the run seed at construction, so one seed pins the whole faulty
-execution on every path (scenario, :func:`simulate_with_faults`, or a
-bare runner).
+onward (crash-stop; no recovery). Random drops are decided per delivery
+by a **pure function of (plan seed, directed edge, round)** — sha256 of
+the three, thresholded against ``drop_probability`` — so the decision
+for a given delivery is the same no matter which engine evaluates it or
+in which order deliveries are iterated. This order-independence is what
+lets the sharded engine (:mod:`repro.simulator.runner_sharded`) evaluate
+drops shard-locally and still reproduce a single-process faulty run bit
+for bit; it also means a fault sweep's losses depend only on the seed,
+never on incidental engine iteration order. Scheduled drops name exact
+(sender, receiver, round) deliveries — no RNG involved at all. The
+plan's seed follows the shared ``ensure_rng`` path end to end: give the
+plan a seed directly, or leave it unset and
+:class:`~repro.simulator.runner.SyncRunner` derives one from the run
+seed at construction, so one seed pins the whole faulty execution on
+every path (scenario, :func:`simulate_with_faults`, or a bare runner).
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -45,7 +52,7 @@ from repro.simulator.message import Message
 from repro.simulator.network import Network
 from repro.simulator.node import Context, NodeProgram
 from repro.simulator.runner import Model, SimulationResult, SyncRunner
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import RngLike, ensure_rng, fresh_seed
 
 # A directed delivery: (sender, receiver).
 DirectedEdge = Tuple[Hashable, Hashable]
@@ -58,12 +65,15 @@ class FaultPlan:
     ``crash_rounds`` maps node → first round at which the node is dead
     (``0`` kills it before its ``on_start`` traffic is delivered).
     ``drop_probability`` applies independently to every (message,
-    receiver) pair of non-crashed senders. ``drop_schedule`` maps a
-    *directed* ``(sender, receiver)`` pair to the set of rounds in which
-    that delivery is deterministically destroyed — the adversarial
-    counterpart to the i.i.d. noise (scheduled drops never consume plan
-    randomness, so adding them does not perturb the random drops of a
-    seeded run).
+    receiver) pair of non-crashed senders; each decision is a pure
+    function of the plan seed, the directed edge, and the round (see
+    :meth:`drops`), so the loss pattern of a seeded plan is fixed before
+    the run starts and independent of delivery iteration order.
+    ``drop_schedule`` maps a *directed* ``(sender, receiver)`` pair to
+    the set of rounds in which that delivery is deterministically
+    destroyed — the adversarial counterpart to the i.i.d. noise
+    (scheduled drops involve no randomness, so adding them does not
+    perturb the random drops of a seeded run).
     """
 
     drop_probability: float = 0.0
@@ -97,10 +107,28 @@ class FaultPlan:
                 )
             normalized[edge] = round_set
         self.drop_schedule = normalized
-        self._rand = ensure_rng(self.rng)
+        self._bind_seed(self.rng)
+
+    def _bind_seed(self, rng: RngLike) -> None:
+        """Fix the integer seed the per-edge drop streams derive from.
+
+        An explicit int seed is used verbatim (so the same int always
+        reproduces the same loss pattern); a generator contributes one
+        :func:`fresh_seed` draw; ``None`` falls back to OS entropy (the
+        runner replaces it with a run-seed derivation via
+        :meth:`reseed` before any delivery is decided).
+        """
+        if isinstance(rng, bool):
+            raise GraphValidationError("rng must be None, int, or Random")
+        if isinstance(rng, int):
+            self._drop_seed = rng
+        else:
+            self._drop_seed = fresh_seed(ensure_rng(rng))
+        # Per-edge hash prefixes, derived lazily from the bound seed.
+        self._edge_hashers: Dict[DirectedEdge, "hashlib._Hash"] = {}
 
     def reseed(self, rng: RngLike) -> "FaultPlan":
-        """Rebind the plan's drop generator (returns self).
+        """Rebind the plan's drop randomness (returns self).
 
         This is the hook :class:`~repro.simulator.runner.SyncRunner`
         uses to derive the plan's randomness from the shared run seed
@@ -108,7 +136,7 @@ class FaultPlan:
         every runner construction re-derives — reusing one plan object
         across identically-seeded runners stays reproducible).
         """
-        self._rand = ensure_rng(rng)
+        self._bind_seed(rng)
         return self
 
     def is_crashed(self, node: Hashable, round_no: int) -> bool:
@@ -116,27 +144,39 @@ class FaultPlan:
         crash_round = self.crash_rounds.get(node)
         return crash_round is not None and round_no >= crash_round
 
-    def should_drop(self) -> bool:
-        """Decide one i.i.d. message delivery (stateful; call once per
-        delivery). Kept for the reference engine and direct callers; the
-        indexed engine calls :meth:`drops`."""
-        if self.drop_probability <= 0.0:
-            return False
-        return self._rand.random() < self.drop_probability
-
     def drops(
         self, sender: Hashable, receiver: Hashable, round_no: int
     ) -> bool:
         """Whether the ``sender → receiver`` delivery of ``round_no`` is
-        lost — scheduled drops first (deterministic, no RNG), then the
-        i.i.d. coin (consumes one draw per call when enabled)."""
+        lost — scheduled drops first (deterministic), then the i.i.d.
+        coin.
+
+        The coin is a *pure function* of ``(seed, sender, receiver,
+        round)``: sha256 over the plan seed and the canonical directed
+        edge key (``repr`` of the endpoints, stable across processes and
+        hash seeds) yields a uniform 64-bit value thresholded against
+        ``drop_probability``. No shared stream is consumed, so the
+        decision does not depend on how many other deliveries were
+        decided first — engines, shards, and sweeps may evaluate
+        deliveries in any order and agree on every loss.
+        """
         if self.drop_schedule:
             scheduled = self.drop_schedule.get((sender, receiver))
             if scheduled is not None and round_no in scheduled:
                 return True
         if self.drop_probability <= 0.0:
             return False
-        return self._rand.random() < self.drop_probability
+        edge = (sender, receiver)
+        hasher = self._edge_hashers.get(edge)
+        if hasher is None:
+            hasher = hashlib.sha256(
+                f"{self._drop_seed}|{sender!r}->{receiver!r}|".encode("utf-8")
+            )
+            self._edge_hashers[edge] = hasher
+        coin = hasher.copy()
+        coin.update(str(round_no).encode("ascii"))
+        draw = int.from_bytes(coin.digest()[:8], "big") / 2.0**64
+        return draw < self.drop_probability
 
 
 class RetransmittingFloodProgram(NodeProgram):

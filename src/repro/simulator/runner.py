@@ -68,6 +68,7 @@ __all__ = [
     "Model",
     "SimulationResult",
     "SyncRunner",
+    "ShardedRunner",
     "simulate",
     "default_message_budget",
     "available_engines",
@@ -100,15 +101,31 @@ EngineFn = Callable[..., SimulationResult]
 _ENGINES: Dict[str, EngineFn] = {}
 _DEFAULT_ENGINE = "indexed"
 
+# Engines whose modules register themselves on first import — kept out
+# of this module so the common reliable single-process path never pays
+# for them.
+_LAZY_ENGINE_MODULES = {
+    "reference": "repro.simulator.runner_reference",
+    "sharded": "repro.simulator.runner_sharded",
+}
+
 
 def register_engine(name: str, engine: EngineFn) -> None:
     """Register a named round-loop implementation."""
     _ENGINES[name] = engine
 
 
+def _load_lazy_engines() -> None:
+    import importlib
+
+    for name, module in _LAZY_ENGINE_MODULES.items():
+        if name not in _ENGINES:
+            importlib.import_module(module)
+
+
 def available_engines() -> List[str]:
     """Names of the registered round-loop implementations."""
-    _require_engine("reference")  # make sure the lazy module registered
+    _load_lazy_engines()
     return sorted(_ENGINES)
 
 
@@ -138,15 +155,23 @@ def engine_context(name: str) -> Iterator[None]:
 
 
 def _require_engine(name: str) -> EngineFn:
-    if name not in _ENGINES and name == "reference":
-        # The reference loop lives in its own module; importing registers it.
-        import repro.simulator.runner_reference  # noqa: F401
+    if name not in _ENGINES:
+        module = _LAZY_ENGINE_MODULES.get(name)
+        if module is not None:
+            # The loop lives in its own module; importing registers it.
+            import importlib
+
+            importlib.import_module(module)
     try:
         return _ENGINES[name]
     except KeyError:
+        # Mirror the graph-spec family errors: a typo gets the full
+        # menu, not a stack trace (load the lazy engines first so the
+        # menu is complete).
+        _load_lazy_engines()
         raise SimulationError(
-            f"unknown simulation engine {name!r}; "
-            f"registered: {sorted(_ENGINES)}"
+            f"unknown simulation engine {name!r}; registered engines: "
+            + ", ".join(sorted(_ENGINES))
         )
 
 
@@ -162,6 +187,8 @@ class SyncRunner:
     plugs in custom delivery semantics (then ``model`` is ignored for
     delivery and kept only as a label). ``engine`` names the round-loop
     implementation; ``None`` uses the module default (``"indexed"``).
+    ``shards`` is consumed by multiprocess engines (``"sharded"``) as
+    the worker-process count; single-process engines ignore it.
     """
 
     def __init__(
@@ -173,6 +200,7 @@ class SyncRunner:
         fault_plan=None,
         transport: Optional[Transport] = None,
         engine: Optional[str] = None,
+        shards: Optional[int] = None,
     ) -> None:
         self.network = network
         self.model = model
@@ -197,6 +225,9 @@ class SyncRunner:
                 fault_plan.reseed(fresh_seed(self._rng))
         self.fault_plan = fault_plan
         self.engine = engine
+        if shards is not None and shards < 1:
+            raise SimulationError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
 
     def run(
         self,
@@ -213,6 +244,27 @@ class SyncRunner:
         """
         engine = _require_engine(self.engine or _DEFAULT_ENGINE)
         return engine(self, program_factory, max_rounds, quiescence_halts)
+
+
+class ShardedRunner(SyncRunner):
+    """A :class:`SyncRunner` pinned to the ``"sharded"`` multiprocess
+    engine (:mod:`repro.simulator.runner_sharded`).
+
+    Identical surface and — by the engine contract — identical results,
+    metrics, and traces to the indexed loop under a fixed seed; the
+    round loop is executed by ``shards`` worker processes over
+    contiguous node-index shards (``None``: one per available core,
+    capped by :data:`repro.simulator.runner_sharded.MAX_DEFAULT_SHARDS`).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        shards: Optional[int] = None,
+        **kwargs,
+    ) -> None:
+        kwargs.setdefault("engine", "sharded")
+        super().__init__(network, shards=shards, **kwargs)
 
 
 def _check_plan_nodes(plan, network: Network) -> None:
@@ -399,6 +451,7 @@ def simulate(
     rng: RngLike = None,
     transport: Optional[Transport] = None,
     engine: Optional[str] = None,
+    shards: Optional[int] = None,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`SyncRunner`."""
     runner = SyncRunner(
@@ -408,5 +461,6 @@ def simulate(
         rng=rng,
         transport=transport,
         engine=engine,
+        shards=shards,
     )
     return runner.run(program_factory, max_rounds=max_rounds)

@@ -16,8 +16,10 @@ Determinism contract shared with the indexed engine (do not change):
 * per-node context RNGs are seeded by ``fresh_seed`` draws in
   ``Network.nodes`` order;
 * broadcast fan-out follows the neighbor order of ``Network.neighbors``;
-* fault-plan drop decisions are consumed once per (message, receiver)
-  delivery attempt of non-crashed senders, in sender-major order.
+* fault-plan drop decisions are evaluated once per (message, receiver)
+  delivery attempt of non-crashed senders via
+  :meth:`~repro.simulator.faults.FaultPlan.drops` — a pure function of
+  (plan seed, directed edge, round), so iteration order cannot matter.
 
 Use :func:`repro.simulator.runner.engine_context` to route a composite
 algorithm through this loop::
@@ -94,7 +96,7 @@ def _run_reference(
             if plan is not None and plan.is_crashed(sender, round_no):
                 continue
             for receiver, message in traffic.items():
-                if plan is not None and plan.should_drop():
+                if plan is not None and plan.drops(sender, receiver, round_no):
                     continue
                 inboxes[receiver][sender] = message
                 round_messages += 1

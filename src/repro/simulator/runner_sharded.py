@@ -1,0 +1,561 @@
+"""The ``"sharded"`` engine — the round loop across worker processes.
+
+This is the third registered round-loop implementation and the first
+that uses more than one core. The canonicalized
+:class:`~repro.simulator.network.Network` is partitioned into
+**contiguous node-index shards**; each shard's slice of the round loop
+(program execution, outbound validation, local delivery, fault
+filtering) runs in a forked worker process, and cross-shard messages
+are exchanged at a per-round barrier through the parent. Delivery
+semantics still come from the runner's pluggable
+:class:`~repro.simulator.transport.Transport`, so all three stock
+models (V-CONGEST, E-CONGEST, Congested Clique) shard unchanged.
+
+**Bit-identity contract.** Under a fixed seed the sharded engine
+produces the same :class:`~repro.simulator.runner.SimulationResult`
+(outputs in the same node order), the same
+:class:`~repro.simulator.metrics.SimulationMetrics`, and the same
+:class:`~repro.simulator.tracing.Tracer` transcript as the indexed
+loop, for any shard count. The determinism contract of
+:mod:`repro.simulator.runner_reference` is preserved shard-by-shard:
+
+* per-node context RNG seeds are drawn from the run RNG in
+  ``Network.nodes`` order **in the parent, before forking**, so the run
+  RNG advances exactly as under the single-process engines;
+* inbox insertion order is global sender-index order: each worker
+  buffers its local deliveries and the barrier's imports and merges
+  them by sender index before filling inboxes;
+* fault-plan drop decisions are pure functions of (plan seed, directed
+  edge, round) — see :meth:`~repro.simulator.faults.FaultPlan.drops` —
+  so each worker evaluates its own senders' losses locally and agrees
+  with every other iteration order;
+* trace events are harvested from the workers at the end of the run and
+  merged (round-major, shard-major = global node-index order) into the
+  parent's trace, discovered via
+  :func:`~repro.simulator.tracing.trace_sink`.
+
+**Barrier protocol** (one worker ↔ parent pipe per shard, two
+synchronization points per round)::
+
+    worker: ("ready", unhalted)                    once, after on_start
+    loop:
+      worker: ("delivered", msgs, bits, max, exports)   phase A
+      parent: ("inbound", imports)                      routed exports
+      worker: ("executed", halts, crashes, senders)     phase B
+      parent: ("continue",) | ("finish", halted)
+    worker: ("final", outputs, trace_events)       on finish
+
+(error paths do not abort gracefully: a failing worker ships its
+exception as ("error", exc) in place of any reply, and the parent
+terminates the remaining workers and re-raises; a worker receiving an
+unknown command exits without a "final" reply)
+
+Workers are **forked**, not spawned: program factories are usually
+closures over the network and cannot be pickled, and fork gives every
+worker the canonicalized topology, transport tables, and fault plan by
+memory inheritance at zero serialization cost. Platforms without the
+``fork`` start method get a loud :class:`SimulationError`. A 1-core
+machine can still run the engine (the processes interleave); it simply
+gains nothing — the differential suite skips it there for speed.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import os
+from typing import Any, Callable, Hashable, Iterator, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.simulator.message import Message
+from repro.simulator.metrics import SimulationMetrics
+from repro.simulator.node import Context, NodeProgram
+from repro.simulator.runner import SimulationResult, register_engine
+from repro.simulator.tracing import trace_sink
+from repro.simulator.transport import BROADCAST
+from repro.utils.rng import fresh_seed
+
+__all__ = [
+    "MAX_DEFAULT_SHARDS",
+    "fork_available",
+    "resolve_shards",
+    "shard_bounds",
+    "shards_context",
+]
+
+#: Cap on the *default* worker count (explicit ``shards=`` overrides it;
+#: past ~8 workers the per-round barrier dominates for typical n).
+MAX_DEFAULT_SHARDS = 8
+
+# Module default consumed when a runner does not set ``shards``;
+# ``shards_context`` overrides it so composite drivers (whose inner
+# SyncRunners the caller never touches) can be sharded deterministically.
+_DEFAULT_SHARDS: Optional[int] = None
+
+
+def fork_available() -> bool:
+    """Whether this platform can fork workers (the engine requires it)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+@contextlib.contextmanager
+def shards_context(count: int) -> Iterator[None]:
+    """Temporarily fix the default shard count of the sharded engine.
+
+    The sharded analogue of
+    :func:`~repro.simulator.runner.engine_context`: composite drivers
+    build their own inner runners, so ``engine_context("sharded")``
+    routes them here and ``shards_context(k)`` pins how many workers
+    each inner run forks.
+    """
+    global _DEFAULT_SHARDS
+    if count < 1:
+        raise SimulationError(f"shards must be >= 1, got {count}")
+    previous = _DEFAULT_SHARDS
+    _DEFAULT_SHARDS = count
+    try:
+        yield
+    finally:
+        _DEFAULT_SHARDS = previous
+
+
+def resolve_shards(requested: Optional[int], n: int) -> int:
+    """The worker count for an ``n``-node run.
+
+    Precedence: explicit ``SyncRunner(shards=…)`` > ``shards_context`` >
+    one per core (capped at :data:`MAX_DEFAULT_SHARDS`); always clamped
+    to ``n`` — an empty shard would be pure overhead.
+    """
+    if requested is None:
+        requested = _DEFAULT_SHARDS
+    if requested is None:
+        requested = max(1, min(os.cpu_count() or 1, MAX_DEFAULT_SHARDS))
+    if requested < 1:
+        raise SimulationError(f"shards must be >= 1, got {requested}")
+    return max(1, min(requested, n))
+
+
+def shard_bounds(n: int, shards: int) -> List[Tuple[int, int]]:
+    """Contiguous, balanced ``[lo, hi)`` index ranges covering ``0..n``.
+
+    The first ``n % shards`` shards take one extra node, so shard sizes
+    differ by at most one and concatenating the ranges in shard order
+    walks the nodes in canonical index order — the property the trace
+    and inbox merges rely on.
+    """
+    if shards < 1:
+        raise SimulationError(f"shards must be >= 1, got {shards}")
+    if shards > n:
+        raise SimulationError(
+            f"cannot split {n} node(s) into {shards} non-empty shards"
+        )
+    base, extra = divmod(n, shards)
+    bounds: List[Tuple[int, int]] = []
+    lo = 0
+    for shard in range(shards):
+        hi = lo + base + (1 if shard < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+def _worker_main(
+    runner,
+    program_factory: Callable[[Hashable], NodeProgram],
+    seeds: List[int],
+    lo: int,
+    hi: int,
+    conn,
+) -> None:
+    """One shard's half of the barrier protocol (runs in a fork).
+
+    Everything heavy — the network, transport tables, fault plan, and
+    the factory's closed-over state — is inherited from the parent at
+    fork time. The worker owns node indices ``[lo, hi)``; ``seeds``
+    holds their pre-drawn context RNG seeds.
+    """
+    try:
+        net = runner.network
+        transport = runner.transport
+        plan = runner.fault_plan
+        nodes = net.nodes
+        n = len(nodes)
+        validate = transport.validate
+        fanout = transport.fanout
+        sink = trace_sink(program_factory)
+        trace_base = len(sink.events) if sink is not None else 0
+
+        contexts: List[Context] = []
+        programs: List[NodeProgram] = []
+        for i in range(lo, hi):
+            node = nodes[i]
+            contexts.append(
+                Context(
+                    node=node,
+                    node_id=net.node_id(node),
+                    neighbors=net.neighbors(node),
+                    n=n,
+                    rng_seed=seeds[i - lo],
+                    index=i,
+                )
+            )
+            programs.append(program_factory(node))
+
+        outbound: List[Any] = [None] * (hi - lo)
+        senders: List[int] = []  # global indices, ascending
+        for i in range(lo, hi):
+            raw = programs[i - lo].on_start(contexts[i - lo])
+            out = validate(nodes[i], i, raw)
+            if out:
+                outbound[i - lo] = out
+                senders.append(i)
+        live = [i for i in range(lo, hi) if not contexts[i - lo].halted]
+        conn.send(("ready", len(live)))
+
+        inboxes = [dict() for _ in range(lo, hi)]
+        round_no = 0
+        while True:
+            round_no += 1
+            # -- phase A: deliver last round's outbound ----------------
+            round_messages = 0
+            round_bits = 0
+            round_max_bits = 0
+            # (sender_index, receiver_index, Message); buffered so local
+            # and imported deliveries can be merged in sender order.
+            deliveries: List[Tuple[int, int, Message]] = []
+            # Exports are grouped per sender to keep the pickle volume —
+            # the serial cost of the barrier — proportional to senders,
+            # not deliveries: ("b", s, payload, bits, receivers) for a
+            # broadcast, ("a", s, [(r, payload, bits), …]) for
+            # addressed traffic.
+            exports: List[Tuple] = []
+            for s in senders:
+                out = outbound[s - lo]
+                outbound[s - lo] = None
+                sender = nodes[s]
+                if plan is not None and plan.is_crashed(sender, round_no):
+                    continue
+                if out[0] is BROADCAST:
+                    message = out[1]
+                    bits = message.bits
+                    delivered = 0
+                    remote: List[int] = []
+                    for r in fanout(s):
+                        if plan is not None and plan.drops(
+                            sender, nodes[r], round_no
+                        ):
+                            continue
+                        if lo <= r < hi:
+                            deliveries.append((s, r, message))
+                        else:
+                            remote.append(r)
+                        delivered += 1
+                    if remote:
+                        exports.append(
+                            ("b", s, message.payload, bits, remote)
+                        )
+                    if delivered:
+                        round_messages += delivered
+                        round_bits += bits * delivered
+                        if bits > round_max_bits:
+                            round_max_bits = bits
+                else:
+                    addressed: List[Tuple[int, Any, int]] = []
+                    for r, message in out:
+                        if plan is not None and plan.drops(
+                            sender, nodes[r], round_no
+                        ):
+                            continue
+                        if lo <= r < hi:
+                            deliveries.append((s, r, message))
+                        else:
+                            addressed.append(
+                                (r, message.payload, message.bits)
+                            )
+                        round_messages += 1
+                        round_bits += message.bits
+                        if message.bits > round_max_bits:
+                            round_max_bits = message.bits
+                    if addressed:
+                        exports.append(("a", s, addressed))
+            senders = []
+            conn.send(
+                ("delivered", round_messages, round_bits, round_max_bits,
+                 exports)
+            )
+
+            tag, imports = conn.recv()
+            assert tag == "inbound", f"protocol violation: {tag!r}"
+            if imports:
+                for entry in imports:
+                    if entry[0] == "b":
+                        _, s, payload, bits, receivers = entry
+                        message = Message(nodes[s], payload, bits)
+                        for r in receivers:
+                            deliveries.append((s, r, message))
+                    else:
+                        _, s, addressed = entry
+                        sender = nodes[s]
+                        for r, payload, bits in addressed:
+                            deliveries.append(
+                                (s, r, Message(sender, payload, bits))
+                            )
+                # Global sender-index order is the inbox insertion order
+                # of the single-process engines (stable sort: local
+                # deliveries are already sender-ascending).
+                deliveries.sort(key=lambda entry: entry[0])
+            touched: List[int] = []
+            for s, r, message in deliveries:
+                box = inboxes[r - lo]
+                if not box:
+                    touched.append(r - lo)
+                box[nodes[s]] = message
+
+            # -- phase B: execute this shard's live nodes --------------
+            halts = 0
+            crashes = 0
+            next_live: List[int] = []
+            for i in live:
+                if plan is not None and plan.is_crashed(nodes[i], round_no):
+                    # Crash-stop: silently out of the live set for good,
+                    # but still unhalted for the parent's accounting.
+                    crashes += 1
+                    continue
+                ctx = contexts[i - lo]
+                ctx.round = round_no
+                raw = programs[i - lo].on_round(ctx, inboxes[i - lo])
+                if ctx._halted:
+                    halts += 1
+                else:
+                    if raw is not None:
+                        out = validate(nodes[i], i, raw)
+                        if out:
+                            outbound[i - lo] = out
+                            senders.append(i)
+                    next_live.append(i)
+            for t in touched:
+                inboxes[t].clear()
+            live = next_live
+            conn.send(("executed", halts, crashes, len(senders)))
+
+            command = conn.recv()
+            if command[0] == "continue":
+                continue
+            if command[0] == "finish":
+                outputs = [contexts[i - lo].output for i in range(lo, hi)]
+                events = (
+                    list(sink.events[trace_base:]) if sink is not None else []
+                )
+                conn.send(("final", outputs, events))
+            break
+    except Exception as error:  # noqa: BLE001 — shipped to the parent
+        try:
+            conn.send(("error", error))
+        except Exception:  # unpicklable error: ship a plain summary
+            conn.send(
+                ("error",
+                 SimulationError(f"{type(error).__name__}: {error}"))
+            )
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+
+def _recv(conn):
+    """One protocol message from a worker; worker errors re-raise here."""
+    try:
+        message = conn.recv()
+    except EOFError:
+        raise SimulationError(
+            "a sharded-engine worker died without reporting an error"
+        )
+    if message[0] == "error":
+        raise message[1]
+    return message
+
+
+def _run_sharded(
+    runner,
+    program_factory: Callable[[Hashable], NodeProgram],
+    max_rounds: int,
+    quiescence_halts: bool,
+) -> SimulationResult:
+    """The parent's half: fork shard workers, route the barrier, account
+    metrics, and assemble the (bit-identical) result."""
+    if not fork_available():
+        raise SimulationError(
+            "the sharded engine requires the 'fork' process start method "
+            "(program factories are closures and cannot be pickled); "
+            "use engine='indexed' on this platform"
+        )
+    net = runner.network
+    nodes = net.nodes
+    n = len(nodes)
+    # Draw every context seed in canonical node order *before* forking:
+    # the run RNG consumes exactly one draw per node, as under the
+    # single-process engines, so chained simulations sharing one RNG
+    # stay on the same stream regardless of engine.
+    seeds = [fresh_seed(runner._rng) for _ in range(n)]
+    bounds = shard_bounds(n, resolve_shards(runner.shards, n))
+    sink = trace_sink(program_factory)
+
+    ctx = multiprocessing.get_context("fork")
+    workers = []
+    connections = []
+    try:
+        for lo, hi in bounds:
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=_worker_main,
+                args=(runner, program_factory, seeds[lo:hi], lo, hi,
+                      child_conn),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            workers.append(process)
+            connections.append(parent_conn)
+
+        unhalted = 0
+        for conn in connections:
+            tag, shard_unhalted = _recv(conn)
+            assert tag == "ready", f"protocol violation: {tag!r}"
+            unhalted += shard_unhalted
+        live = unhalted
+
+        metrics = SimulationMetrics(runs=1)
+        halted_flag: Optional[bool] = None
+        for round_no in range(1, max_rounds + 1):
+            round_messages = 0
+            round_bits = 0
+            round_max_bits = 0
+            imports: List[List[Tuple]] = [[] for _ in bounds]
+            for conn in connections:
+                tag, messages, bits, max_bits, exports = _recv(conn)
+                assert tag == "delivered", f"protocol violation: {tag!r}"
+                round_messages += messages
+                round_bits += bits
+                if max_bits > round_max_bits:
+                    round_max_bits = max_bits
+                _route_exports(bounds, exports, imports)
+            if round_messages or unhalted:
+                metrics.record_round(
+                    round_messages, round_bits, round_max_bits
+                )
+            for shard, conn in enumerate(connections):
+                conn.send(("inbound", imports[shard]))
+
+            senders_total = 0
+            for conn in connections:
+                tag, halts, crashes, shard_senders = _recv(conn)
+                assert tag == "executed", f"protocol violation: {tag!r}"
+                unhalted -= halts
+                live -= halts + crashes
+                senders_total += shard_senders
+
+            if live == 0:
+                halted_flag = True
+            elif (
+                quiescence_halts
+                and round_messages == 0
+                and senders_total == 0
+            ):
+                halted_flag = False
+            if halted_flag is not None:
+                break
+            for conn in connections:
+                conn.send(("continue",))
+        if halted_flag is None:
+            raise SimulationError(
+                f"simulation did not terminate within {max_rounds} rounds"
+            )
+
+        outputs = {}
+        trace_deltas = []
+        for conn in connections:
+            conn.send(("finish", halted_flag))
+        for (lo, hi), conn in zip(bounds, connections):
+            tag, shard_outputs, shard_events = _recv(conn)
+            assert tag == "final", f"protocol violation: {tag!r}"
+            for i in range(lo, hi):
+                outputs[nodes[i]] = shard_outputs[i - lo]
+            trace_deltas.append(shard_events)
+        if sink is not None:
+            _merge_trace_events(sink, trace_deltas)
+        for process in workers:
+            process.join()
+        return SimulationResult(
+            outputs=outputs, metrics=metrics, halted=halted_flag
+        )
+    finally:
+        for conn in connections:
+            with contextlib.suppress(OSError):
+                conn.close()
+        for process in workers:
+            if process.is_alive():
+                process.terminate()
+            process.join(timeout=5)
+
+
+def _route_exports(
+    bounds: List[Tuple[int, int]],
+    exports: List[Tuple],
+    imports: List[List[Tuple]],
+) -> None:
+    """Split one worker's grouped exports by destination shard, keeping
+    the per-sender grouping (see the export format in
+    :func:`_worker_main`)."""
+    for entry in exports:
+        if entry[0] == "b":
+            _, s, payload, bits, receivers = entry
+            by_shard: dict = {}
+            for r in receivers:
+                by_shard.setdefault(_owner(bounds, r), []).append(r)
+            for shard, shard_receivers in by_shard.items():
+                imports[shard].append(
+                    ("b", s, payload, bits, shard_receivers)
+                )
+        else:
+            _, s, addressed = entry
+            by_shard = {}
+            for item in addressed:
+                by_shard.setdefault(_owner(bounds, item[0]), []).append(item)
+            for shard, shard_items in by_shard.items():
+                imports[shard].append(("a", s, shard_items))
+
+
+def _owner(bounds: List[Tuple[int, int]], index: int) -> int:
+    """The shard owning a node index (bounds are sorted and contiguous)."""
+    lo, hi = 0, len(bounds)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if index >= bounds[mid][1]:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _merge_trace_events(sink, trace_deltas) -> None:
+    """Merge per-shard event deltas into the parent's trace, restoring
+    the single-process append order: round-major, then shard order
+    (= global node-index order, since shards are contiguous and each
+    worker appends its shard in index order)."""
+    buckets = {}
+    for shard_events in trace_deltas:
+        for event in shard_events:
+            buckets.setdefault(event.round_no, []).append(event)
+    for round_no in sorted(buckets):
+        sink.events.extend(buckets[round_no])
+
+
+register_engine("sharded", _run_sharded)

@@ -134,4 +134,24 @@ class Tracer:
         def traced_factory(node: Hashable) -> NodeProgram:
             return _TracedProgram(factory(node), self.trace)
 
+        # Advertise the sink on the factory itself so engines that run
+        # programs in worker processes (the sharded engine) can find the
+        # trace to merge harvested events into — without constructing a
+        # probe program. See :func:`trace_sink`.
+        traced_factory._repro_trace_sink = self.trace
         return traced_factory
+
+
+def trace_sink(
+    factory: Callable[[Hashable], NodeProgram]
+) -> Optional[RoundTrace]:
+    """The :class:`RoundTrace` a :meth:`Tracer.wrap`-ped factory records
+    into, or ``None`` for an unwrapped factory.
+
+    Multiprocess engines use this twice: a worker locates its (forked)
+    copy of the trace to ship new events home, and the parent locates
+    the original object to merge them into. Re-wrapping a traced factory
+    in another closure hides the sink — keep the Tracer's factory
+    outermost when tracing a sharded run.
+    """
+    return getattr(factory, "_repro_trace_sink", None)

@@ -1,0 +1,23 @@
+"""Shared gating for tests that run the sharded multiprocess engine.
+
+The engine needs the ``fork`` start method; on single-core runners the
+fan-out only adds scheduling noise, so those skip unless explicitly
+forced with ``REPRO_SHARDED_TESTS=1`` (CI sets it). One predicate, one
+reason string — every suite that exercises the sharded engine imports
+these instead of re-deriving the policy.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.simulator.runner_sharded import fork_available
+
+SHARDED_TESTS_OK = fork_available() and (
+    (os.cpu_count() or 1) >= 2
+    or os.environ.get("REPRO_SHARDED_TESTS") == "1"
+)
+SHARDED_SKIP_REASON = (
+    "sharded engine tests need the fork start method and >= 2 cores "
+    "(set REPRO_SHARDED_TESTS=1 to force on a single core)"
+)

@@ -1,0 +1,168 @@
+"""Hypothesis round-trip properties for the result-envelope codec.
+
+``tests/test_api_envelope.py`` pins the codec with examples; this file
+closes the gap with *generated* payloads: arbitrarily nested
+``Fraction`` / ``frozenset`` / ``set`` / ``tuple`` / non-string-key
+dict values — exactly the algebra
+:func:`repro.api.envelope.encode_value` promises to tag — must survive
+``decode(encode(v)) == v``, a real JSON text round trip, and the full
+:class:`~repro.api.envelope.Result` serialization cycle, and must
+encode deterministically (the batch executor's byte-identity depends on
+it).
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.api.envelope import Result, decode_value, encode_value
+
+# Scalars the codec passes through (floats: NaN breaks == by design of
+# IEEE, not of the codec, so it is excluded; ±inf round-trips through
+# python's json and stays).
+_scalars = (
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**70), max_value=2**70)
+    | st.floats(allow_nan=False)
+    | st.text(max_size=12)
+    | st.fractions()
+)
+
+# Hashable values — legal as set elements and dict keys. Built from the
+# same scalars so a nested frozenset-of-tuples-of-Fractions is fair game.
+_hashables = st.recursive(
+    _scalars,
+    lambda children: (
+        st.lists(children, max_size=3).map(tuple)
+        | st.frozensets(children, max_size=3)
+    ),
+    max_leaves=8,
+)
+
+# The full value algebra of the codec.
+_values = st.recursive(
+    _scalars,
+    lambda children: (
+        st.lists(children, max_size=3)
+        | st.lists(children, max_size=3).map(tuple)
+        | st.frozensets(_hashables, max_size=3)
+        | st.sets(_hashables, max_size=3)
+        # str-keyed dicts — including keys that collide with the codec's
+        # own tags, which must be escaped through the tagged-dict path.
+        | st.dictionaries(
+            st.text(max_size=8)
+            | st.sampled_from(
+                ["__fraction__", "__frozenset__", "__set__",
+                 "__tuple__", "__dict__"]
+            ),
+            children,
+            max_size=3,
+        )
+        | st.dictionaries(_hashables, children, max_size=3)
+    ),
+    max_leaves=16,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_values)
+def test_decode_inverts_encode(value):
+    assert decode_value(encode_value(value)) == value
+
+
+@settings(max_examples=150, deadline=None)
+@given(_values)
+def test_round_trip_through_json_text(value):
+    """The encoded form must be genuine JSON — through the *text*, not
+    just the object graph — and come back equal."""
+    text = json.dumps(encode_value(value), sort_keys=True)
+    assert decode_value(json.loads(text)) == value
+
+
+@settings(max_examples=100, deadline=None)
+@given(_values)
+def test_round_trip_preserves_container_types(value):
+    """Equality alone lets a tuple come back as a list (`==` is False
+    for those, but nested positions inside == containers could hide
+    type drift); diff the full type structure explicitly."""
+
+    def shape(item):
+        if isinstance(item, (list, tuple)):
+            return (type(item).__name__, [shape(x) for x in item])
+        if isinstance(item, (set, frozenset)):
+            return (
+                type(item).__name__,
+                sorted((repr(shape(x)) for x in item)),
+            )
+        if isinstance(item, dict):
+            return (
+                "dict",
+                sorted(
+                    (repr((shape(k), shape(v)))) for k, v in item.items()
+                ),
+            )
+        return type(item).__name__
+
+    assert shape(decode_value(encode_value(value))) == shape(value)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_values)
+def test_encoding_is_deterministic(value):
+    """Two encodings of the same value serialize to the same bytes —
+    the property the batch executor's byte-identical JSONL rests on
+    (sets are the dangerous case: iteration order varies)."""
+    first = json.dumps(encode_value(value), sort_keys=True)
+    second = json.dumps(encode_value(value), sort_keys=True)
+    assert first == second
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    payload=st.dictionaries(st.text(max_size=8), _values, max_size=4),
+    params=st.dictionaries(st.text(max_size=8), _values, max_size=3),
+    seed=st.none() | st.integers(min_value=0, max_value=2**63 - 1),
+)
+def test_result_envelope_round_trips(payload, params, seed):
+    result = Result(
+        task="property",
+        graph="harary:4,12",
+        fingerprint="abc123",
+        n=12,
+        m=24,
+        seed=seed,
+        params=params,
+        payload=payload,
+        timings={"total_s": 0.25},
+    )
+    assert Result.from_json(result.to_json()) == result
+    # The canonical row is stable and timing-free.
+    assert result.canonical_json() == result.canonical_json()
+    assert "timings" not in json.loads(result.canonical_json())
+
+
+@settings(max_examples=60, deadline=None)
+@given(_values)
+def test_fraction_exactness_survives(value):
+    """Spot the lossy-float failure mode directly: any Fraction inside
+    the structure must come back as the same exact rational."""
+
+    def fractions_in(item):
+        if isinstance(item, Fraction):
+            yield item
+        elif isinstance(item, (list, tuple, set, frozenset)):
+            for child in item:
+                yield from fractions_in(child)
+        elif isinstance(item, dict):
+            for key, child in item.items():
+                yield from fractions_in(key)
+                yield from fractions_in(child)
+
+    decoded = decode_value(encode_value(value))
+    assert sorted(map(repr, fractions_in(decoded))) == sorted(
+        map(repr, fractions_in(value))
+    )

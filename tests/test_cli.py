@@ -180,6 +180,45 @@ class TestCommands:
                      if l.startswith(("rounds:", "messages:", "outputs", "  "))]
         assert ref_facts == idx_facts
 
+    def test_simulate_unknown_engine_lists_registered(self, capsys):
+        """A typo'd --engine fails before any graph work, naming every
+        registered engine (mirrors the graph-family errors)."""
+        assert main(
+            ["simulate", "harary:4,12", "--engine", "shraded"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "unknown simulation engine 'shraded'" in err
+        for engine in ("indexed", "reference", "sharded"):
+            assert engine in err
+
+    def test_simulate_sharded_engine_matches_indexed(self, capsys):
+        from sharded_support import SHARDED_SKIP_REASON, SHARDED_TESTS_OK
+
+        if not SHARDED_TESTS_OK:
+            pytest.skip(SHARDED_SKIP_REASON)
+        assert main(
+            ["simulate", "harary:4,12", "--engine", "sharded",
+             "--shards", "2", "--seed", "1"]
+        ) == 0
+        sharded_out = capsys.readouterr().out
+        assert main(
+            ["simulate", "harary:4,12", "--engine", "indexed", "--seed", "1"]
+        ) == 0
+        indexed_out = capsys.readouterr().out
+        facts = lambda text: [  # noqa: E731
+            line for line in text.splitlines()
+            if line.startswith(("rounds:", "messages:", "outputs", "  "))
+        ]
+        assert facts(sharded_out) == facts(indexed_out)
+
+    def test_simulate_shards_require_sharded_engine(self, capsys):
+        """--shards on a single-process engine would be silently ignored;
+        the CLI refuses instead."""
+        assert main(
+            ["simulate", "harary:4,12", "--shards", "4"]
+        ) == 2
+        assert "--engine sharded" in capsys.readouterr().err
+
     def test_simulate_bad_crash_spec(self, capsys):
         assert main(
             ["simulate", "harary:4,12", "--crash", "nonsense"]

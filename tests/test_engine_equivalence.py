@@ -1,4 +1,4 @@
-"""Engine equivalence: the indexed round loop vs the reference loop.
+"""Engine equivalence: every registered engine against the indexed loop.
 
 The refactored engine (``runner.py``, engine ``"indexed"``) must be
 *bit-identical* to the preserved pre-engine loop
@@ -6,8 +6,16 @@ The refactored engine (``runner.py``, engine ``"indexed"``) must be
 same :class:`SimulationResult` outputs, same metrics, and — where the
 schedule matters — the same :class:`Tracer` transcript, event for event.
 This suite runs every algorithm in ``repro/simulator/algorithms`` (and
-the fault machinery, whose RNG consumption order is part of the
-contract) on both engines and diffs the results.
+the fault machinery, whose drop derivation is part of the contract) on
+both engines and diffs the results.
+
+The **differential matrix** at the bottom extends the same oracle
+discipline to the multiprocess ``"sharded"`` engine
+(``runner_sharded.py``): every registered scenario program × every
+applicable transport × every engine, pinned seeds, byte-identical
+traces. Sharded cases skip cleanly where the engine cannot run (no
+``fork``) or would only add noise (single-core runners — set
+``REPRO_SHARDED_TESTS=1`` to force them there).
 """
 
 from __future__ import annotations
@@ -44,12 +52,14 @@ from repro.simulator.network import Network
 from repro.simulator.runner import (
     Model,
     SimulationResult,
+    SyncRunner,
     available_engines,
     engine_context,
     simulate,
 )
 from repro.simulator.tracing import Tracer
 from repro.utils.rng import ensure_rng
+from sharded_support import SHARDED_SKIP_REASON, SHARDED_TESTS_OK
 
 ENGINES = ("indexed", "reference")
 
@@ -438,3 +448,169 @@ class TestDriverEquivalence:
         assert [sorted(map(sorted, f)) for f in a.mst_rounds.forests] == [
             sorted(map(sorted, f)) for f in b.mst_rounds.forests
         ]
+
+
+# ----------------------------------------------------------------------
+# The differential matrix: every registered scenario × transport × engine
+# ----------------------------------------------------------------------
+
+MATRIX_GRAPH = "harary:4,12"
+MATRIX_SEED = 3
+MATRIX_SHARDS = 2
+
+# (program, model) pairs the registry itself rules out: the CDS-packing
+# driver validates its model and accepts V-CONGEST / clique only.
+_MATRIX_EXCLUDED = {
+    ("cds_packing", Model.E_CONGEST),
+}
+
+
+def _matrix_cases():
+    from repro.simulator.scenario import PROGRAM_REGISTRY
+
+    cases = []
+    for name in sorted(PROGRAM_REGISTRY):
+        for model in (
+            Model.V_CONGEST, Model.E_CONGEST, Model.CONGESTED_CLIQUE
+        ):
+            if (name, model) not in _MATRIX_EXCLUDED:
+                cases.append((name, model))
+    return cases
+
+
+def _run_matrix_case(program: str, model: Model, engine: str):
+    """One pinned-seed scenario run, reduced to comparable bytes."""
+    from repro.simulator.scenario import Scenario
+
+    run = Scenario(
+        topology=MATRIX_GRAPH,
+        program=program,
+        model=model,
+        seed=MATRIX_SEED,
+        trace=True,
+        engine=engine,
+        shards=MATRIX_SHARDS if engine == "sharded" else None,
+        max_rounds=2000,
+    ).run()
+    metrics = run.result.metrics
+    return {
+        "outputs": list(run.result.outputs.items()),  # value AND order
+        "halted": run.result.halted,
+        "metrics": (
+            metrics.rounds,
+            metrics.messages,
+            metrics.bits,
+            metrics.max_message_bits,
+            sorted(metrics.phase_rounds.items()),
+        ),
+        # repr per event == the rendered bytes of the transcript.
+        "trace": [repr(event) for event in run.trace.events],
+    }
+
+
+class TestDifferentialMatrix:
+    """Every registered scenario program, under every transport it can
+    run on, must behave *byte-identically* on every engine. The indexed
+    loop is the baseline; the reference loop covers the paper's two
+    models (it predates the clique transport); the sharded engine
+    covers everything."""
+
+    @pytest.mark.parametrize(
+        "program,model",
+        _matrix_cases(),
+        ids=lambda value: getattr(value, "value", value),
+    )
+    def test_reference_matches_indexed(self, program, model):
+        if model is Model.CONGESTED_CLIQUE:
+            pytest.skip("the reference loop predates the clique transport")
+        baseline = _run_matrix_case(program, model, "indexed")
+        other = _run_matrix_case(program, model, "reference")
+        assert other == baseline
+
+    @pytest.mark.skipif(not SHARDED_TESTS_OK, reason=SHARDED_SKIP_REASON)
+    @pytest.mark.parametrize(
+        "program,model",
+        _matrix_cases(),
+        ids=lambda value: getattr(value, "value", value),
+    )
+    def test_sharded_matches_indexed(self, program, model):
+        baseline = _run_matrix_case(program, model, "indexed")
+        other = _run_matrix_case(program, model, "sharded")
+        assert other == baseline
+
+    @pytest.mark.skipif(not SHARDED_TESTS_OK, reason=SHARDED_SKIP_REASON)
+    def test_sharded_identical_across_shard_counts(self):
+        """The shard count is an execution detail: 1, 2, and 3 workers
+        must all reproduce the indexed bytes."""
+        from repro.simulator.scenario import Scenario
+
+        baseline = _run_matrix_case("mis", Model.V_CONGEST, "indexed")
+        for shards in (1, 2, 3):
+            run = Scenario(
+                topology=MATRIX_GRAPH,
+                program="mis",
+                model=Model.V_CONGEST,
+                seed=MATRIX_SEED,
+                trace=True,
+                engine="sharded",
+                shards=shards,
+            ).run()
+            assert list(run.result.outputs.items()) == baseline["outputs"]
+            assert [repr(e) for e in run.trace.events] == baseline["trace"]
+
+
+@pytest.mark.skipif(not SHARDED_TESTS_OK, reason=SHARDED_SKIP_REASON)
+class TestShardedFaultEquivalence:
+    """Faulty runs shard identically: drop decisions derive from (seed,
+    edge, round) — never from shard-local iteration order — and crash
+    accounting matches the single-process loops."""
+
+    def _both(self, plan_of, rng=5, horizon=18):
+        graph = harary_graph(4, 14)
+        results = {}
+        for engine, shards in (("indexed", None), ("sharded", 3)):
+            network = _network(graph, seed=2)
+            runner = SyncRunner(
+                network,
+                rng=rng,
+                fault_plan=plan_of(network),
+                engine=engine,
+                shards=shards,
+            )
+            results[engine] = runner.run(
+                lambda v: RetransmittingFloodProgram(
+                    network.node_id(v), horizon=horizon
+                )
+            )
+        return results
+
+    def test_iid_drops(self):
+        runs = self._both(
+            lambda net: FaultPlan(drop_probability=0.35, rng=11)
+        )
+        _assert_same_result(runs["indexed"], runs["sharded"])
+
+    def test_drop_schedule(self):
+        def plan(net):
+            a, b, c = net.nodes[0], net.nodes[1], net.nodes[5]
+            return FaultPlan(
+                drop_schedule={(a, b): {1, 2, 3}, (c, a): {2}}
+            )
+
+        runs = self._both(plan)
+        _assert_same_result(runs["indexed"], runs["sharded"])
+
+    def test_crashes_with_drops(self):
+        def plan(net):
+            return FaultPlan(
+                drop_probability=0.2,
+                crash_rounds={net.nodes[3]: 2, net.nodes[7]: 0},
+                rng=4,
+            )
+
+        runs = self._both(plan)
+        _assert_same_result(runs["indexed"], runs["sharded"])
+
+    def test_unseeded_plan_derives_from_run_seed(self):
+        runs = self._both(lambda net: FaultPlan(drop_probability=0.4))
+        _assert_same_result(runs["indexed"], runs["sharded"])

@@ -21,7 +21,9 @@ class TestFaultPlan:
     def test_defaults_are_benign(self):
         plan = FaultPlan()
         assert not plan.is_crashed("v", 10)
-        assert not plan.should_drop()
+        assert not any(
+            plan.drops("u", "v", round_no) for round_no in range(1, 20)
+        )
 
     def test_crash_schedule(self):
         plan = FaultPlan(crash_rounds={"v": 3})
@@ -41,13 +43,16 @@ class TestFaultPlan:
     def test_drop_decisions_reproducible(self):
         first = FaultPlan(drop_probability=0.5, rng=7)
         second = FaultPlan(drop_probability=0.5, rng=7)
-        assert [first.should_drop() for _ in range(50)] == [
-            second.should_drop() for _ in range(50)
+        queries = [("u", "v", r) for r in range(1, 26)] + [
+            ("v", "u", r) for r in range(1, 26)
+        ]
+        assert [first.drops(*q) for q in queries] == [
+            second.drops(*q) for q in queries
         ]
 
     def test_certain_drop(self):
         plan = FaultPlan(drop_probability=1.0, rng=0)
-        assert all(plan.should_drop() for _ in range(10))
+        assert all(plan.drops("u", "v", r) for r in range(1, 11))
 
     def test_drop_schedule_normalized_and_validated(self):
         plan = FaultPlan(drop_schedule={("a", "b"): [1, 2, 2]})
@@ -77,11 +82,13 @@ class TestFaultPlan:
         b = [without.drops("x", "y", r) for r in range(30)]
         assert a == b
 
-    def test_reseed_rebinds_generator(self):
+    def test_reseed_rebinds_decisions(self):
         plan = FaultPlan(drop_probability=0.5, rng=1)
-        first = [plan.should_drop() for _ in range(20)]
+        first = [plan.drops("u", "v", r) for r in range(1, 21)]
         plan.reseed(1)
-        assert [plan.should_drop() for _ in range(20)] == first
+        assert [plan.drops("u", "v", r) for r in range(1, 21)] == first
+        plan.reseed(2)
+        assert [plan.drops("u", "v", r) for r in range(1, 21)] != first
 
     def test_plan_naming_unknown_nodes_rejected(self):
         """A crash/drop entry for a node outside the network would be a
@@ -116,6 +123,95 @@ class TestFaultPlan:
                     lambda v: RetransmittingFloodProgram(v, horizon=4),
                     FaultPlan(drop_schedule={(0, 1): {1}}),
                 )
+
+
+class TestDropOrderIndependence:
+    """Random drops are a pure function of (seed, directed edge, round):
+    the decision for one delivery cannot depend on which — or how many —
+    other deliveries were decided before it. This is the contract that
+    makes fault sweeps reproducible across engines (the sharded engine
+    evaluates drops shard-locally, in a different global order than the
+    single-process loops)."""
+
+    EDGES = [("a", "b"), ("b", "a"), ("c", "d"), (0, 1), (1, 0), (2, 7)]
+
+    def test_decisions_independent_of_query_order(self):
+        forward = FaultPlan(drop_probability=0.5, rng=7)
+        backward = FaultPlan(drop_probability=0.5, rng=7)
+        queries = [(e, r) for e in self.EDGES for r in range(1, 21)]
+        want = {
+            (e, r): forward.drops(e[0], e[1], r) for e, r in queries
+        }
+        for e, r in reversed(queries):
+            assert backward.drops(e[0], e[1], r) == want[(e, r)]
+
+    def test_decisions_repeatable_and_stateless(self):
+        plan = FaultPlan(drop_probability=0.5, rng=3)
+        first = plan.drops("u", "v", 5)
+        # Interleave unrelated queries; the original answer must hold.
+        for r in range(40):
+            plan.drops("x", "y", r)
+        assert plan.drops("u", "v", 5) == first
+
+    def test_distinct_edges_and_rounds_get_distinct_coins(self):
+        plan = FaultPlan(drop_probability=0.5, rng=11)
+        per_edge = [
+            [plan.drops(u, v, r) for r in range(1, 65)]
+            for u, v in self.EDGES
+        ]
+        # With 64 fair coins per edge, two identical columns would mean
+        # the per-edge streams collapsed onto one another.
+        assert len({tuple(row) for row in per_edge}) == len(self.EDGES)
+        assert any(any(row) for row in per_edge)
+        assert any(not all(row) for row in per_edge)
+
+    def test_drop_rate_tracks_probability(self):
+        plan = FaultPlan(drop_probability=0.25, rng=13)
+        decisions = [
+            plan.drops(u, v, r)
+            for u in range(20)
+            for v in range(20)
+            if u != v
+            for r in range(1, 6)
+        ]
+        rate = sum(decisions) / len(decisions)
+        assert 0.2 < rate < 0.3
+
+    def test_explicit_int_seed_is_stable_across_plan_objects(self):
+        a = FaultPlan(drop_probability=0.5, rng=42)
+        b = FaultPlan(drop_probability=0.5, rng=42)
+        for u, v in self.EDGES:
+            for r in range(1, 20):
+                assert a.drops(u, v, r) == b.drops(u, v, r)
+
+    def test_engines_agree_under_iid_loss(self):
+        """The end-to-end payoff: the same seeded faulty run is
+        bit-identical whether the indexed or the reference loop iterates
+        the deliveries."""
+        from repro.simulator.runner import engine_context
+
+        graph = harary_graph(4, 12)
+
+        def run():
+            network = Network(graph, rng=2)
+            return simulate_with_faults(
+                network,
+                lambda v: RetransmittingFloodProgram(
+                    network.node_id(v), horizon=16
+                ),
+                FaultPlan(drop_probability=0.4, rng=9),
+                rng=5,
+            )
+
+        outcomes = {}
+        for engine in ("indexed", "reference"):
+            with engine_context(engine):
+                outcomes[engine] = run()
+        assert outcomes["indexed"].outputs == outcomes["reference"].outputs
+        assert (
+            outcomes["indexed"].metrics.messages
+            == outcomes["reference"].metrics.messages
+        )
 
 
 class TestCrashInjection:

@@ -1,0 +1,235 @@
+"""Unit tests for the sharded engine's machinery.
+
+The differential matrix (``test_engine_equivalence.py``) proves the
+engine's bit-identity end to end; this file pins the pieces it is built
+from — shard partitioning, worker-count resolution, the trace sink
+hook, and the failure paths — most of which need no processes at all
+and therefore run on any machine.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.errors import ModelViolationError, SimulationError
+from repro.graphs.generators import harary_graph
+from repro.simulator.network import Network
+from repro.simulator.node import NodeProgram
+from repro.simulator.runner import (
+    ShardedRunner,
+    SyncRunner,
+    available_engines,
+    simulate,
+)
+from repro.simulator.runner_sharded import (
+    MAX_DEFAULT_SHARDS,
+    _owner,
+    resolve_shards,
+    shard_bounds,
+    shards_context,
+)
+from repro.simulator.tracing import Tracer, trace_sink
+from sharded_support import SHARDED_SKIP_REASON, SHARDED_TESTS_OK
+
+needs_fork = pytest.mark.skipif(
+    not SHARDED_TESTS_OK, reason=SHARDED_SKIP_REASON
+)
+
+
+class TestShardBounds:
+    def test_even_split(self):
+        assert shard_bounds(12, 3) == [(0, 4), (4, 8), (8, 12)]
+
+    def test_remainder_goes_to_leading_shards(self):
+        assert shard_bounds(10, 3) == [(0, 4), (4, 7), (7, 10)]
+
+    def test_single_shard(self):
+        assert shard_bounds(7, 1) == [(0, 7)]
+
+    def test_one_node_per_shard(self):
+        assert shard_bounds(4, 4) == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    @pytest.mark.parametrize("n,shards", [(1, 1), (17, 5), (100, 8)])
+    def test_bounds_are_contiguous_and_cover(self, n, shards):
+        bounds = shard_bounds(n, shards)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == n
+        for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+            assert hi == lo
+        sizes = [hi - lo for lo, hi in bounds]
+        assert all(size >= 1 for size in sizes)
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_rejects_more_shards_than_nodes(self):
+        with pytest.raises(SimulationError):
+            shard_bounds(3, 4)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(SimulationError):
+            shard_bounds(3, 0)
+
+    def test_owner_inverts_bounds(self):
+        bounds = shard_bounds(17, 5)
+        for shard, (lo, hi) in enumerate(bounds):
+            for index in range(lo, hi):
+                assert _owner(bounds, index) == shard
+
+
+class TestResolveShards:
+    def test_explicit_wins(self):
+        assert resolve_shards(3, 100) == 3
+
+    def test_clamped_to_n(self):
+        assert resolve_shards(64, 5) == 5
+
+    def test_default_capped(self):
+        assert 1 <= resolve_shards(None, 10**6) <= MAX_DEFAULT_SHARDS
+
+    def test_context_overrides_default(self):
+        with shards_context(2):
+            assert resolve_shards(None, 100) == 2
+        # …and restores afterwards.
+        assert resolve_shards(None, 10**6) <= MAX_DEFAULT_SHARDS
+
+    def test_explicit_beats_context(self):
+        with shards_context(2):
+            assert resolve_shards(5, 100) == 5
+
+    def test_context_rejects_nonpositive(self):
+        with pytest.raises(SimulationError):
+            with shards_context(0):
+                pass  # pragma: no cover
+
+    def test_runner_rejects_nonpositive_shards(self):
+        network = Network(nx.path_graph(4), rng=1)
+        with pytest.raises(SimulationError):
+            SyncRunner(network, shards=0)
+
+
+class TestTraceSink:
+    def test_wrapped_factory_advertises_its_trace(self):
+        tracer = Tracer()
+        factory = tracer.wrap(lambda v: NodeProgram())
+        assert trace_sink(factory) is tracer.trace
+
+    def test_plain_factory_has_no_sink(self):
+        assert trace_sink(lambda v: NodeProgram()) is None
+
+
+class TestEngineRegistration:
+    def test_sharded_is_registered(self):
+        assert "sharded" in available_engines()
+
+    def test_sharded_runner_defaults_to_sharded_engine(self):
+        network = Network(nx.path_graph(3), rng=1)
+        runner = ShardedRunner(network, shards=2)
+        assert runner.engine == "sharded"
+        assert runner.shards == 2
+
+    def test_sharded_runner_engine_overridable(self):
+        # The subclass only *defaults* the engine; an explicit choice
+        # (e.g. to diff against the indexed loop) still wins.
+        network = Network(nx.path_graph(3), rng=1)
+        runner = ShardedRunner(network, shards=2, engine="indexed")
+        assert runner.engine == "indexed"
+
+
+class _Chatter(NodeProgram):
+    def on_start(self, ctx):
+        return 1
+
+    def on_round(self, ctx, inbox):
+        return 1
+
+
+class _DictInVCongest(NodeProgram):
+    def on_start(self, ctx):
+        return {ctx.neighbors[0]: 1}
+
+
+@needs_fork
+class TestWorkerFailurePaths:
+    def test_model_violation_propagates_with_type(self):
+        network = Network(nx.cycle_graph(6), rng=1)
+        with pytest.raises(ModelViolationError):
+            simulate(
+                network, lambda v: _DictInVCongest(),
+                engine="sharded", shards=2,
+            )
+
+    def test_max_rounds_exceeded_raises(self):
+        network = Network(nx.cycle_graph(6), rng=1)
+        with pytest.raises(SimulationError, match="did not terminate"):
+            simulate(
+                network, lambda v: _Chatter(),
+                engine="sharded", shards=2, max_rounds=4,
+            )
+
+    def test_failed_run_leaves_no_live_workers(self):
+        import multiprocessing
+
+        network = Network(nx.cycle_graph(6), rng=1)
+        with pytest.raises(SimulationError):
+            simulate(
+                network, lambda v: _Chatter(),
+                engine="sharded", shards=2, max_rounds=4,
+            )
+        assert not [
+            p for p in multiprocessing.active_children() if p.is_alive()
+        ]
+
+
+@needs_fork
+class TestShardedRunsEndToEnd:
+    def test_session_simulate_sharded(self):
+        from repro.api import GraphSession
+
+        session = GraphSession("harary:4,12")
+        sharded = session.simulate(
+            program="flood-min", seed=3, engine="sharded", shards=2
+        )
+        indexed = session.simulate(program="flood-min", seed=3)
+        assert sharded.payload["engine"] == "sharded"
+        assert sharded.params["shards"] == 2
+        for key in ("rounds", "messages", "bits", "outputs", "halted"):
+            assert sharded.payload[key] == indexed.payload[key]
+
+    def test_shards_exceeding_nodes_clamp(self):
+        graph = harary_graph(4, 9)
+        network = Network(graph, rng=1)
+        from repro.simulator.algorithms.flooding import ExtremumFloodProgram
+
+        result = simulate(
+            network,
+            lambda v: ExtremumFloodProgram(network.node_id(v)),
+            rng=2, engine="sharded", shards=64,
+        )
+        reference = simulate(
+            network,
+            lambda v: ExtremumFloodProgram(network.node_id(v)),
+            rng=2, engine="indexed",
+        )
+        assert result.outputs == reference.outputs
+
+    def test_quiescence_disabled_matches_indexed(self):
+        graph = harary_graph(4, 10)
+
+        def run(engine, shards=None):
+            network = Network(graph, rng=1)
+            runner = SyncRunner(
+                network, rng=4, engine=engine, shards=shards
+            )
+            from repro.simulator.faults import RetransmittingFloodProgram
+
+            return runner.run(
+                lambda v: RetransmittingFloodProgram(
+                    network.node_id(v), horizon=6
+                ),
+                quiescence_halts=False,
+            )
+
+        a, b = run("indexed"), run("sharded", 2)
+        assert a.outputs == b.outputs
+        assert a.halted == b.halted
+        assert a.metrics.rounds == b.metrics.rounds
