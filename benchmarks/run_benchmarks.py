@@ -24,6 +24,12 @@ numbers instead of anecdotes):
   outputs asserted identical → ``BENCH_api.json`` (see
   :mod:`bench_api`). Acceptance gate: cached beats per-call on every
   full-size row.
+* ``resilience`` — corruption sweep of the uncoded flood vs the coded
+  defenses (:mod:`repro.apps.coded`) under the adversary layer →
+  ``BENCH_resilience.json`` (see :mod:`bench_resilience`). Acceptance
+  gate: at the reference corruption rate the uncoded flood measurably
+  fails while both coded variants hold ≥ 0.99 coverage with zero wrong
+  answers.
 
 Run from the repo root::
 
@@ -186,6 +192,21 @@ def _run_api(args) -> None:
     bench_api.main(_forwarded_args(args, "api"))
 
 
+def _run_resilience(args) -> None:
+    try:
+        import bench_resilience
+    except ImportError:  # running as a module from the repo root
+        from benchmarks import bench_resilience
+    # bench_resilience measures correctness fractions, not timings, so
+    # it takes no --repeats flag; forward only what it understands.
+    forwarded = ["--quick"] if args.quick else []
+    if args.seed is not None:
+        forwarded += ["--seed", str(args.seed)]
+    if args.out is not None and args.suite == "resilience":
+        forwarded += ["--out", str(args.out)]
+    bench_resilience.main(forwarded)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -193,7 +214,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=["all", "spanning", "simulator", "cds_packing", "api"],
+        choices=["all", "spanning", "simulator", "cds_packing", "api", "resilience"],
         default="all",
         help="which benchmark suite(s) to run",
     )
@@ -222,6 +243,8 @@ def main(argv=None) -> int:
         _run_cds(args)
     if args.suite in ("all", "api"):
         _run_api(args)
+    if args.suite in ("all", "resilience"):
+        _run_resilience(args)
     return 0
 
 

@@ -560,6 +560,7 @@ class GraphSession:
         model: Optional[str] = None,
         seed: int = 0,
         fault_plan=None,
+        adversary_plan=None,
         max_rounds: int = 100000,
         trace: bool = False,
         engine: Optional[str] = None,
@@ -574,7 +575,10 @@ class GraphSession:
         :class:`~repro.simulator.scenario.Scenario` bit for bit.
         ``shards`` sets the worker count of multiprocess engines
         (``engine="sharded"``). ``show_outputs`` caps how many node
-        outputs enter the payload (``None``: all).
+        outputs enter the payload (``None``: all). The envelope's
+        ``params`` carry the *full* fault/adversary configuration
+        (including the plan seeds bound during the run), so a ``--json``
+        row alone reproduces a hostile execution.
         """
         from repro.simulator.runner import Model
         from repro.simulator.scenario import Scenario
@@ -585,6 +589,7 @@ class GraphSession:
             model=Model(model) if isinstance(model, str) else model,
             seed=seed,
             fault_plan=fault_plan,
+            adversary_plan=adversary_plan,
             max_rounds=max_rounds,
             trace=trace,
             engine=engine,
@@ -619,7 +624,11 @@ class GraphSession:
                 "max_rounds": max_rounds,
                 "engine": engine,
                 "shards": shards,
-                "faults": fault_plan is not None,
+                # Full plan configs (seeds included; bound during the
+                # run, so the envelope pins the exact loss/corruption
+                # pattern). None = reliable / honest channels.
+                "faults": _describe_plan(fault_plan),
+                "adversary": _describe_plan(adversary_plan),
             },
             payload, run,
         )
@@ -665,3 +674,14 @@ def _jsonable(value: Any) -> Any:
         return encode_value(value)
     except TypeError:
         return repr(value)
+
+
+def _describe_plan(plan: Any) -> Optional[Dict[str, Any]]:
+    """A plan's JSON-clean config for the params block (None stays None)."""
+    if plan is None:
+        return None
+    described = plan.describe()
+    try:
+        return encode_value(described)
+    except TypeError:
+        return {key: repr(value) for key, value in described.items()}

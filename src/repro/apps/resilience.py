@@ -19,6 +19,17 @@ over the loss-tolerant
 records *coverage* — the fraction of nodes that learned the true global
 minimum — next to the round/message cost, so the sweep shows where
 retransmission stops compensating for loss.
+
+:func:`flood_corruption_sweep` extends the question from erasures to
+*corruptions* (:class:`~repro.simulator.adversary.AdversaryPlan`):
+deliveries arrive altered, not missing, and the interesting failure is
+no longer a node that learned nothing but a node that confidently holds
+a **wrong answer** — for a minimum flood, a value *below* the true
+minimum, which no honest execution can produce. The sweep therefore
+reports ``wrong_rate`` next to ``coverage``, and runs each corruption
+rate over the uncoded flood and the coded defenses of
+:mod:`repro.apps.coded` (checksummed drop-on-bad, repetition voting) so
+the coded-vs-uncoded gap is one table.
 """
 
 from __future__ import annotations
@@ -29,6 +40,7 @@ from typing import Dict, FrozenSet, Hashable, Iterable, List, Sequence, Tuple
 import networkx as nx
 
 from repro.errors import GraphValidationError
+from repro.simulator.adversary import AdversaryPlan
 from repro.simulator.faults import FaultPlan, RetransmittingFloodProgram
 from repro.simulator.network import Network
 from repro.simulator.scenario import Scenario, ScenarioRun
@@ -54,6 +66,34 @@ class ResilienceReport:
         return 1.0 - self.coverage
 
 
+def validate_schedule_edges(
+    graph: nx.Graph,
+    schedule: Dict[DirectedEdge, FrozenSet[int]],
+) -> Dict[DirectedEdge, FrozenSet[int]]:
+    """Reject drop schedules naming edges that do not exist in ``graph``.
+
+    The engine accepts arbitrary directed pairs (the congested clique
+    makes every ordered pair a deliverable edge), so a typo'd node id in
+    a hand-written schedule would silently schedule drops on a
+    nonexistent edge and the "cut" run would quietly be loss-free. App-
+    and CLI-level schedules target concrete graphs, where that is always
+    a bug — validate here, loudly. Returns ``schedule`` unchanged.
+    """
+    known = set(graph.nodes())
+    bad = sorted(
+        repr(edge)
+        for edge in schedule
+        if edge[0] not in known
+        or edge[1] not in known
+        or not graph.has_edge(edge[0], edge[1])
+    )
+    if bad:
+        raise GraphValidationError(
+            f"drop schedule names non-edges of the network: {bad}"
+        )
+    return schedule
+
+
 def cut_drop_schedule(
     graph: nx.Graph,
     side: Iterable[Hashable],
@@ -66,6 +106,10 @@ def cut_drop_schedule(
     ``RetransmittingFloodProgram`` this makes adversarial-partition
     tests exactly reproducible: the schedule, not a seed, decides which
     messages die.
+
+    A ``side`` that yields no crossing edges (empty, the whole node
+    set, or an isolated union of components) is rejected: the intended
+    blockade would silently not exist.
     """
     side_set = set(side)
     unknown = side_set - set(graph.nodes())
@@ -77,7 +121,13 @@ def cut_drop_schedule(
         if (u in side_set) != (v in side_set):
             schedule[(u, v)] = round_set
             schedule[(v, u)] = round_set
-    return schedule
+    if not schedule:
+        raise GraphValidationError(
+            "cut side produces no crossing edges — the blockade would be "
+            f"a silent no-op (side covers {len(side_set)} of "
+            f"{graph.number_of_nodes()} nodes)"
+        )
+    return validate_schedule_edges(graph, schedule)
 
 
 def _flood_scenario(
@@ -167,3 +217,216 @@ def flood_partition_test(
         plan,
         run,
     )
+
+
+# ----------------------------------------------------------------------
+# Corruption sweeps (adversarial channels)
+# ----------------------------------------------------------------------
+
+#: The flood variants a corruption sweep compares. ``uncoded`` is the
+#: retransmitting flood (loss-tolerant, corruption-defenseless);
+#: ``checksum``/``vote`` are the coded defenses of
+#: :mod:`repro.apps.coded`.
+FLOOD_VARIANTS = ("uncoded", "checksum", "vote")
+
+
+@dataclass(frozen=True)
+class CorruptionReport:
+    """One corruption-sweep point: adversary setting vs flood outcome.
+
+    ``coverage`` is the fraction of nodes holding the *true* minimum.
+    ``wrong_rate`` is the fraction holding a value strictly **below**
+    it — a state no honest execution can reach, so any nonzero value is
+    direct evidence the adversary poisoned the answer (as opposed to
+    merely delaying it, which shows up in coverage alone).
+    """
+
+    label: str
+    variant: str
+    corruption_rate: float
+    coverage: float
+    wrong_rate: float
+    completed: bool  # coverage == 1.0 and wrong_rate == 0.0
+    rounds: int
+    messages: int
+    bits: int
+
+
+def _variant_factory(variant: str, horizon: int, votes: int):
+    """Per-node program factory builder for one flood variant."""
+    from repro.apps.coded import ChecksummedFloodProgram, VotedFloodProgram
+
+    def build(network: Network):
+        if variant == "uncoded":
+            return lambda node: RetransmittingFloodProgram(
+                network.node_id(node), horizon=horizon
+            )
+        if variant == "checksum":
+            return lambda node: ChecksummedFloodProgram(
+                network.node_id(node), horizon=horizon
+            )
+        if variant == "vote":
+            return lambda node: VotedFloodProgram(
+                network.node_id(node), horizon=horizon, votes=votes
+            )
+        raise GraphValidationError(
+            f"unknown flood variant {variant!r}; valid: "
+            + ", ".join(FLOOD_VARIANTS)
+        )
+
+    return build
+
+
+def _corruption_report(
+    label: str, variant: str, rate: float, run: ScenarioRun
+) -> CorruptionReport:
+    network = run.network
+    true_min = min(network.node_id(v) for v in network.nodes)
+    holders = 0
+    poisoned = 0
+    for v in network.nodes:
+        output = run.result.output_of(v)
+        if output == true_min:
+            holders += 1
+        elif isinstance(output, int) and output < true_min:
+            poisoned += 1
+    coverage = holders / network.n
+    wrong_rate = poisoned / network.n
+    metrics = run.result.metrics
+    return CorruptionReport(
+        label=label,
+        variant=variant,
+        corruption_rate=rate,
+        coverage=coverage,
+        wrong_rate=wrong_rate,
+        completed=coverage == 1.0 and wrong_rate == 0.0,
+        rounds=metrics.rounds,
+        messages=metrics.messages,
+        bits=metrics.bits,
+    )
+
+
+def flood_corruption_sweep(
+    graph: nx.Graph,
+    corruption_rates: Sequence[float],
+    variants: Sequence[str] = FLOOD_VARIANTS,
+    horizon: int = 0,
+    seed: RngLike = 0,
+    kinds: Tuple[str, ...] = ("flip",),
+    votes: int = 2,
+) -> List[CorruptionReport]:
+    """Extremum flood under increasing channel corruption, coded vs not.
+
+    Every ``(rate, variant)`` point runs the same topology and seed, so
+    node ids — and hence the true minimum — are identical across the
+    whole sweep and the corruption coins of different rates are nested
+    (a delivery corrupted at rate ``p`` is corrupted at every ``p' > p``
+    too). The uncoded flood is expected to *poison* (nonzero
+    ``wrong_rate``) at rates the coded variants shrug off: a single
+    flipped payload below the true minimum propagates like an honest
+    improvement, while the checksum detects it and the vote never sees
+    it twice.
+    """
+    if horizon <= 0:
+        horizon = 4 * nx.diameter(graph) + 8
+    unknown = [v for v in variants if v not in FLOOD_VARIANTS]
+    if unknown:
+        raise GraphValidationError(
+            f"unknown flood variant(s) {unknown!r}; valid: "
+            + ", ".join(FLOOD_VARIANTS)
+        )
+    reports = []
+    for rate in corruption_rates:
+        for variant in variants:
+            plan = AdversaryPlan(corruption_probability=rate, kinds=kinds)
+            run = Scenario(
+                topology=graph,
+                program=_variant_factory(variant, horizon, votes),
+                seed=seed,
+                adversary_plan=plan,
+                name=f"corruption-{variant}",
+            ).run()
+            reports.append(
+                _corruption_report(
+                    f"{variant} p={rate:g}", variant, rate, run
+                )
+            )
+    return reports
+
+
+def gossip_corruption_sweep(
+    graph: nx.Graph,
+    corruption_rates: Sequence[float],
+    variants: Sequence[str] = ("plain", "checksum", "vote"),
+    horizon: int = 0,
+    seed: RngLike = 0,
+    kinds: Tuple[str, ...] = ("flip",),
+    votes: int = 2,
+) -> List[CorruptionReport]:
+    """Token gossip under channel corruption, coded vs not.
+
+    ``coverage`` counts exactly-correct committed ``(origin, value)``
+    pairs over all ``n²`` (node, origin) slots; ``wrong_rate`` counts
+    slots committed to a value that differs from the origin's true
+    token. The plain variant commits the first claim it hears, so a
+    corrupted token poisons every node downstream of the first bad
+    delivery.
+    """
+    from repro.apps.coded import TokenGossipProgram
+
+    if horizon <= 0:
+        horizon = graph.number_of_nodes() * (nx.diameter(graph) + 1) + 4
+
+    def builder_for(variant: str):
+        def build(network: Network):
+            return lambda node: TokenGossipProgram(
+                origin=network.node_id(node),
+                value=network.node_id(node),
+                horizon=horizon,
+                variant=variant,
+                votes=votes,
+            )
+
+        return build
+
+    reports = []
+    for rate in corruption_rates:
+        for variant in variants:
+            plan = AdversaryPlan(corruption_probability=rate, kinds=kinds)
+            run = Scenario(
+                topology=graph,
+                program=builder_for(variant),
+                seed=seed,
+                adversary_plan=plan,
+                name=f"gossip-corruption-{variant}",
+            ).run()
+            network = run.network
+            truth = {
+                network.node_id(v): network.node_id(v)
+                for v in network.nodes
+            }
+            slots = network.n * network.n
+            correct = 0
+            wrong = 0
+            for v in network.nodes:
+                committed = dict(run.result.output_of(v))
+                for origin, value in committed.items():
+                    if truth.get(origin) == value:
+                        correct += 1
+                    else:
+                        wrong += 1
+            metrics = run.result.metrics
+            reports.append(
+                CorruptionReport(
+                    label=f"gossip-{variant} p={rate:g}",
+                    variant=variant,
+                    corruption_rate=rate,
+                    coverage=correct / slots,
+                    wrong_rate=wrong / slots,
+                    completed=correct == slots,
+                    rounds=metrics.rounds,
+                    messages=metrics.messages,
+                    bits=metrics.bits,
+                )
+            )
+    return reports

@@ -179,6 +179,103 @@ def _parse_crash_spec(specs: List[str]):
     return crash_rounds
 
 
+def _load_drop_schedule(path: str):
+    """``--drop-schedule`` file → FaultPlan schedule dict.
+
+    The file is a JSON list of ``[sender, receiver, [round, …]]`` rows
+    (JSON-native node labels, so int nodes stay ints). Directed: a row
+    silences only the ``sender → receiver`` half of an edge.
+    """
+    import json
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            rows = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise GraphValidationError(
+            f"cannot read drop schedule {path!r}: {exc}"
+        ) from exc
+    if not isinstance(rows, list):
+        raise GraphValidationError(
+            "drop schedule must be a JSON list of [sender, receiver, "
+            "[rounds…]] rows"
+        )
+    schedule = {}
+    for row in rows:
+        if not isinstance(row, list) or len(row) != 3:
+            raise GraphValidationError(
+                f"bad drop-schedule row {row!r}; expected "
+                "[sender, receiver, [rounds…]]"
+            )
+        sender, receiver, rounds = row
+        if not isinstance(rounds, list):
+            raise GraphValidationError(
+                f"bad rounds list in drop-schedule row {row!r}"
+            )
+        key = (sender, receiver)
+        schedule[key] = frozenset(rounds) | schedule.get(key, frozenset())
+    return schedule
+
+
+def _load_corrupt_targets(path: str):
+    """``--corrupt-targets`` file → frozenset of directed pairs."""
+    import json
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            rows = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise GraphValidationError(
+            f"cannot read corruption targets {path!r}: {exc}"
+        ) from exc
+    if not isinstance(rows, list):
+        raise GraphValidationError(
+            "corruption targets must be a JSON list of [sender, receiver] "
+            "pairs"
+        )
+    targets = set()
+    for row in rows:
+        if not isinstance(row, list) or len(row) != 2:
+            raise GraphValidationError(
+                f"bad corruption-target row {row!r}; expected "
+                "[sender, receiver]"
+            )
+        targets.add((row[0], row[1]))
+    return frozenset(targets)
+
+
+def _build_adversary_plan(args: argparse.Namespace):
+    """The CLI's ``--corrupt-*`` flags → AdversaryPlan (or None)."""
+    configured = (
+        args.corrupt_rate > 0.0
+        or args.corrupt_kind
+        or args.corrupt_budget is not None
+        or args.corrupt_round_budget is not None
+        or args.corrupt_targets is not None
+        or args.corrupt_seed is not None
+    )
+    if not configured:
+        return None
+    if args.corrupt_rate <= 0.0:
+        raise GraphValidationError(
+            "--corrupt-* flags need --corrupt-rate > 0 to take effect"
+        )
+    from repro.simulator.adversary import AdversaryPlan
+
+    return AdversaryPlan(
+        corruption_probability=args.corrupt_rate,
+        kinds=tuple(args.corrupt_kind) or ("flip",),
+        targets=(
+            _load_corrupt_targets(args.corrupt_targets)
+            if args.corrupt_targets is not None
+            else None
+        ),
+        budget=args.corrupt_budget,
+        round_budget=args.corrupt_round_budget,
+        rng=args.corrupt_seed,
+    )
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.simulator.faults import FaultPlan
     from repro.simulator.scenario import available_programs
@@ -196,11 +293,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             "a graph spec is required (or pass --list-programs)"
         )
     plan = None
-    if args.drop > 0.0 or args.crash:
+    schedule = (
+        _load_drop_schedule(args.drop_schedule)
+        if args.drop_schedule is not None
+        else {}
+    )
+    if args.drop > 0.0 or args.crash or schedule:
         plan = FaultPlan(
             drop_probability=args.drop,
             crash_rounds=_parse_crash_spec(args.crash),
+            drop_schedule=schedule,
         )
+    adversary = _build_adversary_plan(args)
     if args.engine is not None:
         # Validate eagerly so a typo fails with the engine menu before
         # any graph work happens (mirrors the graph-family errors).
@@ -215,11 +319,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"(got engine {args.engine or 'indexed'!r})"
         )
     session = GraphSession(args.graph)
+    if schedule and args.model != "congested-clique":
+        # A typo'd node in a schedule file would silently schedule drops
+        # on a nonexistent edge (the clique is exempt: every ordered
+        # pair is deliverable there).
+        from repro.apps.resilience import validate_schedule_edges
+
+        validate_schedule_edges(session.graph, schedule)
     envelope = session.simulate(
         program=args.program,
         model=args.model,
         seed=args.seed,
         fault_plan=plan,
+        adversary_plan=adversary,
         max_rounds=args.max_rounds,
         trace=args.trace,
         engine=args.engine,
@@ -233,6 +345,32 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"graph: {args.graph}  n={envelope.n}  m={envelope.m}")
     print(f"program: {payload['program']} — {payload['description']}")
     print(f"model:   {payload['model']}   engine: {payload['engine']}")
+    if plan is not None:
+        print(
+            f"faults:  drop={plan.drop_probability:g} "
+            f"crashes={len(plan.crash_rounds)} "
+            f"scheduled_edges={len(plan.drop_schedule)}"
+        )
+    if adversary is not None:
+        print(
+            f"adversary: rate={adversary.corruption_probability:g} "
+            f"kinds={','.join(adversary.kinds)}"
+            + (
+                f" budget={adversary.budget}"
+                if adversary.budget is not None
+                else ""
+            )
+            + (
+                f" round_budget={adversary.round_budget}"
+                if adversary.round_budget is not None
+                else ""
+            )
+            + (
+                f" targets={len(adversary.targets)}"
+                if adversary.targets is not None
+                else ""
+            )
+        )
     print(f"rounds:   {payload['rounds']}  (halted: {payload['halted']})")
     print(f"messages: {payload['messages']}   bits: {payload['bits']}")
     print(f"max message: {payload['max_message_bits']} bits")
@@ -304,6 +442,7 @@ _EXPERIMENTS = [
     ("E24", "bench_cds_packing", "CDS kernel speed (indexed vs reference)"),
     ("E25", "bench_api", "session-cached pipeline vs per-call canonicalization"),
     ("E26", "bench_simulator", "sharded-engine scale sweep (n up to 5000)"),
+    ("E27", "bench_resilience", "adversarial channels: coded vs uncoded flood"),
     ("F1-F3", "bench_figures", "paper figures (text renderings)"),
     ("A1-A5", "bench_ablation", "design-choice ablations"),
 ]
@@ -429,6 +568,44 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--crash", action="append", default=[], metavar="NODE:ROUND",
         help="crash-stop a node at a round (repeatable)",
+    )
+    simulate.add_argument(
+        "--drop-schedule", default=None, metavar="FILE",
+        help=(
+            "JSON file of [sender, receiver, [rounds…]] rows: destroy "
+            "those directed deliveries deterministically (edges are "
+            "validated against the graph)"
+        ),
+    )
+    simulate.add_argument(
+        "--corrupt-rate", type=float, default=0.0, metavar="P",
+        help=(
+            "per-delivery corruption probability (adversarial channel; "
+            "pure function of seed × edge × round)"
+        ),
+    )
+    simulate.add_argument(
+        "--corrupt-kind", action="append", default=[],
+        choices=["flip", "forge", "replay"],
+        help="corruption kind(s) the adversary draws from (repeatable; "
+             "default: flip)",
+    )
+    simulate.add_argument(
+        "--corrupt-budget", type=int, default=None, metavar="N",
+        help="cap corrupted edge-round slots over the whole run",
+    )
+    simulate.add_argument(
+        "--corrupt-round-budget", type=int, default=None, metavar="N",
+        help="cap corrupted edge-slots per round",
+    )
+    simulate.add_argument(
+        "--corrupt-targets", default=None, metavar="FILE",
+        help="JSON list of [sender, receiver] pairs the adversary "
+             "controls (others stay honest)",
+    )
+    simulate.add_argument(
+        "--corrupt-seed", type=int, default=None,
+        help="explicit adversary seed (default: derived from --seed)",
     )
     simulate.add_argument("--max-rounds", type=int, default=100000)
     simulate.add_argument(

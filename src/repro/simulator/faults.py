@@ -57,6 +57,14 @@ from repro.utils.rng import RngLike, ensure_rng, fresh_seed
 # A directed delivery: (sender, receiver).
 DirectedEdge = Tuple[Hashable, Hashable]
 
+#: Bound on the per-edge digest-prefix cache. A million-delivery sweep
+#: over a large clique visits O(n²) directed edges; retaining state per
+#: edge forever would grow the plan without limit, so the cache is
+#: cleared wholesale when full (same policy as the payload-size memo in
+#: :mod:`repro.simulator.message`) — correctness is unaffected because
+#: the prefix is a pure function of (seed, edge).
+_EDGE_PREFIX_CACHE_MAX = 1 << 16
+
 
 @dataclass
 class FaultPlan:
@@ -124,8 +132,11 @@ class FaultPlan:
             self._drop_seed = rng
         else:
             self._drop_seed = fresh_seed(ensure_rng(rng))
-        # Per-edge hash prefixes, derived lazily from the bound seed.
-        self._edge_hashers: Dict[DirectedEdge, "hashlib._Hash"] = {}
+        # Per-edge digest-prefix *bytes* (not hasher objects — a retained
+        # hashlib handle per edge is both heavier and unpicklable),
+        # derived lazily from the bound seed and bounded by
+        # :data:`_EDGE_PREFIX_CACHE_MAX`.
+        self._edge_prefixes: Dict[DirectedEdge, bytes] = {}
 
     def reseed(self, rng: RngLike) -> "FaultPlan":
         """Rebind the plan's drop randomness (returns self).
@@ -167,16 +178,41 @@ class FaultPlan:
         if self.drop_probability <= 0.0:
             return False
         edge = (sender, receiver)
-        hasher = self._edge_hashers.get(edge)
-        if hasher is None:
-            hasher = hashlib.sha256(
-                f"{self._drop_seed}|{sender!r}->{receiver!r}|".encode("utf-8")
+        prefix = self._edge_prefixes.get(edge)
+        if prefix is None:
+            prefix = f"{self._drop_seed}|{sender!r}->{receiver!r}|".encode(
+                "utf-8"
             )
-            self._edge_hashers[edge] = hasher
-        coin = hasher.copy()
-        coin.update(str(round_no).encode("ascii"))
+            if len(self._edge_prefixes) >= _EDGE_PREFIX_CACHE_MAX:
+                self._edge_prefixes.clear()
+            self._edge_prefixes[edge] = prefix
+        coin = hashlib.sha256(prefix + str(round_no).encode("ascii"))
         draw = int.from_bytes(coin.digest()[:8], "big") / 2.0**64
         return draw < self.drop_probability
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-clean summary of the plan's configuration (the bound
+        seed included, so a result envelope pins the exact loss
+        pattern). ``drop_schedule`` serializes as a sorted list of
+        ``[sender, receiver, [rounds…]]`` rows — JSON objects cannot key
+        on tuples."""
+        return {
+            "drop_probability": self.drop_probability,
+            "crash_rounds": {
+                repr(node): round_no
+                for node, round_no in sorted(
+                    self.crash_rounds.items(), key=repr
+                )
+            },
+            "drop_schedule": sorted(
+                (
+                    [edge[0], edge[1], sorted(rounds)]
+                    for edge, rounds in self.drop_schedule.items()
+                ),
+                key=repr,
+            ),
+            "seed": self._drop_seed,
+        }
 
 
 class RetransmittingFloodProgram(NodeProgram):

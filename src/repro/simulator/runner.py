@@ -198,6 +198,7 @@ class SyncRunner:
         bits_per_message: Optional[int] = None,
         rng: RngLike = None,
         fault_plan=None,
+        adversary_plan=None,
         transport: Optional[Transport] = None,
         engine: Optional[str] = None,
         shards: Optional[int] = None,
@@ -224,6 +225,19 @@ class SyncRunner:
             if getattr(fault_plan, "rng", 0) is None:
                 fault_plan.reseed(fresh_seed(self._rng))
         self.fault_plan = fault_plan
+        # Optional repro.simulator.adversary.AdversaryPlan; None = honest
+        # channels. Seed derivation mirrors the fault plan's, drawn
+        # *after* it — the fixed draw order every engine shares, so one
+        # run seed reproduces both plans.
+        if adversary_plan is not None:
+            if getattr(adversary_plan, "rng", 0) is None:
+                adversary_plan.reseed(fresh_seed(self._rng))
+            adversary_plan.bind(
+                network,
+                complete=getattr(self.transport, "name", "")
+                == "congested-clique",
+            )
+        self.adversary_plan = adversary_plan
         self.engine = engine
         if shards is not None and shards < 1:
             raise SimulationError(f"shards must be >= 1, got {shards}")
@@ -243,6 +257,11 @@ class SyncRunner:
         ``max_rounds`` is exceeded — runaway protocols are bugs.
         """
         engine = _require_engine(self.engine or _DEFAULT_ENGINE)
+        if self.adversary_plan is not None:
+            # Per-run state (the replay history) resets here — parent
+            # side, before any multiprocess engine forks — so a reused
+            # plan object never leaks one run's traffic into the next.
+            self.adversary_plan.begin_run()
         return engine(self, program_factory, max_rounds, quiescence_halts)
 
 
@@ -298,6 +317,7 @@ def _run_indexed(
     net = runner.network
     transport = runner.transport
     plan = runner.fault_plan
+    adversary = runner.adversary_plan
     nodes = net.nodes  # index → label, frozen for the run
     n = len(nodes)
     runner_rng = runner._rng
@@ -357,7 +377,7 @@ def _run_indexed(
             if out[0] is BROADCAST:
                 message = out[1]
                 bits = message.bits
-                if plan is None:
+                if plan is None and adversary is None:
                     targets = fanout_table[s]
                     for r in targets:
                         box = inboxes[r]
@@ -368,12 +388,21 @@ def _run_indexed(
                 else:
                     delivered = 0
                     for r in fanout_table[s]:
-                        if plan.drops(sender, nodes[r], round_no):
+                        receiver = nodes[r]
+                        if plan is not None and plan.drops(
+                            sender, receiver, round_no
+                        ):
                             continue
                         box = inboxes[r]
                         if not box:
                             touched.append(r)
-                        box[sender] = message
+                        box[sender] = (
+                            message
+                            if adversary is None
+                            else adversary.apply(
+                                sender, receiver, round_no, message
+                            )
+                        )
                         delivered += 1
                 if delivered:
                     round_messages += delivered
@@ -382,14 +411,25 @@ def _run_indexed(
                         round_max_bits = bits
             else:
                 for r, message in out:
+                    receiver = nodes[r]
                     if plan is not None and plan.drops(
-                        sender, nodes[r], round_no
+                        sender, receiver, round_no
                     ):
                         continue
                     box = inboxes[r]
                     if not box:
                         touched.append(r)
-                    box[sender] = message
+                    box[sender] = (
+                        message
+                        if adversary is None
+                        else adversary.apply(
+                            sender, receiver, round_no, message
+                        )
+                    )
+                    # Accounting charges the honest transmission — the
+                    # adversary tampers on the wire, after the sender
+                    # paid for (and the budget validated) the real
+                    # message.
                     round_messages += 1
                     round_bits += message.bits
                     if message.bits > round_max_bits:

@@ -58,6 +58,7 @@ def _run_reference(
         )
     net = runner.network
     plan = runner.fault_plan
+    adversary = runner.adversary_plan
     if plan is not None and getattr(plan, "drop_schedule", None):
         # The legacy loop predates per-edge drop schedules; running one
         # here would silently report a fault-free run.
@@ -98,7 +99,14 @@ def _run_reference(
             for receiver, message in traffic.items():
                 if plan is not None and plan.drops(sender, receiver, round_no):
                     continue
-                inboxes[receiver][sender] = message
+                inboxes[receiver][sender] = (
+                    message
+                    if adversary is None
+                    else adversary.apply(sender, receiver, round_no, message)
+                )
+                # Metrics charge the honest transmission, never the
+                # corrupted replacement — same contract as the indexed
+                # engine.
                 round_messages += 1
                 round_bits += message.bits
                 if message.bits > round_max_bits:

@@ -183,6 +183,7 @@ def _worker_main(
         net = runner.network
         transport = runner.transport
         plan = runner.fault_plan
+        adversary = runner.adversary_plan
         nodes = net.nodes
         n = len(nodes)
         validate = transport.validate
@@ -314,7 +315,16 @@ def _worker_main(
                 box = inboxes[r - lo]
                 if not box:
                     touched.append(r - lo)
-                box[nodes[s]] = message
+                # Corruption is applied by the *receiver-owning* worker:
+                # each directed edge has exactly one owner, so replay
+                # histories partition cleanly across shards, and the
+                # decision itself is a pure function of (seed, edge,
+                # round) — identical in every worker layout.
+                box[nodes[s]] = (
+                    message
+                    if adversary is None
+                    else adversary.apply(nodes[s], nodes[r], round_no, message)
+                )
 
             # -- phase B: execute this shard's live nodes --------------
             halts = 0

@@ -29,6 +29,7 @@ import networkx as nx
 
 from repro.errors import GraphValidationError
 from repro.fastgraph import IndexedGraph
+from repro.simulator.adversary import AdversaryPlan
 from repro.simulator.faults import FaultPlan
 from repro.simulator.network import Network
 from repro.simulator.node import NodeProgram
@@ -131,6 +132,8 @@ class Scenario:
     ``model`` — communication model (``None``: the program's default);
     ``fault_plan`` — optional :class:`FaultPlan` (its RNG is derived
     from ``seed`` when unset, so one seed pins the faulty run);
+    ``adversary_plan`` — optional :class:`AdversaryPlan` corrupting
+    delivered payloads (seed derivation as for ``fault_plan``);
     ``trace`` — record a :class:`RoundTrace` alongside the result;
     ``engine`` — round-loop implementation (``None``: module default);
     ``shards`` — worker-process count for multiprocess engines
@@ -148,6 +151,7 @@ class Scenario:
     seed: RngLike = 0
     bits_per_message: Optional[int] = None
     fault_plan: Optional[FaultPlan] = None
+    adversary_plan: Optional[AdversaryPlan] = None
     max_rounds: int = 100000
     trace: bool = False
     engine: Optional[str] = None
@@ -218,6 +222,7 @@ class Scenario:
             bits_per_message=self.bits_per_message,
             rng=rand,
             fault_plan=plan,
+            adversary_plan=self.adversary_plan,
             transport=self.transport,
             engine=self.engine,
             shards=self.shards,
@@ -241,6 +246,12 @@ class Scenario:
             raise GraphValidationError(
                 f"program {program.name!r} is a composite driver and does "
                 "not support fault plans"
+            )
+        if self.adversary_plan is not None:
+            raise GraphValidationError(
+                f"program {program.name!r} is a composite driver and does "
+                "not support adversary plans (drivers that model corruption "
+                "build their own plans internally)"
             )
         if self.transport is not None:
             raise GraphValidationError(
@@ -381,6 +392,153 @@ register_program(
         description="global minimum in one Congested-Clique round",
         build=_clique_min_builder,
         model=Model.CONGESTED_CLIQUE,
+    )
+)
+
+
+def _coded_flood_builder(variant: str) -> ProgramBuilder:
+    def build(network: Network) -> ProgramFactory:
+        from repro.apps.coded import (
+            ChecksummedFloodProgram,
+            VotedFloodProgram,
+        )
+
+        horizon = 2 * network.diameter() + 4
+        if variant == "checksum":
+            return lambda node: ChecksummedFloodProgram(
+                network.node_id(node), horizon=horizon
+            )
+        return lambda node: VotedFloodProgram(
+            network.node_id(node), horizon=horizon + 2, votes=2
+        )
+
+    return build
+
+
+def _gossip_builder(variant: str) -> ProgramBuilder:
+    def build(network: Network) -> ProgramFactory:
+        from repro.apps.coded import TokenGossipProgram
+
+        horizon = network.n * (network.diameter() + 1) + 4
+        return lambda node: TokenGossipProgram(
+            origin=network.node_id(node),
+            value=network.node_id(node),
+            horizon=horizon,
+            variant=variant,
+        )
+
+    return build
+
+
+register_program(
+    ScenarioProgram(
+        name="flood-checksum",
+        description="min flood with checksummed drop-on-bad payloads",
+        build=_coded_flood_builder("checksum"),
+    )
+)
+register_program(
+    ScenarioProgram(
+        name="flood-vote",
+        description="min flood committing values after 2 sightings",
+        build=_coded_flood_builder("vote"),
+    )
+)
+register_program(
+    ScenarioProgram(
+        name="gossip-tokens",
+        description="all-to-all token gossip, first claim wins (uncoded)",
+        build=_gossip_builder("plain"),
+    )
+)
+register_program(
+    ScenarioProgram(
+        name="gossip-checksum",
+        description="token gossip dropping checksum-invalid tokens",
+        build=_gossip_builder("checksum"),
+    )
+)
+register_program(
+    ScenarioProgram(
+        name="gossip-vote",
+        description="token gossip committing tokens after 2 sightings",
+        build=_gossip_builder("vote"),
+    )
+)
+
+
+def _resilience_sweep_driver(
+    network: Network,
+    model: Model = Model.V_CONGEST,
+    rng: RngLike = None,
+    tracer=None,
+    max_rounds: int = 100000,
+) -> "SimulationResult":
+    """Composite driver: a small corruption grid on the given network.
+
+    Runs the uncoded/checksum/vote floods under a clean channel and a
+    flip adversary, one inner :class:`SyncRunner` per point sharing one
+    RNG stream (so the whole grid reproduces from one seed on every
+    engine). Outputs are per-point summary dicts keyed by
+    ``"{variant}@p={rate}"``; metrics are the merged cost of the grid.
+    """
+    from repro.apps.coded import ChecksummedFloodProgram, VotedFloodProgram
+    from repro.simulator.faults import RetransmittingFloodProgram
+    from repro.simulator.metrics import SimulationMetrics
+
+    rand = ensure_rng(rng)
+    horizon = 4 * network.diameter() + 8
+    factories = {
+        "uncoded": lambda node: RetransmittingFloodProgram(
+            network.node_id(node), horizon=horizon
+        ),
+        "checksum": lambda node: ChecksummedFloodProgram(
+            network.node_id(node), horizon=horizon
+        ),
+        "vote": lambda node: VotedFloodProgram(
+            network.node_id(node), horizon=horizon, votes=2
+        ),
+    }
+    true_min = min(network.node_id(v) for v in network.nodes)
+    outputs: Dict[Hashable, Any] = {}
+    merged = SimulationMetrics()
+    halted = True
+    for rate in (0.0, 0.05):
+        for variant, factory in factories.items():
+            plan = AdversaryPlan(corruption_probability=rate)
+            runner = SyncRunner(
+                network, model=model, rng=rand, adversary_plan=plan
+            )
+            wrapped = tracer.wrap(factory) if tracer is not None else factory
+            result = runner.run(wrapped, max_rounds=max_rounds)
+            holders = sum(
+                1
+                for v in network.nodes
+                if result.output_of(v) == true_min
+            )
+            poisoned = sum(
+                1
+                for v in network.nodes
+                if isinstance(result.output_of(v), int)
+                and result.output_of(v) < true_min
+            )
+            outputs[f"{variant}@p={rate:g}"] = {
+                "coverage": holders / network.n,
+                "wrong_rate": poisoned / network.n,
+                "rounds": result.metrics.rounds,
+                "messages": result.metrics.messages,
+                "bits": result.metrics.bits,
+            }
+            merged.merge(result.metrics)
+            halted = halted and result.halted
+    return SimulationResult(outputs=outputs, metrics=merged, halted=halted)
+
+
+register_program(
+    ScenarioProgram(
+        name="resilience-sweep",
+        description="corruption grid: coded vs uncoded flood coverage",
+        driver=_resilience_sweep_driver,
     )
 )
 

@@ -614,3 +614,131 @@ class TestShardedFaultEquivalence:
     def test_unseeded_plan_derives_from_run_seed(self):
         runs = self._both(lambda net: FaultPlan(drop_probability=0.4))
         _assert_same_result(runs["indexed"], runs["sharded"])
+
+
+# ----------------------------------------------------------------------
+# The corrupted matrix: adversarial scenarios across every engine
+# ----------------------------------------------------------------------
+
+# Each row: (id, program, model, AdversaryPlan kwargs). Plans are built
+# fresh per run (replay history is per-execution state); seeds derive
+# from the scenario seed, so every engine binds the same plan seed.
+_CORRUPTED_CASES = [
+    (
+        "flip-flood-vcongest",
+        "retransmit-flood",
+        Model.V_CONGEST,
+        {"corruption_probability": 0.25, "kinds": ("flip",)},
+    ),
+    (
+        "flip-flood-clique",
+        "retransmit-flood",
+        Model.CONGESTED_CLIQUE,
+        {"corruption_probability": 0.25, "kinds": ("flip",)},
+    ),
+    (
+        "allkinds-flood",
+        "retransmit-flood",
+        Model.V_CONGEST,
+        {
+            "corruption_probability": 0.3,
+            "kinds": ("flip", "forge", "replay"),
+        },
+    ),
+    (
+        "budgeted-coded-flood",
+        "flood-vote",
+        Model.V_CONGEST,
+        {
+            "corruption_probability": 0.5,
+            "kinds": ("flip",),
+            "budget": 9,
+            "round_budget": 3,
+        },
+    ),
+    (
+        "targeted-gossip",
+        "gossip-checksum",
+        Model.V_CONGEST,
+        {
+            "corruption_probability": 1.0,
+            "kinds": ("flip", "forge"),
+            # Circulant edges of harary:4,12 — real links of the graph.
+            "targets": frozenset({(0, 1), (1, 0), (0, 2)}),
+        },
+    ),
+]
+
+
+def _run_corrupted_case(program: str, model: Model, engine: str, plan_kwargs):
+    from repro.simulator.adversary import AdversaryPlan
+    from repro.simulator.scenario import Scenario
+
+    run = Scenario(
+        topology=MATRIX_GRAPH,
+        program=program,
+        model=model,
+        seed=MATRIX_SEED,
+        adversary_plan=AdversaryPlan(**plan_kwargs),
+        trace=True,
+        engine=engine,
+        shards=MATRIX_SHARDS if engine == "sharded" else None,
+        max_rounds=2000,
+    ).run()
+    metrics = run.result.metrics
+    return {
+        "outputs": list(run.result.outputs.items()),
+        "halted": run.result.halted,
+        "metrics": (
+            metrics.rounds,
+            metrics.messages,
+            metrics.bits,
+            metrics.max_message_bits,
+            sorted(metrics.phase_rounds.items()),
+        ),
+        "trace": [repr(event) for event in run.trace.events],
+    }
+
+
+class TestCorruptedDifferentialMatrix:
+    """The oracle discipline extended to hostile channels: every
+    corrupted scenario must behave byte-identically on every engine —
+    the corruption decisions, budget slots, and replay histories are
+    part of the determinism contract, not an excuse to diverge."""
+
+    @pytest.mark.parametrize(
+        "program,model,plan_kwargs",
+        [(p, m, k) for _, p, m, k in _CORRUPTED_CASES],
+        ids=[case_id for case_id, _, _, _ in _CORRUPTED_CASES],
+    )
+    def test_reference_matches_indexed(self, program, model, plan_kwargs):
+        if model is Model.CONGESTED_CLIQUE:
+            pytest.skip("the reference loop predates the clique transport")
+        baseline = _run_corrupted_case(program, model, "indexed", plan_kwargs)
+        other = _run_corrupted_case(program, model, "reference", plan_kwargs)
+        assert other == baseline
+
+    @pytest.mark.skipif(not SHARDED_TESTS_OK, reason=SHARDED_SKIP_REASON)
+    @pytest.mark.parametrize(
+        "program,model,plan_kwargs",
+        [(p, m, k) for _, p, m, k in _CORRUPTED_CASES],
+        ids=[case_id for case_id, _, _, _ in _CORRUPTED_CASES],
+    )
+    def test_sharded_matches_indexed(self, program, model, plan_kwargs):
+        baseline = _run_corrupted_case(program, model, "indexed", plan_kwargs)
+        other = _run_corrupted_case(program, model, "sharded", plan_kwargs)
+        assert other == baseline
+
+    def test_corruption_changes_the_clean_run(self):
+        """The matrix rows are not vacuous: the hostile run differs from
+        the clean run of the same seed."""
+        clean = _run_matrix_case(
+            "retransmit-flood", Model.V_CONGEST, "indexed"
+        )
+        hostile = _run_corrupted_case(
+            "retransmit-flood",
+            Model.V_CONGEST,
+            "indexed",
+            {"corruption_probability": 0.25, "kinds": ("flip",)},
+        )
+        assert hostile["outputs"] != clean["outputs"]

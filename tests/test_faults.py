@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import networkx as nx
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.errors import GraphValidationError
 from repro.graphs.generators import harary_graph
@@ -211,6 +213,90 @@ class TestDropOrderIndependence:
         assert (
             outcomes["indexed"].metrics.messages
             == outcomes["reference"].metrics.messages
+        )
+
+
+class TestDropPurityProperties:
+    """Hypothesis pins the purity contract over arbitrary edge/round
+    universes: a drop decision is a function of (seed, directed edge,
+    round) alone — query order, interleaving, and plan object identity
+    are invisible to it. This is the exact contract the sharded engine
+    leans on when workers evaluate drops shard-locally."""
+
+    edges = st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=30),
+            st.integers(min_value=0, max_value=30),
+        ).filter(lambda e: e[0] != e[1]),
+        min_size=1,
+        max_size=12,
+        unique=True,
+    )
+
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        edges=edges,
+        seed=st.integers(min_value=0, max_value=2**32),
+        order=st.randoms(use_true_random=False),
+    )
+    def test_drops_invariant_under_delivery_order(self, edges, seed, order):
+        baseline = FaultPlan(drop_probability=0.5, rng=seed)
+        probe = FaultPlan(drop_probability=0.5, rng=seed)
+        queries = [(e, r) for e in edges for r in range(1, 9)]
+        want = {
+            (e, r): baseline.drops(e[0], e[1], r) for e, r in queries
+        }
+        order.shuffle(queries)
+        for e, r in queries:
+            assert probe.drops(e[0], e[1], r) == want[(e, r)]
+
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=2**32))
+    def test_reseed_same_int_restores_decisions(self, seed):
+        plan = FaultPlan(drop_probability=0.5, rng=seed)
+        queries = [("u", "v", r) for r in range(1, 17)] + [
+            ("v", "w", r) for r in range(1, 17)
+        ]
+        first = [plan.drops(*q) for q in queries]
+        plan.reseed(seed)
+        assert [plan.drops(*q) for q in queries] == first
+
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32),
+        round_no=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_fresh_plan_objects_agree(self, seed, round_no):
+        a = FaultPlan(drop_probability=0.5, rng=seed)
+        b = FaultPlan(drop_probability=0.5, rng=seed)
+        assert a.drops("x", "y", round_no) == b.drops("x", "y", round_no)
+
+
+class TestEdgePrefixCacheBound:
+    def test_edge_prefix_cache_stays_bounded(self):
+        """The per-edge digest-prefix cache holds plain bytes (never
+        hashlib objects) and is cleared wholesale at its bound, so a
+        sweep over an unbounded edge universe cannot grow the plan."""
+        from repro.simulator import faults as faults_mod
+
+        plan = FaultPlan(drop_probability=0.5, rng=1)
+        old = faults_mod._EDGE_PREFIX_CACHE_MAX
+        faults_mod._EDGE_PREFIX_CACHE_MAX = 64
+        try:
+            for u in range(40):
+                for v in range(5):
+                    plan.drops(u, ("sink", v), 1)
+            assert len(plan._edge_prefixes) <= 64
+            assert all(
+                isinstance(prefix, bytes)
+                for prefix in plan._edge_prefixes.values()
+            )
+        finally:
+            faults_mod._EDGE_PREFIX_CACHE_MAX = old
+        # Decisions are unchanged by cache eviction.
+        fresh = FaultPlan(drop_probability=0.5, rng=1)
+        assert plan.drops(3, ("sink", 2), 1) == fresh.drops(
+            3, ("sink", 2), 1
         )
 
 
