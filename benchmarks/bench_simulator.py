@@ -3,26 +3,41 @@
 Measures the registered engines against each other on workloads built
 through the scenario layer:
 
-* **flooding** — extremum flood on a random 8-regular graph: the
+* **flooding** — extremum flood on a random regular graph: the
   saturated-broadcast hot path (every node transmits in round 1, traffic
-  decays as the extremum spreads). Runs ``indexed`` vs ``reference``
-  vs ``sharded`` (the multiprocess engine, where the platform can fork);
-  the reference loop is only timed up to n = 1000 — past that it only
-  slows the sweep down without informing it.
+  decays as the extremum spreads). Two regimes:
+
+  - n ≤ 1000 rows stay 8-regular, continuous with the sweeps of earlier
+    revisions;
+  - the n = 2000/5000 scale rows run 128-regular — the dense regime the
+    columnar message plane targets (the all-to-all traffic of the
+    queued clique-listing/spanner workloads is the limit of it), where
+    per-delivery costs dominate and engine differences are real rather
+    than fixed-cost noise. Every row records its ``degree``.
+
+  Runs ``indexed`` vs ``reference`` vs ``vectorized`` (the columnar
+  numpy engine, where numpy imports) vs ``sharded`` (the multiprocess
+  engine, where the platform can fork); the reference loop is only
+  timed up to n = 1000 — past that it only slows the sweep down without
+  informing it.
 * **shared-mst** — :func:`simultaneous_msts` over a 2-part Karger edge
   partition: the composite Lemma 5.1 workload (subgraph floods, BFS,
-  pipelined upcast) that chains many simulations end to end
-  (``indexed`` vs ``reference``).
+  pipelined upcast) that chains many simulations end to end.
 
-Flooding runs at n ∈ {100, 500, 1000, 2000, 5000}; the n = 2000/5000
-rows are the scale points of the sharded engine (E26): with ≥ 4 workers
-on real cores the acceptance gate is **≥ 1.5× rounds/sec over the
-indexed engine at n = 5000**. The ``workers`` field records how many
-processes actually ran — on a single-core machine the sharded rows
-measure pure barrier overhead (speedup < 1) and say so honestly.
+Acceptance gates (non-quick runs, E26/E28):
+
+* sharded: ≥ 1.5× rounds/sec over ``indexed`` at flooding n = 5000 with
+  ≥ 4 workers on real cores (the ``workers`` field records what
+  actually ran; single-core rows measure barrier overhead honestly).
+* vectorized: **≥ 3× rounds/sec over ``indexed`` at flooding n = 5000**
+  — asserted whenever both engines run the row, so a regression fails
+  the bench loudly.
 
 Every row asserts identical outputs and round counts across engines
 (the equivalence suites pin full bit-identity; this bench pins speed).
+
+``--engines`` filters the timed engines (comma-separated); unknown
+names fail with the engine registry's own listing message.
 
 Run from the repo root::
 
@@ -40,7 +55,7 @@ import os
 import pathlib
 import platform
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
@@ -48,9 +63,23 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 #: this n it is dropped from the timing sweep.
 REFERENCE_MAX_N = 1000
 
+#: Scale rows (n > this) run the dense regime targeted by the columnar
+#: plane; smaller rows keep the historical sparse sweep.
+SPARSE_MAX_N = 1000
+SPARSE_DEGREE = 8
+DENSE_DEGREE = 128
+
+#: The E28 gate: vectorized rounds/sec over indexed at flooding n=5000.
+VECTORIZED_GATE_N = 5000
+VECTORIZED_GATE_SPEEDUP = 3.0
+
 
 def _flood_sizes(quick: bool):
     return (24, 60) if quick else (100, 500, 1000, 2000, 5000)
+
+
+def _flood_degree(n: int) -> int:
+    return SPARSE_DEGREE if n <= SPARSE_MAX_N else DENSE_DEGREE
 
 
 def _mst_sizes(quick: bool):
@@ -63,10 +92,31 @@ def _default_workers() -> int:
 
 def _flood_engines(workers: int):
     from repro.simulator.runner_sharded import fork_available
+    from repro.simulator.runner_vectorized import numpy_available
 
     engines = ["indexed", "reference"]
+    if numpy_available():
+        engines.append("vectorized")
     if fork_available() and workers >= 1:
         engines.append("sharded")
+    return engines
+
+
+def resolve_engine_filter(spec: Optional[str]) -> Optional[List[str]]:
+    """Parse a comma-separated ``--engines`` filter.
+
+    Each name is validated through the runner registry, so a typo fails
+    with the same engine-listing message ``SyncRunner`` itself gives.
+    """
+    if spec is None:
+        return None
+    from repro.simulator.runner import _require_engine
+
+    engines = [name.strip() for name in spec.split(",") if name.strip()]
+    if not engines:
+        raise ValueError("--engines got an empty engine list")
+    for name in engines:
+        _require_engine(name)  # SimulationError lists registered engines
     return engines
 
 
@@ -89,7 +139,7 @@ def _flood_rounds_per_sec(
             network, rng=seed, engine=engine, shards=shards
         ).run(factory)
 
-    once()  # warmup
+    once()  # warmup (also builds the vectorized plane cache)
     rounds = 0
     start = time.perf_counter()
     for _ in range(repeats):
@@ -124,11 +174,20 @@ def _engine_cell(rounds: int, elapsed: float) -> Dict:
     }
 
 
+def _speedup(per_engine: Dict, engine: str, baseline: str = "indexed"):
+    return round(
+        per_engine[engine]["rounds_per_sec"]
+        / per_engine[baseline]["rounds_per_sec"],
+        2,
+    )
+
+
 def run(
     quick: bool = False,
     repeats: int = 10,
     seed: int = 3,
     workers: Optional[int] = None,
+    engines: Optional[Sequence[str]] = None,
 ) -> Dict:
     from repro.graphs.generators import random_regular_connected
 
@@ -136,94 +195,117 @@ def run(
         workers = _default_workers()
     rows: List[Dict] = []
 
-    # -- flooding: the engine shoot-out, up to the E26 scale points ----
+    # -- flooding: the engine shoot-out, up to the E26/E28 scale points --
     flood_engines = _flood_engines(workers)
+    if engines is not None:
+        flood_engines = [e for e in flood_engines if e in engines]
     for n in _flood_sizes(quick):
-        graph = random_regular_connected(8, n, rng=1)
+        degree = _flood_degree(n) if not quick else SPARSE_DEGREE
+        graph = random_regular_connected(degree, n, rng=1)
         # Big graphs amortize fixed costs already; fewer repeats keep
         # the sweep honest without an hour of reference-loop time.
         n_repeats = repeats if n <= 1000 else max(2, repeats // 3)
-        engines = [
+        row_engines = [
             engine
             for engine in flood_engines
             if engine != "reference" or n <= REFERENCE_MAX_N
         ]
         per_engine = {}
         payloads = {}
-        for engine in engines:
+        for engine in row_engines:
             rounds, elapsed, payload = _flood_rounds_per_sec(
                 graph, engine, n_repeats, seed, workers
             )
             per_engine[engine] = _engine_cell(rounds, elapsed)
             payloads[engine] = payload
-        for engine in engines[1:]:
-            if payloads[engine] != payloads["indexed"]:
-                raise AssertionError(
-                    f"flooding n={n}: {engine} disagrees with indexed "
-                    "on outputs"
-                )
-            assert (
-                per_engine[engine]["rounds"]
-                == per_engine["indexed"]["rounds"]
-            ), f"flooding n={n}: {engine} disagrees on round counts"
+        if "indexed" in per_engine:
+            for engine in row_engines:
+                if engine == "indexed":
+                    continue
+                if payloads[engine] != payloads["indexed"]:
+                    raise AssertionError(
+                        f"flooding n={n}: {engine} disagrees with indexed "
+                        "on outputs"
+                    )
+                assert (
+                    per_engine[engine]["rounds"]
+                    == per_engine["indexed"]["rounds"]
+                ), f"flooding n={n}: {engine} disagrees on round counts"
         row = {
             "program": "flooding",
             "n": n,
+            "degree": degree,
             "m": graph.number_of_edges(),
             "seed": seed,
             "repeats": n_repeats,
-            "rounds": per_engine["indexed"]["rounds"],
+            "rounds": per_engine[row_engines[0]]["rounds"],
             **per_engine,
         }
-        if "reference" in per_engine:
-            row["speedup"] = round(
-                per_engine["indexed"]["rounds_per_sec"]
-                / per_engine["reference"]["rounds_per_sec"],
-                2,
-            )
+        if "reference" in per_engine and "indexed" in per_engine:
+            row["speedup"] = _speedup(per_engine, "indexed", "reference")
+        if "vectorized" in per_engine and "indexed" in per_engine:
+            row["vectorized_speedup"] = _speedup(per_engine, "vectorized")
         if "sharded" in per_engine:
             row["workers"] = workers
-            row["sharded_speedup"] = round(
-                per_engine["sharded"]["rounds_per_sec"]
-                / per_engine["indexed"]["rounds_per_sec"],
-                2,
-            )
+            if "indexed" in per_engine:
+                row["sharded_speedup"] = _speedup(per_engine, "sharded")
         rows.append(row)
+        if (
+            not quick
+            and n == VECTORIZED_GATE_N
+            and "vectorized_speedup" in row
+        ):
+            # The E28 acceptance gate: a columnar-plane regression must
+            # fail the bench, not just lower a number in a JSON file.
+            assert row["vectorized_speedup"] >= VECTORIZED_GATE_SPEEDUP, (
+                f"vectorized gate failed: {row['vectorized_speedup']}x < "
+                f"{VECTORIZED_GATE_SPEEDUP}x over indexed on flooding "
+                f"n={n} (degree {degree})"
+            )
 
     # -- shared-mst: the composite workload (single-process engines) ---
+    mst_engines = ["indexed", "reference"]
+    if "vectorized" in flood_engines:
+        mst_engines.append("vectorized")
+    if engines is not None:
+        mst_engines = [e for e in mst_engines if e in engines]
     for n in _mst_sizes(quick):
-        graph = random_regular_connected(8, n, rng=1)
+        graph = random_regular_connected(SPARSE_DEGREE, n, rng=1)
         per_engine = {}
         payloads = {}
-        for engine in ("indexed", "reference"):
+        for engine in mst_engines:
             rounds, elapsed, payload = _shared_mst_rounds_per_sec(
                 graph, engine, seed
             )
             per_engine[engine] = _engine_cell(rounds, elapsed)
             payloads[engine] = payload
-        if payloads["indexed"] != payloads["reference"]:
-            raise AssertionError(
-                f"shared-mst n={n}: engines disagree on outputs"
-            )
-        assert (
-            per_engine["indexed"]["rounds"]
-            == per_engine["reference"]["rounds"]
-        ), f"shared-mst n={n}: engines disagree on round counts"
-        rows.append(
-            {
-                "program": "shared-mst",
-                "n": n,
-                "m": graph.number_of_edges(),
-                "seed": seed,
-                "rounds": per_engine["indexed"]["rounds"],
-                **per_engine,
-                "speedup": round(
-                    per_engine["indexed"]["rounds_per_sec"]
-                    / per_engine["reference"]["rounds_per_sec"],
-                    2,
-                ),
-            }
-        )
+        if "indexed" in per_engine:
+            for engine in mst_engines:
+                if engine == "indexed":
+                    continue
+                if payloads[engine] != payloads["indexed"]:
+                    raise AssertionError(
+                        f"shared-mst n={n}: {engine} disagrees with indexed "
+                        "on outputs"
+                    )
+                assert (
+                    per_engine[engine]["rounds"]
+                    == per_engine["indexed"]["rounds"]
+                ), f"shared-mst n={n}: {engine} disagrees on round counts"
+        row = {
+            "program": "shared-mst",
+            "n": n,
+            "degree": SPARSE_DEGREE,
+            "m": graph.number_of_edges(),
+            "seed": seed,
+            "rounds": per_engine[mst_engines[0]]["rounds"],
+            **per_engine,
+        }
+        if "reference" in per_engine and "indexed" in per_engine:
+            row["speedup"] = _speedup(per_engine, "indexed", "reference")
+        if "vectorized" in per_engine and "indexed" in per_engine:
+            row["vectorized_speedup"] = _speedup(per_engine, "vectorized")
+        rows.append(row)
     return {
         "benchmark": "simulator_round_loop",
         "unit": "rounds per wall-clock second (outputs asserted identical)",
@@ -246,6 +328,21 @@ def smoke() -> None:
         assert row["indexed"]["rounds_per_sec"] > 0
         if "sharded" in row:
             assert row["sharded"]["rounds_per_sec"] > 0
+        if "vectorized" in row:
+            assert row["vectorized"]["rounds_per_sec"] > 0
+    # The --engines filter path: a single-engine run and a typo.
+    filtered = run(
+        quick=True, repeats=1, workers=1,
+        engines=resolve_engine_filter("indexed"),
+    )
+    for row in filtered["results"]:
+        assert "indexed" in row and "reference" not in row
+    try:
+        resolve_engine_filter("indexed,no-such-engine")
+    except Exception as exc:
+        assert "no-such-engine" in str(exc)
+    else:  # pragma: no cover - the registry must reject typos
+        raise AssertionError("engine typo was not rejected")
 
 
 def main(argv=None) -> int:
@@ -258,6 +355,10 @@ def main(argv=None) -> int:
         help="sharded-engine worker count (default: one per core, max 4)",
     )
     parser.add_argument(
+        "--engines", type=str, default=None,
+        help="comma-separated engine filter (e.g. 'indexed,vectorized')",
+    )
+    parser.add_argument(
         "--out",
         type=pathlib.Path,
         default=REPO_ROOT / "BENCH_simulator.json",
@@ -266,27 +367,33 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
+    try:
+        engine_filter = resolve_engine_filter(args.engines)
+    except Exception as exc:
+        parser.error(str(exc))
     report = run(
         quick=args.quick, repeats=args.repeats, seed=args.seed,
-        workers=args.workers,
+        workers=args.workers, engines=engine_filter,
     )
     args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     for row in report["results"]:
         cells = "  ".join(
             f"{engine}={row[engine]['rounds_per_sec']:>9.1f} r/s"
-            for engine in ("indexed", "reference", "sharded")
+            for engine in ("indexed", "reference", "vectorized", "sharded")
             if engine in row
         )
         extras = []
         if "speedup" in row:
             extras.append(f"idx/ref={row['speedup']}x")
+        if "vectorized_speedup" in row:
+            extras.append(f"vec/idx={row['vectorized_speedup']}x")
         if "sharded_speedup" in row:
             extras.append(
                 f"shard/idx={row['sharded_speedup']}x@{row['workers']}w"
             )
         print(
-            f"{row['program']:>10} n={row['n']:<5} rounds={row['rounds']:<5} "
-            f"{cells}  {' '.join(extras)}"
+            f"{row['program']:>10} n={row['n']:<5} d={row['degree']:<3} "
+            f"rounds={row['rounds']:<5} {cells}  {' '.join(extras)}"
         )
     print(f"wrote {args.out}")
     return 0

@@ -173,7 +173,10 @@ def _run_simulator(args) -> None:
         import bench_simulator
     except ImportError:  # running as a module from the repo root
         from benchmarks import bench_simulator
-    bench_simulator.main(_forwarded_args(args, "simulator"))
+    forwarded = _forwarded_args(args, "simulator")
+    if args.engines is not None:
+        forwarded += ["--engines", args.engines]
+    bench_simulator.main(forwarded)
 
 
 def _run_cds(args) -> None:
@@ -225,6 +228,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--seed", type=int, default=None,
         help="seed (default: 9 spanning/cds_packing / 3 simulator)",
+    )
+    parser.add_argument(
+        "--engines", type=str, default=None,
+        help="comma-separated engine filter for the simulator suite "
+        "(e.g. 'indexed,vectorized'); typos fail with the engine "
+        "registry's listing",
     )
     parser.add_argument(
         "--out",

@@ -573,8 +573,11 @@ class GraphSession:
         the session's canonicalization (``Scenario.indexed``); the run
         RNG stream is unchanged, so results match a standalone
         :class:`~repro.simulator.scenario.Scenario` bit for bit.
-        ``shards`` sets the worker count of multiprocess engines
-        (``engine="sharded"``). ``show_outputs`` caps how many node
+        ``engine`` picks a registered round loop (``"indexed"``,
+        ``"reference"``, ``"sharded"``, ``"vectorized"`` — all
+        bit-identical); ``shards`` sets the worker count of
+        multiprocess engines (``engine="sharded"``).
+        ``show_outputs`` caps how many node
         outputs enter the payload (``None``: all). The envelope's
         ``params`` carry the *full* fault/adversary configuration
         (including the plan seeds bound during the run), so a ``--json``

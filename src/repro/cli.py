@@ -443,6 +443,7 @@ _EXPERIMENTS = [
     ("E25", "bench_api", "session-cached pipeline vs per-call canonicalization"),
     ("E26", "bench_simulator", "sharded-engine scale sweep (n up to 5000)"),
     ("E27", "bench_resilience", "adversarial channels: coded vs uncoded flood"),
+    ("E28", "bench_simulator", "vectorized columnar engine vs indexed (dense regime)"),
     ("F1-F3", "bench_figures", "paper figures (text renderings)"),
     ("A1-A5", "bench_ablation", "design-choice ablations"),
 ]
@@ -549,9 +550,9 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--engine", default=None, metavar="ENGINE",
         help=(
-            "round-loop implementation: indexed (default), reference, or "
-            "sharded (multiprocess); an unknown name lists the registered "
-            "engines"
+            "round-loop implementation: indexed (default), reference, "
+            "sharded (multiprocess), or vectorized (columnar numpy plane); "
+            "an unknown name lists the registered engines"
         ),
     )
     simulate.add_argument(

@@ -41,13 +41,26 @@ class ExtremumFloodProgram(NodeProgram):
         return self._best
 
     def on_round(self, ctx: Context, inbox: Dict[Hashable, Message]):
+        # Hot loop: this scan runs once per delivery across the whole
+        # network, so `_better` is inlined over locals (same comparison
+        # sequence, no per-message method call).
+        best = self._best
+        minimize = self._minimize
         improved = False
         for message in inbox.values():
-            if self._better(message.payload):
-                self._best = message.payload
+            candidate = message.payload
+            if best is None:
+                if candidate is not None:
+                    best = candidate
+                    improved = True
+            elif candidate is not None and (
+                candidate < best if minimize else candidate > best
+            ):
+                best = candidate
                 improved = True
-        ctx.output = self._best
-        return self._best if improved else None
+        self._best = best
+        ctx.output = best
+        return best if improved else None
 
 
 def flood_extremum(

@@ -107,6 +107,7 @@ _DEFAULT_ENGINE = "indexed"
 _LAZY_ENGINE_MODULES = {
     "reference": "repro.simulator.runner_reference",
     "sharded": "repro.simulator.runner_sharded",
+    "vectorized": "repro.simulator.runner_vectorized",
 }
 
 

@@ -401,6 +401,21 @@ def _run_sharded(
 ) -> SimulationResult:
     """The parent's half: fork shard workers, route the barrier, account
     metrics, and assemble the (bit-identical) result."""
+    n_nodes = len(runner.network.nodes)
+    if resolve_shards(runner.shards, n_nodes) == 1:
+        # One shard means zero cross-shard traffic: forking a single
+        # worker would only add pipe round-trips per round (the 0.24x
+        # single-core pathology in BENCH_simulator.json). Delegate to
+        # the fastest in-process inner loop instead — every engine is
+        # bit-identical, so this is invisible in the results. Works even
+        # where fork is unavailable.
+        from repro.simulator.runner import _require_engine
+        from repro.simulator.runner_vectorized import numpy_available
+
+        inner = "vectorized" if numpy_available() else "indexed"
+        return _require_engine(inner)(
+            runner, program_factory, max_rounds, quiescence_halts
+        )
     if not fork_available():
         raise SimulationError(
             "the sharded engine requires the 'fork' process start method "

@@ -60,6 +60,7 @@ from repro.simulator.runner import (
 from repro.simulator.tracing import Tracer
 from repro.utils.rng import ensure_rng
 from sharded_support import SHARDED_SKIP_REASON, SHARDED_TESTS_OK
+from vectorized_support import VECTORIZED_SKIP_REASON, VECTORIZED_TESTS_OK
 
 ENGINES = ("indexed", "reference")
 
@@ -99,6 +100,11 @@ class TestEngineRegistry:
         engines = available_engines()
         assert "indexed" in engines
         assert "reference" in engines
+
+    def test_vectorized_engine_registered(self):
+        # Lazily registered but always listed — even without numpy the
+        # module imports (and raises a clean error only when *run*).
+        assert "vectorized" in available_engines()
 
     def test_unknown_engine_rejected(self):
         from repro.errors import SimulationError
@@ -538,6 +544,17 @@ class TestDifferentialMatrix:
         other = _run_matrix_case(program, model, "sharded")
         assert other == baseline
 
+    @pytest.mark.skipif(not VECTORIZED_TESTS_OK, reason=VECTORIZED_SKIP_REASON)
+    @pytest.mark.parametrize(
+        "program,model",
+        _matrix_cases(),
+        ids=lambda value: getattr(value, "value", value),
+    )
+    def test_vectorized_matches_indexed(self, program, model):
+        baseline = _run_matrix_case(program, model, "indexed")
+        other = _run_matrix_case(program, model, "vectorized")
+        assert other == baseline
+
     @pytest.mark.skipif(not SHARDED_TESTS_OK, reason=SHARDED_SKIP_REASON)
     def test_sharded_identical_across_shard_counts(self):
         """The shard count is an execution detail: 1, 2, and 3 workers
@@ -614,6 +631,123 @@ class TestShardedFaultEquivalence:
     def test_unseeded_plan_derives_from_run_seed(self):
         runs = self._both(lambda net: FaultPlan(drop_probability=0.4))
         _assert_same_result(runs["indexed"], runs["sharded"])
+
+
+@pytest.mark.skipif(not VECTORIZED_TESTS_OK, reason=VECTORIZED_SKIP_REASON)
+class TestVectorizedFaultEquivalence:
+    """Faulted runs push the columnar engine onto its general path —
+    drop decisions stay pure functions of (seed, edge, round), so the
+    bytes must match the indexed loop exactly."""
+
+    def _both(self, plan_of, rng=5, horizon=18):
+        graph = harary_graph(4, 14)
+        results = {}
+        for engine in ("indexed", "vectorized"):
+            network = _network(graph, seed=2)
+            runner = SyncRunner(
+                network,
+                rng=rng,
+                fault_plan=plan_of(network),
+                engine=engine,
+            )
+            results[engine] = runner.run(
+                lambda v: RetransmittingFloodProgram(
+                    network.node_id(v), horizon=horizon
+                )
+            )
+        return results
+
+    def test_iid_drops(self):
+        runs = self._both(
+            lambda net: FaultPlan(drop_probability=0.35, rng=11)
+        )
+        _assert_same_result(runs["indexed"], runs["vectorized"])
+
+    def test_drop_schedule(self):
+        def plan(net):
+            a, b, c = net.nodes[0], net.nodes[1], net.nodes[5]
+            return FaultPlan(
+                drop_schedule={(a, b): {1, 2, 3}, (c, a): {2}}
+            )
+
+        runs = self._both(plan)
+        _assert_same_result(runs["indexed"], runs["vectorized"])
+
+    def test_crashes_with_drops(self):
+        def plan(net):
+            return FaultPlan(
+                drop_probability=0.2,
+                crash_rounds={net.nodes[3]: 2, net.nodes[7]: 0},
+                rng=4,
+            )
+
+        runs = self._both(plan)
+        _assert_same_result(runs["indexed"], runs["vectorized"])
+
+    def test_unseeded_plan_derives_from_run_seed(self):
+        runs = self._both(lambda net: FaultPlan(drop_probability=0.4))
+        _assert_same_result(runs["indexed"], runs["vectorized"])
+
+
+@pytest.mark.skipif(not VECTORIZED_TESTS_OK, reason=VECTORIZED_SKIP_REASON)
+class TestVectorizedCompositeEquivalence:
+    """Composites chain many runs over one network, so they exercise the
+    plane cache (interning table and in-CSR reused across runs) and the
+    per-node RNG draw order end to end."""
+
+    def _on_vectorized_and_indexed(self, run):
+        results = {}
+        for engine in ("indexed", "vectorized"):
+            with engine_context(engine):
+                results[engine] = run()
+        return results
+
+    def test_flood_extremum_and_leader(self):
+        graph = harary_graph(4, 15)
+
+        def run():
+            network = _network(graph)
+            values = {v: (network.node_id(v) * 3) % 50 for v in network.nodes}
+            flood = flood_extremum(network, values)
+            leader, election = elect_leader(network)
+            return flood, leader, election
+
+        runs = self._on_vectorized_and_indexed(run)
+        flood_a, leader_a, el_a = runs["indexed"]
+        flood_b, leader_b, el_b = runs["vectorized"]
+        _assert_same_result(flood_a, flood_b)
+        assert leader_a == leader_b
+        _assert_same_result(el_a, el_b)
+
+    def test_luby_mis_uses_identical_context_rngs(self):
+        graph = harary_graph(4, 17)
+
+        def run():
+            network = _network(graph, seed=6)
+            return luby_mis(network, rng=9)
+
+        runs = self._on_vectorized_and_indexed(run)
+        assert runs["indexed"][0] == runs["vectorized"][0]
+        _assert_same_result(runs["indexed"][1], runs["vectorized"][1])
+
+    def test_distributed_spanning_packing(self):
+        from repro.core.spanning_packing_distributed import (
+            distributed_spanning_packing,
+        )
+
+        graph = harary_graph(4, 12)
+
+        def run():
+            return distributed_spanning_packing(
+                graph, rng=8, max_iterations=4
+            )
+
+        runs = self._on_vectorized_and_indexed(run)
+        a, b = runs["indexed"], runs["vectorized"]
+        assert a.iterations_per_part == b.iterations_per_part
+        assert a.packing.size == b.packing.size
+        assert len(a.packing.trees) == len(b.packing.trees)
+        _assert_same_metrics(a.report.measured, b.report.measured)
 
 
 # ----------------------------------------------------------------------
@@ -727,6 +861,19 @@ class TestCorruptedDifferentialMatrix:
     def test_sharded_matches_indexed(self, program, model, plan_kwargs):
         baseline = _run_corrupted_case(program, model, "indexed", plan_kwargs)
         other = _run_corrupted_case(program, model, "sharded", plan_kwargs)
+        assert other == baseline
+
+    @pytest.mark.skipif(not VECTORIZED_TESTS_OK, reason=VECTORIZED_SKIP_REASON)
+    @pytest.mark.parametrize(
+        "program,model,plan_kwargs",
+        [(p, m, k) for _, p, m, k in _CORRUPTED_CASES],
+        ids=[case_id for case_id, _, _, _ in _CORRUPTED_CASES],
+    )
+    def test_vectorized_matches_indexed(self, program, model, plan_kwargs):
+        baseline = _run_corrupted_case(program, model, "indexed", plan_kwargs)
+        other = _run_corrupted_case(
+            program, model, "vectorized", plan_kwargs
+        )
         assert other == baseline
 
     def test_corruption_changes_the_clean_run(self):
