@@ -4,9 +4,9 @@ The indexed loop (:func:`repro.simulator.runner._run_indexed`) spends
 most of a saturated round on per-delivery Python work: one dict store,
 one emptiness check, and one iteration step per (sender, receiver) pair.
 This engine replaces that per-message object plane with a **columnar
-message plane**: per round, outbound traffic is three parallel columns
-(sender index, payload id, :class:`~repro.simulator.message.Message`),
-and delivery is batched through numpy over the transport's edge arrays —
+message plane**: per round, outbound traffic is two parallel columns
+(sender index, :class:`~repro.simulator.message.Message`), and delivery
+is batched through numpy over the transport's edge arrays —
 
 ::
 
@@ -25,14 +25,17 @@ and delivery is batched through numpy over the transport's edge arrays —
                   actually asks for them)
 
 Payloads are interned: a :class:`PayloadInterner` maps each deeply
-immutable payload to a dense **payload id** (its column in the per-round
-buffer) plus its bit size, keyed by a *type-aware* structural key —
-``(1,)`` and ``(True,)`` compare equal but cost different bits, so keys
-carry element types exactly like the ``payload_bits`` memo. The round
-loop's warm path goes one step further: a per-(sender, payload) cache
-maps straight to the ``(payload id, Message)`` pair, so steady-state
-broadcast rounds validate a send with one dict probe and allocate no
-per-delivery objects at all. Unhashable payloads (anything containing a
+immutable payload to a dense **payload id** plus its bit size, keyed by
+a *type-aware* structural key — ``(1,)`` and ``(True,)`` compare equal
+but cost different bits, so keys carry element types exactly like the
+``payload_bits`` memo. The round loop's warm path goes one step
+further: a per-(sender, payload) cache maps straight to the validated
+:class:`Message`, so steady-state broadcast rounds validate a send with
+one dict probe and allocate no per-delivery objects at all. Cached
+entries were validated against a specific message budget, so the cache
+is keyed to ``transport.bits_per_message`` and cleared whenever a run
+arrives with a different budget — a cache hit never skips enforcement
+the indexed loop would apply. Unhashable payloads (anything containing a
 list) are **never interned or cached**: each send builds a fresh
 :class:`Message` around the live object, preserving the indexed loop's
 shared-mutable-object semantics within a round and guaranteeing one
@@ -104,11 +107,6 @@ __all__ = [
 #: the fault-plan prefix cache: interning is a pure function of the
 #: payload, so clearing affects speed only, never results.
 MAX_INTERNED_PAYLOADS = 1 << 16
-
-#: Payload-id column value for payloads that cannot be interned
-#: (mutable/unhashable): the message is built fresh around the live
-#: object and never cached.
-UNINTERNED = -1
 
 
 def numpy_available() -> bool:
@@ -334,8 +332,10 @@ class _VectorPlane:
     Holds the node-label column, out-degrees, the lazily built in-CSR
     (transposed fan-out, sorted by (receiver, sender)), the payload
     interning table, and the warm-send cache mapping a
-    (payload key, sender index) probe straight to its
-    ``(payload id, Message)`` columns.
+    (payload key, sender index) probe straight to its validated
+    :class:`Message`. Cache entries embed a budget check, so the cache
+    records the ``bits_per_message`` it validated against and is cleared
+    when a run's transport carries a different budget.
     """
 
     __slots__ = (
@@ -347,6 +347,7 @@ class _VectorPlane:
         "complete",
         "interner",
         "send_cache",
+        "cache_budget",
         "in_ptr",
         "in_src",
         "in_dst",
@@ -371,7 +372,8 @@ class _VectorPlane:
         # in-CSR path.
         self.complete = type(transport) is CliqueTransport
         self.interner = PayloadInterner()
-        self.send_cache: Dict[Any, Tuple[int, Message]] = {}
+        self.send_cache: Dict[Any, Message] = {}
+        self.cache_budget = transport.bits_per_message
         self.in_ptr = None
         self.in_src = None
         self.in_dst = None
@@ -439,6 +441,12 @@ def _plane_for(network, transport, nodes) -> "_VectorPlane":
     ):
         plane = _VectorPlane(transport, nodes)
         planes[key] = plane
+    elif plane.cache_budget != transport.bits_per_message:
+        # The warm-send cache holds messages validated under the old
+        # budget; a hit would skip enforcement. The interner survives —
+        # payload → (id, bits) is budget-independent.
+        plane.send_cache.clear()
+        plane.cache_budget = transport.bits_per_message
     return plane
 
 
@@ -509,7 +517,6 @@ def _run_vectorized(
         i: int,
         raw: Any,
         bsend: List[int],
-        bpids: List[int],
         bmsgs: List[Message],
         cache_key: Any = None,
     ) -> None:
@@ -524,8 +531,8 @@ def _run_vectorized(
         """
         try:
             if len(interner.payloads) >= MAX_INTERNED_PAYLOADS:
-                # pids restart after a wholesale clear, so the send
-                # cache (which stores pids) is cleared with the table.
+                # Both are pure caches bounded by the same cap: clear
+                # them wholesale together (speed only, never results).
                 interner.clear()
                 send_cache.clear()
             pid, bits = interner.intern(raw)
@@ -540,7 +547,6 @@ def _run_vectorized(
             if not fanout_table[i]:
                 return
             bsend.append(i)
-            bpids.append(UNINTERNED)
             bmsgs.append(message)
             return
         if bits > budget:
@@ -549,18 +555,16 @@ def _run_vectorized(
             return  # isolated sender: nobody to reach
         message = Message(nodes[i], interner.payloads[pid], bits)
         if cache_key is not None:
-            send_cache[cache_key] = (pid, message)
+            send_cache[cache_key] = message
         bsend.append(i)
-        bpids.append(pid)
         bmsgs.append(message)
 
     # Per-round outbound columns. Broadcasts: parallel (sender index,
-    # payload id, Message) columns, ascending sender. Addressed traffic:
+    # Message) columns, ascending sender. Addressed traffic:
     # (sender index, [(receiver index, Message), ...]) rows, ascending
     # sender. Fresh lists every round: the delivery phase consumes the
     # previous round's columns while the execution loop fills the next.
     bsend: List[int] = []
-    bpids: List[int] = []
     bmsgs: List[Message] = []
     addressed: List[Tuple[int, list]] = []
 
@@ -572,7 +576,7 @@ def _run_vectorized(
                 if out:
                     addressed.append((i, out))
             else:
-                collect_slow(i, raw, bsend, bpids, bmsgs)
+                collect_slow(i, raw, bsend, bmsgs)
 
     live: List[int] = [i for i in range(n) if not contexts[i].halted]
     unhalted = len(live)
@@ -734,13 +738,11 @@ def _run_vectorized(
 
         any_traffic = round_messages > 0
         out_bsend: List[int] = []
-        out_bpids: List[int] = []
         out_bmsgs: List[Message] = []
         out_addressed: List[Tuple[int, list]] = []
         next_live: List[int] = []
         # Locals for the hot loop: every lookup below runs per node.
         bsend_append = out_bsend.append
-        bpids_append = out_bpids.append
         bmsgs_append = out_bmsgs.append
         live_append = next_live.append
         contexts_l = contexts
@@ -789,8 +791,11 @@ def _run_vectorized(
                 # back to collect_slow on the first sighting of a
                 # (sender, payload) pair, on unhashable payloads, and
                 # on nested containers (whose keys must be recursive).
+                # Addressed traffic matches Transport.validate's own
+                # isinstance dispatch, so dict subclasses route the
+                # same way as on the indexed loop.
                 cls = raw.__class__
-                if cls is dict:
+                if isinstance(raw, dict):
                     out = validate(nodes[i], i, raw)
                     if out:
                         out_addressed.append((i, out))
@@ -801,38 +806,35 @@ def _run_vectorized(
                         ent = send_get(key)
                         if ent is None:
                             collect_slow(
-                                i, raw, out_bsend, out_bpids, out_bmsgs,
+                                i, raw, out_bsend, out_bmsgs,
                                 cache_key=key,
                             )
                         else:
                             bsend_append(i)
-                            bpids_append(ent[0])
-                            bmsgs_append(ent[1])
+                            bmsgs_append(ent)
                     else:
-                        collect_slow(i, raw, out_bsend, out_bpids, out_bmsgs)
+                        collect_slow(i, raw, out_bsend, out_bmsgs)
                 else:
                     key = (cls, raw, i)
                     try:
                         ent = send_get(key)
                     except TypeError:
-                        collect_slow(i, raw, out_bsend, out_bpids, out_bmsgs)
+                        collect_slow(i, raw, out_bsend, out_bmsgs)
                     else:
                         if ent is None:
                             collect_slow(
-                                i, raw, out_bsend, out_bpids, out_bmsgs,
+                                i, raw, out_bsend, out_bmsgs,
                                 cache_key=key,
                             )
                         else:
                             bsend_append(i)
-                            bpids_append(ent[0])
-                            bmsgs_append(ent[1])
+                            bmsgs_append(ent)
             live_append(i)
         if dict_boxes is not None:
             for r in touched:
                 inboxes[r].clear()
         live = next_live
         bsend = out_bsend
-        bpids = out_bpids
         bmsgs = out_bmsgs
         addressed = out_addressed
 

@@ -17,7 +17,7 @@ import networkx as nx
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.errors import SimulationError
+from repro.errors import ModelViolationError, SimulationError
 from repro.graphs.generators import harary_graph
 from repro.simulator.message import Message, payload_bits
 from repro.simulator.network import Network
@@ -412,6 +412,109 @@ class TestPlaneAndEngineEdges:
                 rng=2,
                 engine="vectorized",
             )
+
+
+class TestWarmSendCacheBudget:
+    """The warm-send cache must never outlive the budget it validated
+    against: runs over the same Network with a different
+    ``bits_per_message`` re-validate every send, exactly like the
+    indexed loop."""
+
+    class _OneShotBroadcast(NodeProgram):
+        def __init__(self, payload):
+            self._payload = payload
+
+        def on_start(self, ctx):
+            # Send from on_round only, so the payload travels through
+            # the warm-send cache path (on_start validates directly).
+            return None
+
+        def on_round(self, ctx, inbox):
+            if ctx.round == 1:
+                return self._payload
+            ctx.halt(output=len(inbox))
+            return None
+
+    def test_budget_change_revalidates_cached_sends(self):
+        network = Network(nx.cycle_graph(6), rng=1)
+        payload = (900, 901)  # well under 1000 bits, well over 8
+        factory = lambda v: self._OneShotBroadcast(payload)  # noqa: E731
+        generous = simulate(
+            network, factory, rng=2, engine="vectorized",
+            bits_per_message=1000,
+        )
+        assert generous.halted
+        plane = next(iter(network._repro_vector_planes.values()))
+        assert plane.send_cache  # the generous run primed the cache
+        with pytest.raises(ModelViolationError) as vec_err:
+            simulate(
+                network, factory, rng=2, engine="vectorized",
+                bits_per_message=8,
+            )
+        with pytest.raises(ModelViolationError) as idx_err:
+            simulate(
+                network, factory, rng=2, engine="indexed",
+                bits_per_message=8,
+            )
+        assert str(vec_err.value) == str(idx_err.value)
+        assert plane.cache_budget == 8
+
+    def test_same_budget_reuses_cache(self):
+        network = Network(nx.cycle_graph(6), rng=1)
+        factory = lambda v: self._OneShotBroadcast((3, 4))  # noqa: E731
+        simulate(network, factory, rng=2, engine="vectorized")
+        plane = next(iter(network._repro_vector_planes.values()))
+        cached = dict(plane.send_cache)
+        assert cached
+        simulate(network, factory, rng=2, engine="vectorized")
+        assert plane.send_cache == cached  # warm run, nothing re-keyed
+
+
+class TestDictSubclassDispatch:
+    def test_dict_subclass_routes_as_addressed_traffic(self):
+        """``Transport.validate`` dispatches addressed traffic with
+        ``isinstance``, so an OrderedDict return must be addressed
+        traffic on every engine — not an interning-path error."""
+        from collections import OrderedDict
+
+        def run(engine):
+            network = Network(nx.cycle_graph(5), rng=3)
+            log = []
+
+            class Addressor(NodeProgram):
+                def __init__(self, vid):
+                    self._vid = vid
+
+                def on_start(self, ctx):
+                    return None
+
+                def on_round(self, ctx, inbox):
+                    log.append(
+                        (
+                            ctx.round,
+                            self._vid,
+                            [(k, m.payload) for k, m in inbox.items()],
+                        )
+                    )
+                    if ctx.round == 1:
+                        return OrderedDict(
+                            (nbr, (self._vid, pos))
+                            for pos, nbr in enumerate(ctx.neighbors)
+                        )
+                    ctx.halt(output=self._vid)
+                    return None
+
+            result = simulate(
+                network,
+                lambda v: Addressor(v),
+                model=Model.E_CONGEST,
+                rng=4,
+                engine=engine,
+                max_rounds=10,
+            )
+            return log, list(result.outputs.items()), result.halted
+
+        assert run("vectorized") == run("indexed")
 
 
 class TestShardedSingleWorkerFastPath:
