@@ -444,6 +444,7 @@ _EXPERIMENTS = [
     ("E26", "bench_simulator", "sharded-engine scale sweep (n up to 5000)"),
     ("E27", "bench_resilience", "adversarial channels: coded vs uncoded flood"),
     ("E28", "bench_simulator", "vectorized columnar engine vs indexed (dense regime)"),
+    ("E29", "bench_simulator", "multi-worker dense scaling (columnar sharded barrier)"),
     ("F1-F3", "bench_figures", "paper figures (text renderings)"),
     ("A1-A5", "bench_ablation", "design-choice ablations"),
 ]

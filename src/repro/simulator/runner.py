@@ -75,6 +75,7 @@ __all__ = [
     "register_engine",
     "set_default_engine",
     "engine_context",
+    "fastest_inprocess_engine",
 ]
 
 
@@ -139,6 +140,19 @@ def set_default_engine(name: str) -> None:
 
 def default_engine() -> str:
     return _DEFAULT_ENGINE
+
+
+def fastest_inprocess_engine() -> str:
+    """The fastest single-process engine this interpreter can run.
+
+    ``"vectorized"`` where numpy imports, ``"indexed"`` otherwise. The
+    multiprocess engine consults this for its delegations: a one-shard
+    run collapses to this engine in-process, and each forked worker runs
+    the same columnar inner loop when it is available.
+    """
+    from repro.simulator.runner_vectorized import numpy_available
+
+    return "vectorized" if numpy_available() else "indexed"
 
 
 @contextlib.contextmanager
@@ -273,8 +287,13 @@ class ShardedRunner(SyncRunner):
     Identical surface and — by the engine contract — identical results,
     metrics, and traces to the indexed loop under a fixed seed; the
     round loop is executed by ``shards`` worker processes over
-    contiguous node-index shards (``None``: one per available core,
-    capped by :data:`repro.simulator.runner_sharded.MAX_DEFAULT_SHARDS`).
+    contiguous node-index shards (``None``: one per *schedulable* core —
+    the affinity mask, not the host count — capped by
+    :data:`repro.simulator.runner_sharded.MAX_DEFAULT_SHARDS`). Each
+    worker runs the columnar inner loop of
+    :mod:`repro.simulator.runner_vectorized` when numpy is available
+    (see :func:`fastest_inprocess_engine`), falling back to the scalar
+    loop for faulted/adversarial runs or numpy-less interpreters.
     """
 
     def __init__(

@@ -34,6 +34,17 @@ loop, for any shard count. The determinism contract of
   parent's trace, discovered via
   :func:`~repro.simulator.tracing.trace_sink`.
 
+**Inner loops.** When numpy is importable and the run carries no fault
+plan and no adversary, each worker runs the **columnar** inner loop of
+:mod:`repro.simulator.runner_vectorized`: it builds a
+:class:`~repro.simulator.runner_vectorized._ShardPlane` locally after
+fork (its in-CSR row slice over all senders, a shard-local
+:class:`~repro.simulator.runner_vectorized.PayloadInterner`, and a warm
+send cache) and scatters barrier imports straight into
+``_ArrayInbox``/``_ColumnInbox`` views. Hostile runs (faults,
+corruption) and numpy-less interpreters fall back to the scalar worker
+below — results, metrics, and traces byte-match either way.
+
 **Barrier protocol** (one worker ↔ parent pipe per shard, two
 synchronization points per round)::
 
@@ -45,18 +56,53 @@ synchronization points per round)::
       parent: ("continue",) | ("finish", halted)
     worker: ("final", outputs, trace_events)       on finish
 
+Exports come in three shapes. The scalar worker groups per sender —
+``("b", s, payload, bits, receivers)`` for a broadcast, ``("a", s,
+[(r, payload, bits), …])`` for addressed traffic — and the parent
+splits each entry by destination shard. The columnar worker exports
+**one batch per round**::
+
+    ("c", senders, pids, bits, delta, raws, reset)
+         │        │     │     │      │     └ source interner was cleared:
+         │        │     │     │      │       receivers drop their tables
+         │        │     │     │      └ payloads of pid == -1 entries
+         │        │     │     │        (unhashable; shipped raw, in order)
+         │        │     │     └ interner-sync delta: payloads[mark:],
+         │        │     │       i.e. only payloads first seen this round
+         │        │     └ per-message bit sizes     (parallel columns,
+         │        └ dense payload ids               ascending sender)
+         └ global sender indices
+
+which the parent relays verbatim — tagged with the source shard, as
+``("c", src, …)`` — to every *other* shard: destination in-CSR slices
+do the routing, so no receiver lists cross the barrier at all. Each
+receiver keeps a per-source payload table synced by the deltas, so a
+payload crossing the barrier is pickled once per (shard, payload),
+not once per message; a payload id simply indexes that table on
+arrival. Addressed traffic still uses the scalar ``("a", …)`` shape,
+and any round that carries it is delivered by the dict-inbox merge
+path on the shards it touches — bit-identical by the same argument as
+the scalar worker.
+
 (error paths do not abort gracefully: a failing worker ships its
-exception as ("error", exc) in place of any reply, and the parent
-terminates the remaining workers and re-raises; a worker receiving an
-unknown command exits without a "final" reply)
+exception as ("error", exc, shard, formatted_traceback) in place of
+any reply, and the parent terminates the remaining workers and
+re-raises the original exception chained to a
+:class:`SimulationError` carrying the shard index and remote
+traceback; a worker receiving an unknown command exits without a
+"final" reply)
 
 Workers are **forked**, not spawned: program factories are usually
 closures over the network and cannot be pickled, and fork gives every
 worker the canonicalized topology, transport tables, and fault plan by
 memory inheritance at zero serialization cost. Platforms without the
-``fork`` start method get a loud :class:`SimulationError`. A 1-core
-machine can still run the engine (the processes interleave); it simply
-gains nothing — the differential suite skips it there for speed.
+``fork`` start method get a loud :class:`SimulationError`. Default
+worker counts size off the **schedulable** CPUs (the scheduler
+affinity mask, where the platform exposes it) rather than the host's
+logical CPU count, so cgroup/affinity-limited containers do not
+over-fork. A 1-core machine can still run the engine (the processes
+interleave); it simply gains nothing — the differential suite skips it
+there for speed.
 """
 
 from __future__ import annotations
@@ -64,13 +110,24 @@ from __future__ import annotations
 import contextlib
 import multiprocessing
 import os
+import traceback
 from typing import Any, Callable, Hashable, Iterator, List, Optional, Tuple
 
 from repro.errors import SimulationError
-from repro.simulator.message import Message
+from repro.simulator.message import _SCALAR_TYPES, Message, payload_bits
 from repro.simulator.metrics import SimulationMetrics
 from repro.simulator.node import Context, NodeProgram
-from repro.simulator.runner import SimulationResult, register_engine
+from repro.simulator.runner import (
+    SimulationResult,
+    fastest_inprocess_engine,
+    register_engine,
+)
+from repro.simulator.runner_vectorized import (
+    MAX_INTERNED_PAYLOADS,
+    _ArrayInbox,
+    _ColumnInbox,
+    _ShardPlane,
+)
 from repro.simulator.tracing import trace_sink
 from repro.simulator.transport import BROADCAST
 from repro.utils.rng import fresh_seed
@@ -79,6 +136,7 @@ __all__ = [
     "MAX_DEFAULT_SHARDS",
     "fork_available",
     "resolve_shards",
+    "schedulable_cpus",
     "shard_bounds",
     "shards_context",
 ]
@@ -96,6 +154,24 @@ _DEFAULT_SHARDS: Optional[int] = None
 def fork_available() -> bool:
     """Whether this platform can fork workers (the engine requires it)."""
     return "fork" in multiprocessing.get_all_start_methods()
+
+
+def schedulable_cpus() -> int:
+    """CPUs this process may actually be scheduled on.
+
+    ``os.cpu_count()`` reports the *host's* logical CPUs, which
+    over-forks in cgroup/affinity-limited containers (a pod pinned to
+    one core on a 64-core host would default to 8 workers fighting over
+    it). The scheduler's affinity mask is the truth where the platform
+    exposes it; elsewhere (macOS, Windows) fall back to the host count.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - exotic scheduler state
+            pass
+    return os.cpu_count() or 1
 
 
 @contextlib.contextmanager
@@ -123,13 +199,14 @@ def resolve_shards(requested: Optional[int], n: int) -> int:
     """The worker count for an ``n``-node run.
 
     Precedence: explicit ``SyncRunner(shards=…)`` > ``shards_context`` >
-    one per core (capped at :data:`MAX_DEFAULT_SHARDS`); always clamped
-    to ``n`` — an empty shard would be pure overhead.
+    one per *schedulable* core (see :func:`schedulable_cpus`, capped at
+    :data:`MAX_DEFAULT_SHARDS`); always clamped to ``n`` — an empty
+    shard would be pure overhead.
     """
     if requested is None:
         requested = _DEFAULT_SHARDS
     if requested is None:
-        requested = max(1, min(os.cpu_count() or 1, MAX_DEFAULT_SHARDS))
+        requested = max(1, min(schedulable_cpus(), MAX_DEFAULT_SHARDS))
     if requested < 1:
         raise SimulationError(f"shards must be >= 1, got {requested}")
     return max(1, min(requested, n))
@@ -164,20 +241,40 @@ def shard_bounds(n: int, shards: int) -> List[Tuple[int, int]]:
 # ----------------------------------------------------------------------
 
 
+def _ship_error(conn, error: BaseException, shard: int) -> None:
+    """Ship a worker failure to the parent with its forensics attached:
+    the exception itself (type-preserving), the shard index, and the
+    worker-side formatted traceback — the parent re-raises the original
+    chained to a :class:`SimulationError` carrying the other two."""
+    tb = traceback.format_exc()
+    try:
+        conn.send(("error", error, shard, tb))
+    except Exception:  # unpicklable error: ship a plain summary
+        conn.send(
+            ("error",
+             SimulationError(f"{type(error).__name__}: {error}"),
+             shard, tb)
+        )
+
+
 def _worker_main(
     runner,
     program_factory: Callable[[Hashable], NodeProgram],
     seeds: List[int],
     lo: int,
     hi: int,
+    shard: int,
     conn,
 ) -> None:
-    """One shard's half of the barrier protocol (runs in a fork).
+    """One shard's half of the barrier protocol — the **scalar** worker
+    (runs in a fork).
 
     Everything heavy — the network, transport tables, fault plan, and
     the factory's closed-over state — is inherited from the parent at
     fork time. The worker owns node indices ``[lo, hi)``; ``seeds``
-    holds their pre-drawn context RNG seeds.
+    holds their pre-drawn context RNG seeds. This loop handles every
+    run the columnar worker cannot (fault plans, adversaries, no
+    numpy), delivery-for-delivery identical to the indexed loop.
     """
     try:
         net = runner.network
@@ -364,13 +461,460 @@ def _worker_main(
                 conn.send(("final", outputs, events))
             break
     except Exception as error:  # noqa: BLE001 — shipped to the parent
-        try:
-            conn.send(("error", error))
-        except Exception:  # unpicklable error: ship a plain summary
-            conn.send(
-                ("error",
-                 SimulationError(f"{type(error).__name__}: {error}"))
+        _ship_error(conn, error, shard)
+    finally:
+        conn.close()
+
+
+def _worker_main_columnar(
+    runner,
+    program_factory: Callable[[Hashable], NodeProgram],
+    seeds: List[int],
+    lo: int,
+    hi: int,
+    shard: int,
+    bounds: List[Tuple[int, int]],
+    conn,
+) -> None:
+    """One shard's half of the barrier protocol — the **columnar**
+    worker (runs in a fork; requires numpy, no fault plan, no
+    adversary — the parent guarantees all three).
+
+    Runs the vectorized engine's struct-of-arrays inner loop over its
+    own receiver range: a :class:`_ShardPlane` built locally after fork
+    holds the in-CSR row slice (receivers ``[lo, hi)``, senders global),
+    a shard-local payload interner, and the warm send cache. Broadcast
+    rounds cross the barrier as ``("c", …)`` columns (see the module
+    docstring): the parent relays each shard's full sender column to
+    every other shard, and each destination's in-CSR mask/gather does
+    the routing — reproducing ascending-sender inbox order with no
+    per-receiver lists and no per-message pickles. Rounds that carry
+    addressed traffic anywhere visible to this shard are delivered by
+    the same dict-inbox merge the scalar worker uses, so every run stays
+    bit-identical to the indexed loop.
+    """
+    try:
+        import numpy as np
+
+        net = runner.network
+        transport = runner.transport
+        nodes = net.nodes
+        n = len(nodes)
+        nshards = len(bounds)
+        validate = transport.validate
+        fanout = transport.fanout
+        budget = transport.bits_per_message
+        sink = trace_sink(program_factory)
+        trace_base = len(sink.events) if sink is not None else 0
+
+        plane = _ShardPlane(transport, nodes, lo, hi)
+        labels = plane.labels
+        labels_np = plane.labels_np
+        deg = plane.deg
+        complete = plane.complete
+        interner = plane.interner
+        send_cache = plane.send_cache
+        send_get = send_cache.get
+        msg_col = plane.msg_col
+        scalar_ok = _SCALAR_TYPES.issuperset
+
+        contexts: List[Context] = []
+        programs: List[NodeProgram] = []
+        for i in range(lo, hi):
+            node = nodes[i]
+            contexts.append(
+                Context(
+                    node=node,
+                    node_id=net.node_id(node),
+                    neighbors=net.neighbors(node),
+                    n=n,
+                    rng_seed=seeds[i - lo],
+                    index=i,
+                )
             )
+            programs.append(program_factory(node))
+        on_rounds = [program.on_round for program in programs]
+
+        def collect_slow(
+            i: int,
+            raw: Any,
+            bsend: List[int],
+            bmsgs: List[Message],
+            cache_key: Any = None,
+        ) -> None:
+            # Mirrors the vectorized engine's collect_slow exactly:
+            # size check first, then the isolated-sender check, every
+            # rejection through the transport's own reject method.
+            try:
+                if len(interner.payloads) >= MAX_INTERNED_PAYLOADS:
+                    interner.clear()
+                    send_cache.clear()
+                pid, bits = interner.intern(raw)
+            except TypeError:
+                # Unhashable payload: never interned — shipped raw
+                # across the barrier, preserving live-object semantics
+                # within this shard.
+                bits = payload_bits(raw)
+                message = Message(nodes[i], raw, bits)
+                if bits > budget:
+                    transport._reject_size(nodes[i], message)
+                if not fanout(i):
+                    return
+                bsend.append(i)
+                bmsgs.append(message)
+                return
+            if bits > budget:
+                transport._reject_size(nodes[i], Message(nodes[i], raw, bits))
+            if not fanout(i):
+                return  # isolated sender: nobody to reach
+            message = Message(nodes[i], interner.payloads[pid], bits)
+            if cache_key is not None:
+                send_cache[cache_key] = message
+            bsend.append(i)
+            bmsgs.append(message)
+
+        def dispatch(
+            i: int,
+            raw: Any,
+            bsend: List[int],
+            bmsgs: List[Message],
+            addressed: List[Tuple[int, list]],
+        ) -> None:
+            # The vectorized engine's warm-send dispatch, verbatim.
+            cls = raw.__class__
+            if isinstance(raw, dict):
+                out = validate(nodes[i], i, raw)
+                if out:
+                    addressed.append((i, out))
+            elif cls is tuple:
+                types = tuple(map(type, raw))
+                if scalar_ok(types):
+                    key = (raw, types, i)
+                    ent = send_get(key)
+                    if ent is None:
+                        collect_slow(i, raw, bsend, bmsgs, cache_key=key)
+                    else:
+                        bsend.append(i)
+                        bmsgs.append(ent)
+                else:
+                    collect_slow(i, raw, bsend, bmsgs)
+            else:
+                key = (cls, raw, i)
+                try:
+                    ent = send_get(key)
+                except TypeError:
+                    collect_slow(i, raw, bsend, bmsgs)
+                else:
+                    if ent is None:
+                        collect_slow(i, raw, bsend, bmsgs, cache_key=key)
+                    else:
+                        bsend.append(i)
+                        bmsgs.append(ent)
+
+        bsend: List[int] = []
+        bmsgs: List[Message] = []
+        addressed: List[Tuple[int, list]] = []
+        for i in range(lo, hi):
+            raw = programs[i - lo].on_start(contexts[i - lo])
+            if raw is not None:
+                dispatch(i, raw, bsend, bmsgs, addressed)
+        live = [i for i in range(lo, hi) if not contexts[i - lo].halted]
+        conn.send(("ready", len(live)))
+
+        m = hi - lo
+        if complete:
+            buf_labels: List[Hashable] = []
+            buf_msgs: List[Message] = []
+            views: List[Any] = [
+                _ColumnInbox(buf_labels, buf_msgs) for _ in range(m)
+            ]
+        else:
+            col_state: list = [None, None]
+            views = [_ArrayInbox(col_state, labels_np) for _ in range(m)]
+        empty_boxes: List[dict] = [{} for _ in range(m)]
+        inboxes: List[dict] = [dict() for _ in range(m)]
+
+        # Interner-sync state. Export side: the high-water mark of
+        # payloads already shipped, and the generation they belong to.
+        # Import side: one payload table + (sender, pid) → Message cache
+        # per source shard, both discarded when that source resets.
+        export_mark = 0
+        export_gen = interner.generation
+        tables: List[List[Any]] = [[] for _ in range(nshards)]
+        rmsg_cache: List[dict] = [{} for _ in range(nshards)]
+
+        def _import_message(src, s, pid, bits, raws, raw_pos):
+            # pid == -1: unhashable payload, shipped raw (consumed in
+            # order). Otherwise index the synced table, caching the
+            # Message per (source shard, sender, pid) so a warm payload
+            # allocates nothing on arrival.
+            if pid < 0:
+                return Message(nodes[s], raws[raw_pos], bits)
+            cache = rmsg_cache[src]
+            message = cache.get((s, pid))
+            if message is None:
+                message = Message(nodes[s], tables[src][pid], bits)
+                cache[(s, pid)] = message
+            return message
+
+        round_no = 0
+        while True:
+            round_no += 1
+            # -- phase A: export last round's outbound -----------------
+            # Accounting is sender-side (a broadcast counts its full
+            # fan-out), exactly like the vectorized loop.
+            round_messages = 0
+            round_bits = 0
+            round_max_bits = 0
+            exports: List[Tuple] = []
+            local_addr: List[Tuple[int, int, Message]] = []
+            for s, out in addressed:
+                remote: List[Tuple[int, Any, int]] = []
+                for r, message in out:
+                    if lo <= r < hi:
+                        local_addr.append((s, r, message))
+                    else:
+                        remote.append((r, message.payload, message.bits))
+                    round_messages += 1
+                    round_bits += message.bits
+                    if message.bits > round_max_bits:
+                        round_max_bits = message.bits
+                if remote:
+                    exports.append(("a", s, remote))
+            if bsend:
+                # Columnar export: parallel (sender, pid, bits) columns
+                # plus the interner-sync delta. A cap-clear mid-batch
+                # invalidates in-flight pids; retry once against the
+                # fresh table, then (vanishingly rare: a second clear
+                # within one batch) ship every payload raw.
+                for _attempt in range(2):
+                    start_gen = interner.generation
+                    pids: List[int] = []
+                    bits_col: List[int] = []
+                    raws: List[Any] = []
+                    ok = True
+                    for message in bmsgs:
+                        try:
+                            pid, _ = interner.intern(message.payload)
+                        except TypeError:
+                            pid = -1
+                            raws.append(message.payload)
+                        else:
+                            if interner.generation != start_gen:
+                                ok = False
+                                break
+                        pids.append(pid)
+                        bits_col.append(message.bits)
+                    if ok:
+                        break
+                else:
+                    pids = [-1] * len(bmsgs)
+                    bits_col = [msg.bits for msg in bmsgs]
+                    raws = [msg.payload for msg in bmsgs]
+                reset = interner.generation != export_gen
+                if reset:
+                    export_mark = 0
+                    export_gen = interner.generation
+                delta = interner.payloads[export_mark:]
+                export_mark = len(interner.payloads)
+                exports.append(("c", bsend, pids, bits_col, delta, raws,
+                                reset))
+                for j, s in enumerate(bsend):
+                    d = deg[s]
+                    b = bits_col[j]
+                    round_messages += d
+                    round_bits += b * d
+                    if b > round_max_bits:
+                        round_max_bits = b
+            conn.send(
+                ("delivered", round_messages, round_bits, round_max_bits,
+                 exports)
+            )
+
+            tag, imports = conn.recv()
+            assert tag == "inbound", f"protocol violation: {tag!r}"
+            cbatches: List[Optional[Tuple]] = [None] * nshards
+            a_imports: List[Tuple] = []
+            for entry in imports:
+                if entry[0] == "c":
+                    _, src, c_send, c_pids, c_bits, delta, raws, reset = entry
+                    if reset:
+                        tables[src] = []
+                        rmsg_cache[src] = {}
+                    if delta:
+                        tables[src].extend(delta)
+                    cbatches[src] = (src, c_send, c_pids, c_bits, raws)
+                else:
+                    a_imports.append(entry)
+
+            any_broadcast = bool(bsend) or any(
+                batch is not None for batch in cbatches
+            )
+            general = bool(local_addr) or bool(a_imports) or not any_broadcast
+            ptr: Optional[List[int]] = None
+            skip_pos: Optional[List[int]] = None
+            clique_hi = 0
+            touched: List[int] = []
+            if general:
+                # Dict-inbox merge path: build every delivery this shard
+                # receives, sort by global sender index (stable — the
+                # indexed loop's insertion order), fill inboxes.
+                deliveries = local_addr
+                for s, message in zip(bsend, bmsgs):
+                    for r in fanout(s):
+                        if lo <= r < hi:
+                            deliveries.append((s, r, message))
+                for batch in cbatches:
+                    if batch is None:
+                        continue
+                    src, c_send, c_pids, c_bits, raws = batch
+                    raw_pos = 0
+                    for j, s in enumerate(c_send):
+                        pid = c_pids[j]
+                        message = _import_message(
+                            src, s, pid, c_bits[j], raws, raw_pos
+                        )
+                        if pid < 0:
+                            raw_pos += 1
+                        for r in fanout(s):
+                            if lo <= r < hi:
+                                deliveries.append((s, r, message))
+                for entry in a_imports:
+                    _, s, items = entry
+                    sender = nodes[s]
+                    for r, payload, bits in items:
+                        deliveries.append(
+                            (s, r, Message(sender, payload, bits))
+                        )
+                deliveries.sort(key=lambda entry: entry[0])
+                for s, r, message in deliveries:
+                    box = inboxes[r - lo]
+                    if not box:
+                        touched.append(r - lo)
+                    box[nodes[s]] = message
+            elif complete:
+                # Clique shape: shards are contiguous index ranges, so
+                # concatenating batches in shard order yields one shared
+                # sender column in ascending global sender order; each
+                # local receiver only needs its self-skip position.
+                del buf_labels[:]
+                del buf_msgs[:]
+                local_off = 0
+                for src in range(nshards):
+                    if src == shard:
+                        local_off = len(buf_msgs)
+                        for s, message in zip(bsend, bmsgs):
+                            buf_labels.append(labels[s])
+                            buf_msgs.append(message)
+                    else:
+                        batch = cbatches[src]
+                        if batch is None:
+                            continue
+                        _, c_send, c_pids, c_bits, raws = batch
+                        raw_pos = 0
+                        for j, s in enumerate(c_send):
+                            pid = c_pids[j]
+                            message = _import_message(
+                                src, s, pid, c_bits[j], raws, raw_pos
+                            )
+                            if pid < 0:
+                                raw_pos += 1
+                            buf_labels.append(labels[s])
+                            buf_msgs.append(message)
+                skip_pos = [-1] * m
+                for k, s in enumerate(bsend):
+                    skip_pos[s - lo] = local_off + k
+                clique_hi = len(buf_msgs)
+            else:
+                # Generic columnar shape: scatter local sends and
+                # imports into the global-sender message column, then
+                # one mask/gather over the shard's in-CSR slice routes
+                # everything — ascending sender order per receiver by
+                # construction.
+                plane.ensure_in_csr(transport)
+                sent = np.zeros(n, dtype=bool)
+                if bsend:
+                    sent[bsend] = True
+                    msg_col[bsend] = bmsgs
+                for batch in cbatches:
+                    if batch is None:
+                        continue
+                    src, c_send, c_pids, c_bits, raws = batch
+                    raw_pos = 0
+                    for j, s in enumerate(c_send):
+                        pid = c_pids[j]
+                        msg_col[s] = _import_message(
+                            src, s, pid, c_bits[j], raws, raw_pos
+                        )
+                        if pid < 0:
+                            raw_pos += 1
+                    sent[c_send] = True
+                mask = sent[plane.in_src]
+                kept = plane.in_src[mask]
+                counts = np.bincount(plane.in_dst[mask], minlength=m)
+                wbounds = np.zeros(m + 1, dtype=np.int64)
+                np.cumsum(counts, out=wbounds[1:])
+                ptr = wbounds.tolist()
+                col_state[0] = msg_col[kept]
+                col_state[1] = kept
+
+            # -- phase B: execute this shard's live nodes --------------
+            halts = 0
+            out_bsend: List[int] = []
+            out_bmsgs: List[Message] = []
+            out_addressed: List[Tuple[int, list]] = []
+            next_live: List[int] = []
+            for i in live:
+                if general:
+                    box: Any = inboxes[i - lo]
+                elif ptr is not None:
+                    wlo = ptr[i - lo]
+                    whi = ptr[i - lo + 1]
+                    if wlo != whi:
+                        box = views[i - lo]
+                        box._lo = wlo
+                        box._hi = whi
+                    else:
+                        box = empty_boxes[i - lo]
+                else:
+                    skip = skip_pos[i - lo]
+                    if clique_hi - (1 if skip >= 0 else 0) > 0:
+                        box = views[i - lo]
+                        box._hi = clique_hi
+                        box._skip = skip
+                    else:
+                        box = empty_boxes[i - lo]
+                ctx = contexts[i - lo]
+                ctx.round = round_no
+                raw = on_rounds[i - lo](ctx, box)
+                if ctx._halted:
+                    halts += 1
+                    continue
+                if raw is not None:
+                    dispatch(i, raw, out_bsend, out_bmsgs, out_addressed)
+                next_live.append(i)
+            for t in touched:
+                inboxes[t].clear()
+            live = next_live
+            bsend = out_bsend
+            bmsgs = out_bmsgs
+            addressed = out_addressed
+            conn.send(
+                ("executed", halts, 0, len(bsend) + len(addressed))
+            )
+
+            command = conn.recv()
+            if command[0] == "continue":
+                continue
+            if command[0] == "finish":
+                outputs = [contexts[i - lo].output for i in range(lo, hi)]
+                events = (
+                    list(sink.events[trace_base:]) if sink is not None else []
+                )
+                conn.send(("final", outputs, events))
+            break
+    except Exception as error:  # noqa: BLE001 — shipped to the parent
+        _ship_error(conn, error, shard)
     finally:
         conn.close()
 
@@ -380,16 +924,34 @@ def _worker_main(
 # ----------------------------------------------------------------------
 
 
-def _recv(conn):
-    """One protocol message from a worker; worker errors re-raise here."""
+def _recv(conn, shard: Optional[int] = None):
+    """One protocol message from a worker; worker errors re-raise here.
+
+    The worker ships ``("error", exc, shard, formatted_traceback)``;
+    re-raising ``exc`` bare would discard both forensics (the parent's
+    traceback shows only this frame). Instead the original exception —
+    type preserved, so callers can still catch
+    e.g. :class:`~repro.errors.ModelViolationError` — is chained via
+    ``raise … from`` to a :class:`SimulationError` carrying the shard
+    index and the worker-side traceback text.
+    """
     try:
         message = conn.recv()
     except EOFError:
+        where = f" for shard {shard}" if shard is not None else ""
         raise SimulationError(
-            "a sharded-engine worker died without reporting an error"
+            f"a sharded-engine worker{where} died without reporting an "
+            "error"
         )
     if message[0] == "error":
-        raise message[1]
+        error = message[1]
+        err_shard = message[2] if len(message) > 2 else shard
+        remote_tb = message[3] if len(message) > 3 else None
+        cause = SimulationError(
+            f"sharded-engine worker for shard {err_shard} failed; "
+            f"remote traceback:\n{remote_tb or '<unavailable>'}"
+        )
+        raise error from cause
     return message
 
 
@@ -410,10 +972,8 @@ def _run_sharded(
         # bit-identical, so this is invisible in the results. Works even
         # where fork is unavailable.
         from repro.simulator.runner import _require_engine
-        from repro.simulator.runner_vectorized import numpy_available
 
-        inner = "vectorized" if numpy_available() else "indexed"
-        return _require_engine(inner)(
+        return _require_engine(fastest_inprocess_engine())(
             runner, program_factory, max_rounds, quiescence_halts
         )
     if not fork_available():
@@ -433,26 +993,39 @@ def _run_sharded(
     bounds = shard_bounds(n, resolve_shards(runner.shards, n))
     sink = trace_sink(program_factory)
 
+    # Workers run the columnar inner loop whenever it exists and the
+    # run is honest; hostile runs (fault plan, adversary) take the
+    # scalar worker, whose delivery is the proven delivery-for-delivery
+    # replica of the indexed loop. Both are bit-identical.
+    columnar = (
+        runner.fault_plan is None
+        and runner.adversary_plan is None
+        and fastest_inprocess_engine() == "vectorized"
+    )
+
     ctx = multiprocessing.get_context("fork")
     workers = []
     connections = []
     try:
-        for lo, hi in bounds:
+        for shard, (lo, hi) in enumerate(bounds):
             parent_conn, child_conn = ctx.Pipe()
-            process = ctx.Process(
-                target=_worker_main,
-                args=(runner, program_factory, seeds[lo:hi], lo, hi,
-                      child_conn),
-                daemon=True,
-            )
+            if columnar:
+                target: Callable = _worker_main_columnar
+                args: Tuple = (runner, program_factory, seeds[lo:hi], lo,
+                               hi, shard, bounds, child_conn)
+            else:
+                target = _worker_main
+                args = (runner, program_factory, seeds[lo:hi], lo, hi,
+                        shard, child_conn)
+            process = ctx.Process(target=target, args=args, daemon=True)
             process.start()
             child_conn.close()
             workers.append(process)
             connections.append(parent_conn)
 
         unhalted = 0
-        for conn in connections:
-            tag, shard_unhalted = _recv(conn)
+        for shard, conn in enumerate(connections):
+            tag, shard_unhalted = _recv(conn, shard)
             assert tag == "ready", f"protocol violation: {tag!r}"
             unhalted += shard_unhalted
         live = unhalted
@@ -464,14 +1037,14 @@ def _run_sharded(
             round_bits = 0
             round_max_bits = 0
             imports: List[List[Tuple]] = [[] for _ in bounds]
-            for conn in connections:
-                tag, messages, bits, max_bits, exports = _recv(conn)
+            for shard, conn in enumerate(connections):
+                tag, messages, bits, max_bits, exports = _recv(conn, shard)
                 assert tag == "delivered", f"protocol violation: {tag!r}"
                 round_messages += messages
                 round_bits += bits
                 if max_bits > round_max_bits:
                     round_max_bits = max_bits
-                _route_exports(bounds, exports, imports)
+                _route_exports(bounds, exports, imports, shard)
             if round_messages or unhalted:
                 metrics.record_round(
                     round_messages, round_bits, round_max_bits
@@ -480,8 +1053,8 @@ def _run_sharded(
                 conn.send(("inbound", imports[shard]))
 
             senders_total = 0
-            for conn in connections:
-                tag, halts, crashes, shard_senders = _recv(conn)
+            for shard, conn in enumerate(connections):
+                tag, halts, crashes, shard_senders = _recv(conn, shard)
                 assert tag == "executed", f"protocol violation: {tag!r}"
                 unhalted -= halts
                 live -= halts + crashes
@@ -508,8 +1081,8 @@ def _run_sharded(
         trace_deltas = []
         for conn in connections:
             conn.send(("finish", halted_flag))
-        for (lo, hi), conn in zip(bounds, connections):
-            tag, shard_outputs, shard_events = _recv(conn)
+        for shard, ((lo, hi), conn) in enumerate(zip(bounds, connections)):
+            tag, shard_outputs, shard_events = _recv(conn, shard)
             assert tag == "final", f"protocol violation: {tag!r}"
             for i in range(lo, hi):
                 outputs[nodes[i]] = shard_outputs[i - lo]
@@ -522,6 +1095,8 @@ def _run_sharded(
             outputs=outputs, metrics=metrics, halted=halted_flag
         )
     finally:
+        # Close the parent ends first: a worker blocked on the pipe sees
+        # EOF and exits on its own, so terminate() is usually a no-op.
         for conn in connections:
             with contextlib.suppress(OSError):
                 conn.close()
@@ -529,18 +1104,41 @@ def _run_sharded(
             if process.is_alive():
                 process.terminate()
             process.join(timeout=5)
+            if process.is_alive():
+                # A worker ignoring SIGTERM (e.g. wedged in a C
+                # extension) would otherwise leak past this run;
+                # escalate to SIGKILL, which cannot be blocked.
+                process.kill()
+                process.join()
+            # Release the Process's own resources (sentinel fd, popen
+            # handle) deterministically instead of at GC time.
+            with contextlib.suppress(ValueError):
+                process.close()
 
 
 def _route_exports(
     bounds: List[Tuple[int, int]],
     exports: List[Tuple],
     imports: List[List[Tuple]],
+    src: int = 0,
 ) -> None:
-    """Split one worker's grouped exports by destination shard, keeping
-    the per-sender grouping (see the export format in
-    :func:`_worker_main`)."""
+    """Split one worker's grouped exports by destination shard.
+
+    Scalar shapes (``"b"``/``"a"``) are split per destination, keeping
+    the per-sender grouping. Columnar batches (``"c"``) are relayed
+    **verbatim** — tagged with the source shard ``src`` — to every other
+    shard: receiver routing happens in the destination worker's in-CSR
+    slice, and relaying the one batch object means the pipe pickles each
+    interner-delta payload once per destination shard, never per
+    message.
+    """
     for entry in exports:
-        if entry[0] == "b":
+        if entry[0] == "c":
+            relayed = ("c", src) + entry[1:]
+            for dst in range(len(imports)):
+                if dst != src:
+                    imports[dst].append(relayed)
+        elif entry[0] == "b":
             _, s, payload, bits, receivers = entry
             by_shard: dict = {}
             for r in receivers:

@@ -73,6 +73,13 @@ transport per run — consistent with the session layer's
 cache-the-canonicalization story: warm runs over the same network skip
 every rebuild and re-intern nothing.
 
+The message plane is also exported in per-shard form: the sharded
+engine's forked workers each build a :class:`_ShardPlane` — the in-CSR
+**row slice** for their receiver range via :func:`build_in_csr`, plus a
+shard-local interner and send cache — and run this same columnar loop
+behind the per-round barrier (see
+:mod:`repro.simulator.runner_sharded`).
+
 numpy is a soft import: the module always imports (so
 ``available_engines()`` can list every engine), and running without
 numpy raises a clean :class:`~repro.errors.SimulationError` naming the
@@ -98,6 +105,7 @@ from repro.utils.rng import fresh_seed
 
 __all__ = [
     "PayloadInterner",
+    "build_in_csr",
     "numpy_available",
     "MAX_INTERNED_PAYLOADS",
 ]
@@ -139,14 +147,21 @@ class PayloadInterner:
     assigning ids densely in first-seen order; ``payload_of`` round-trips
     an id back to the canonical payload object. Raises ``TypeError`` for
     unhashable payloads — callers route those to the uninterned path.
+
+    ``generation`` counts wholesale clears. Anyone who exported payload
+    ids (the sharded engine's interner-sync protocol ships
+    ``payloads[mark:]`` deltas across the per-round barrier) compares
+    generations to learn that every previously shipped id is now stale
+    and the table must be re-synced from scratch.
     """
 
-    __slots__ = ("_ids", "payloads", "bits")
+    __slots__ = ("_ids", "payloads", "bits", "generation")
 
     def __init__(self) -> None:
         self._ids: Dict[Any, int] = {}
         self.payloads: List[Any] = []
         self.bits: List[int] = []
+        self.generation = 0
 
     def __len__(self) -> int:
         return len(self.payloads)
@@ -171,6 +186,7 @@ class PayloadInterner:
         self._ids.clear()
         self.payloads.clear()
         self.bits.clear()
+        self.generation += 1
 
 
 class _ColumnInbox:
@@ -326,6 +342,118 @@ except Exception:  # pragma: no cover
     pass
 
 
+def build_in_csr(
+    fanout: List[Tuple[int, ...]],
+    n: int,
+    lo: int = 0,
+    hi: Optional[int] = None,
+):
+    """Transpose per-sender fan-out rows into per-receiver source slices.
+
+    Returns ``(in_ptr, in_src, in_dst)`` covering receivers ``[lo, hi)``
+    (defaulting to all ``n``): ``in_src[in_ptr[r - lo]:in_ptr[r - lo + 1]]``
+    lists the senders whose broadcast reaches receiver ``r``, in
+    ascending sender order — exactly the indexed loop's inbox insertion
+    order. ``in_dst`` holds the kept edges' receiver indices **relative
+    to** ``lo``, so a shard's slice bincounts straight into its local
+    inbox windows. Sender indices stay global: a shard receives from the
+    whole graph even though it owns only a receiver range.
+    """
+    if hi is None:
+        hi = n
+    src = np.repeat(
+        np.arange(n, dtype=np.int64),
+        np.asarray([len(fanout[i]) for i in range(n)], dtype=np.int64),
+    )
+    if src.size:
+        dst = np.concatenate(
+            [np.asarray(fanout[i], dtype=np.int64) for i in range(n)
+             if fanout[i]]
+        )
+    else:
+        dst = np.empty(0, dtype=np.int64)
+    if lo > 0 or hi < n:
+        keep = (dst >= lo) & (dst < hi)
+        src = src[keep]
+        dst = dst[keep]
+    if lo:
+        dst = dst - lo
+    # Stable sort by receiver: src is already ascending, so the sender
+    # order inside each receiver group is preserved.
+    order = np.argsort(dst, kind="stable")
+    in_src = src[order]
+    in_dst = dst[order]
+    rows = hi - lo
+    counts = np.bincount(dst, minlength=rows) if dst.size else np.zeros(
+        rows, dtype=np.int64
+    )
+    in_ptr = np.zeros(rows + 1, dtype=np.int64)
+    np.cumsum(counts, out=in_ptr[1:])
+    return in_ptr, in_src, in_dst
+
+
+class _ShardPlane:
+    """One shard's columnar message plane, built locally in a worker.
+
+    The worker-process counterpart of :class:`_VectorPlane` for the
+    sharded engine: the in-CSR **row slice** for the shard's receivers
+    ``[lo, hi)`` over all ``n`` senders, the node-label column, full
+    out-degrees (sender-side accounting needs every sender's fan-out
+    size), a shard-local :class:`PayloadInterner` plus warm-send cache,
+    and the per-round message-column scratch. A worker builds this
+    after fork and it lives for exactly one run — never cached across
+    runs, unlike the parent-side plane.
+    """
+
+    __slots__ = (
+        "n",
+        "lo",
+        "hi",
+        "labels",
+        "labels_np",
+        "deg",
+        "complete",
+        "interner",
+        "send_cache",
+        "in_ptr",
+        "in_src",
+        "in_dst",
+        "msg_col",
+    )
+
+    def __init__(self, transport, nodes, lo: int, hi: int) -> None:
+        n = len(nodes)
+        self.n = n
+        self.lo = lo
+        self.hi = hi
+        self.labels = list(nodes)
+        self.labels_np = np.empty(n, dtype=object)
+        for j, label in enumerate(self.labels):
+            # Element-wise: tuple labels must stay scalars.
+            self.labels_np[j] = label
+        fanout = transport._fanout
+        self.deg = [len(fanout[i]) for i in range(n)]
+        # Exact-type check, as in _VectorPlane: only the stock clique
+        # fan-out is provably "everyone else".
+        self.complete = type(transport) is CliqueTransport
+        self.interner = PayloadInterner()
+        self.send_cache: Dict[Any, Message] = {}
+        self.in_ptr = None
+        self.in_src = None
+        self.in_dst = None
+        # Message column indexed by *global* sender: local sends and
+        # barrier imports scatter in, masked gathers read out. Stale
+        # entries are never gathered.
+        self.msg_col = np.empty(n, dtype=object)
+
+    def ensure_in_csr(self, transport) -> None:
+        """Build the shard's in-CSR row slice on first columnar round."""
+        if self.in_ptr is None:
+            self.in_ptr, self.in_src, self.in_dst = build_in_csr(
+                transport._fanout, self.n, self.lo, self.hi
+            )
+
+
 class _VectorPlane:
     """Per-transport columnar state, cached across runs.
 
@@ -389,30 +517,9 @@ class _VectorPlane:
         broadcast reaches ``r``, in ascending sender order — exactly the
         indexed loop's inbox insertion order.
         """
-        fanout = transport._fanout
-        n = self.n
-        src = np.repeat(
-            np.arange(n, dtype=np.int64),
-            np.asarray([len(fanout[i]) for i in range(n)], dtype=np.int64),
+        self.in_ptr, self.in_src, self.in_dst = build_in_csr(
+            transport._fanout, self.n
         )
-        if src.size:
-            dst = np.concatenate(
-                [np.asarray(fanout[i], dtype=np.int64) for i in range(n)
-                 if fanout[i]]
-            )
-        else:
-            dst = np.empty(0, dtype=np.int64)
-        # Stable sort by receiver: src is already ascending, so the
-        # sender order inside each receiver group is preserved.
-        order = np.argsort(dst, kind="stable")
-        self.in_src = src[order]
-        self.in_dst = dst[order]
-        counts = np.bincount(dst, minlength=n) if dst.size else np.zeros(
-            n, dtype=np.int64
-        )
-        in_ptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(counts, out=in_ptr[1:])
-        self.in_ptr = in_ptr
 
 
 def _plane_for(network, transport, nodes) -> "_VectorPlane":

@@ -15,6 +15,16 @@ Typical use::
 Traces are also the substrate of the regression tests that pin protocol
 *schedules* (e.g. that a BFS wave reaches distance-d nodes exactly at
 round d), which aggregate metrics cannot express.
+
+The sharded engine's shard-local harvest rides on one hook:
+:func:`trace_sink` exposes the tracer a wrapped factory advertises, so
+each forked worker records its own nodes' events locally (events are
+per-node facts — sender, round, summary — never cross-shard state) and
+ships them home once, at run end, outside the per-round columnar
+barrier. The parent merges round-major, shard-major, which equals the
+single-process transcript because shards are contiguous index ranges;
+the equivalence matrix byte-compares the merged transcripts, columnar
+and scalar worker loops alike.
 """
 
 from __future__ import annotations

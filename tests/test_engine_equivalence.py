@@ -889,3 +889,91 @@ class TestCorruptedDifferentialMatrix:
             {"corruption_probability": 0.25, "kinds": ("flip",)},
         )
         assert hostile["outputs"] != clean["outputs"]
+
+
+# ----------------------------------------------------------------------
+# The shard-count hostile matrix: shards {2, 3} × {plain, faulted,
+# corrupted}, byte-compared transcripts
+# ----------------------------------------------------------------------
+
+
+def _run_hostile_case(
+    engine: str,
+    shards,
+    *,
+    faulted: bool = False,
+    corrupted: bool = False,
+    program: str = "retransmit-flood",
+):
+    """One pinned-seed run with optional hostile machinery attached.
+
+    Plans are built fresh per run: drop decisions and replay histories
+    are per-execution state, and both derive their RNG streams from the
+    scenario seed, so every engine binds identical randomness.
+    """
+    from repro.simulator.adversary import AdversaryPlan
+    from repro.simulator.scenario import Scenario
+
+    run = Scenario(
+        topology=MATRIX_GRAPH,
+        program=program,
+        model=Model.V_CONGEST,
+        seed=MATRIX_SEED,
+        fault_plan=(
+            FaultPlan(drop_probability=0.3, rng=11) if faulted else None
+        ),
+        adversary_plan=(
+            AdversaryPlan(corruption_probability=0.25, kinds=("flip",))
+            if corrupted
+            else None
+        ),
+        trace=True,
+        engine=engine,
+        shards=shards if engine == "sharded" else None,
+        max_rounds=2000,
+    ).run()
+    metrics = run.result.metrics
+    return {
+        "outputs": list(run.result.outputs.items()),
+        "halted": run.result.halted,
+        "metrics": (
+            metrics.rounds,
+            metrics.messages,
+            metrics.bits,
+            metrics.max_message_bits,
+            sorted(metrics.phase_rounds.items()),
+        ),
+        "trace": [repr(event) for event in run.trace.events],
+    }
+
+
+@pytest.mark.skipif(not SHARDED_TESTS_OK, reason=SHARDED_SKIP_REASON)
+class TestShardCountHostileMatrix:
+    """The columnar barrier under every shard count it advertises: 2 and
+    3 workers × {plain, faulted, corrupted} must reproduce the indexed
+    transcript byte for byte. Hostile rounds are exactly where a worker
+    falls back from the columnar fast path to the scalar export loop, so
+    this matrix pins the seam between the two."""
+
+    @pytest.mark.parametrize(
+        "faulted,corrupted",
+        [(False, False), (True, False), (False, True)],
+        ids=["plain", "faulted", "corrupted"],
+    )
+    @pytest.mark.parametrize("shards", (2, 3))
+    def test_sharded_matches_indexed(self, shards, faulted, corrupted):
+        baseline = _run_hostile_case(
+            "indexed", None, faulted=faulted, corrupted=corrupted
+        )
+        other = _run_hostile_case(
+            "sharded", shards, faulted=faulted, corrupted=corrupted
+        )
+        assert other == baseline
+
+    @pytest.mark.parametrize("shards", (2, 3))
+    def test_addressed_traffic_matches_indexed(self, shards):
+        """BFS parent-pointer traffic is dict-addressed, forcing the
+        columnar worker onto its general (addressed) merge path."""
+        baseline = _run_hostile_case("indexed", None, program="bfs")
+        other = _run_hostile_case("sharded", shards, program="bfs")
+        assert other == baseline

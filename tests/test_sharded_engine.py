@@ -9,6 +9,8 @@ and therefore run on any machine.
 
 from __future__ import annotations
 
+import os
+
 import networkx as nx
 import pytest
 
@@ -26,14 +28,25 @@ from repro.simulator.runner_sharded import (
     MAX_DEFAULT_SHARDS,
     _owner,
     resolve_shards,
+    schedulable_cpus,
     shard_bounds,
     shards_context,
 )
 from repro.simulator.tracing import Tracer, trace_sink
 from sharded_support import SHARDED_SKIP_REASON, SHARDED_TESTS_OK
+from vectorized_support import VECTORIZED_TESTS_OK
 
 needs_fork = pytest.mark.skipif(
     not SHARDED_TESTS_OK, reason=SHARDED_SKIP_REASON
+)
+
+# The columnar worker loop only engages when numpy is importable (the
+# parent falls back to the scalar worker otherwise), so tests that pin
+# columnar-only behaviour need both gates.
+needs_columnar = pytest.mark.skipif(
+    not (SHARDED_TESTS_OK and VECTORIZED_TESTS_OK),
+    reason="columnar barrier tests need fork + numpy (and the forced "
+    "env gates REPRO_SHARDED_TESTS / REPRO_VECTORIZED_TESTS)",
 )
 
 
@@ -233,3 +246,164 @@ class TestShardedRunsEndToEnd:
         assert a.outputs == b.outputs
         assert a.halted == b.halted
         assert a.metrics.rounds == b.metrics.rounds
+
+
+class TestSchedulableCpus:
+    """Worker sizing reads the *schedulable* CPU set, not the host count:
+    in a cgroup/affinity-limited container ``os.cpu_count()`` reports
+    host logical CPUs and over-forks."""
+
+    def test_affinity_set_wins(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 5}, raising=False)
+        assert schedulable_cpus() == 2
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 7)
+        assert schedulable_cpus() == 7
+
+    def test_oserror_falls_back_to_cpu_count(self, monkeypatch):
+        def boom(pid):
+            raise OSError("no affinity syscall here")
+
+        monkeypatch.setattr(os, "sched_getaffinity", boom, raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 3)
+        assert schedulable_cpus() == 3
+
+    def test_never_below_one(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert schedulable_cpus() == 1
+
+    def test_default_shards_track_affinity(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1}, raising=False)
+        assert resolve_shards(None, 10**6) == 2
+
+
+class CountingTok(str):
+    """A broadcast token whose pickle crossings are observable.
+
+    ``__reduce__`` keeps the class through the round-trip (so the
+    parent's relay pickle is counted on the parent-side class object —
+    worker-side increments happen in forked children and stay invisible
+    here) and bumps ``pickles`` every time an instance is serialized.
+    """
+
+    pickles = 0
+
+    def __reduce__(self):
+        type(self).pickles += 1
+        return (CountingTok, (str(self),))
+
+
+class _TokFlood(NodeProgram):
+    """Every node broadcasts the *same* token value for three rounds."""
+
+    def on_round(self, ctx, inbox):
+        if ctx.round >= 3:
+            ctx.halt(sorted(inbox))
+            return None
+        return CountingTok("tok")
+
+    def on_start(self, ctx):
+        return CountingTok("tok")
+
+
+class _ListBroadcaster(NodeProgram):
+    """One source broadcasts a mutable (unhashable) list; receivers
+    report the payload value *and* the identity of the object they got."""
+
+    def __init__(self, is_source):
+        self.is_source = is_source
+
+    def on_start(self, ctx):
+        return [1, 2, 3] if self.is_source else None
+
+    def on_round(self, ctx, inbox):
+        if self.is_source:
+            ctx.halt("source")
+        else:
+            (message,) = inbox.values()
+            ctx.halt((tuple(message.payload), id(message.payload)))
+        return None
+
+
+class _BoomInRoundTwo(NodeProgram):
+    def __init__(self, boom):
+        self.boom = boom
+
+    def on_round(self, ctx, inbox):
+        if self.boom and ctx.round == 2:
+            raise RuntimeError("boom in the second round")
+        return 1
+
+
+@needs_columnar
+class TestColumnarBarrier:
+    """The columnar export protocol, observed from the outside: payload
+    dedup across the barrier, aliasing of uninterned payloads, and the
+    chained remote-failure report."""
+
+    def test_duplicate_payload_pickled_once_per_shard_pair(self):
+        """Eight nodes broadcast one equal token for four rounds — 32
+        sends — yet the parent relays exactly one pickled payload per
+        (source shard → destination shard) pair: the interner-sync delta
+        carries it once and every later round ships bare payload ids."""
+        indexed = simulate(
+            Network(nx.cycle_graph(8), rng=1),
+            lambda v: _TokFlood(),
+            engine="indexed",
+        )
+        CountingTok.pickles = 0
+        sharded = simulate(
+            Network(nx.cycle_graph(8), rng=1),
+            lambda v: _TokFlood(),
+            engine="sharded",
+            shards=2,
+        )
+        assert list(sharded.outputs.items()) == list(indexed.outputs.items())
+        assert sharded.halted == indexed.halted
+        assert CountingTok.pickles == 2
+
+    def test_unhashable_payload_aliases_within_each_shard(self):
+        """A mutable list cannot be interned, so it ships uninterned in
+        the raws column — but each destination shard materializes it
+        once and every local receiver aliases that one object, matching
+        the single-process engines' aliasing semantics shard-locally."""
+        network = Network(nx.complete_graph(6), rng=1)
+        source = network.nodes[0]
+        result = simulate(
+            network,
+            lambda v: _ListBroadcaster(v == source),
+            engine="sharded",
+            shards=2,
+        )
+        values = {v: out for v, out in result.outputs.items() if v != source}
+        assert all(payload == (1, 2, 3) for payload, _ in values.values())
+        # shard 0 owns indices 0-2, shard 1 owns 3-5; receivers within a
+        # shard see the *same* payload object (ids across shards live in
+        # different address spaces and are not comparable).
+        by_index = {network.index_of(v): ident for v, (_, ident) in values.items()}
+        assert by_index[1] == by_index[2]
+        assert by_index[3] == by_index[4] == by_index[5]
+
+    def test_worker_crash_chains_remote_traceback(self):
+        """A program crash in shard 1 surfaces promptly in the parent as
+        the original exception type, chained to a SimulationError that
+        names the shard and carries the worker's formatted traceback."""
+        network = Network(nx.cycle_graph(6), rng=1)
+        boomer = network.nodes[4]  # index 4 → shard 1 of bounds (0,3),(3,6)
+        with pytest.raises(RuntimeError, match="boom in the second round") as info:
+            simulate(
+                network,
+                lambda v: _BoomInRoundTwo(v == boomer),
+                engine="sharded",
+                shards=2,
+                max_rounds=10,
+            )
+        cause = info.value.__cause__
+        assert isinstance(cause, SimulationError)
+        text = str(cause)
+        assert "shard 1" in text
+        assert "Traceback (most recent call last)" in text
+        assert "boom in the second round" in text

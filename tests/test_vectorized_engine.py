@@ -290,6 +290,54 @@ class TestPayloadInterner:
         assert len(interner) == 1
         assert interner.payload_of(0) == 99
 
+    def test_generation_counts_clears(self, monkeypatch):
+        """``generation`` is the sharded barrier's reset signal: a
+        destination shard drops its mirrored payload table exactly when
+        the source's counter moved, so the counter must tick on every
+        clear — explicit or cap-triggered — and never otherwise."""
+        monkeypatch.setattr(rv, "MAX_INTERNED_PAYLOADS", 2)
+        interner = PayloadInterner()
+        assert interner.generation == 0
+        interner.intern("a")
+        interner.intern("b")
+        assert interner.generation == 0  # filling the table is not a reset
+        interner.intern("c")  # cap crossed: wholesale clear
+        assert interner.generation == 1
+        interner.clear()
+        assert interner.generation == 2
+
+
+class TestBuildInCsr:
+    """The module-level ``build_in_csr`` must slice consistently: a
+    shard's ``[lo, hi)`` window is exactly the full CSR restricted to
+    receivers in the window, with destinations relocalized."""
+
+    def _fanout(self, graph):
+        network = Network(graph, rng=1)
+        transport = SyncRunner(network, model=Model.V_CONGEST).transport
+        return transport._fanout, network.n
+
+    def test_slices_tile_the_full_csr(self):
+        fanout, n = self._fanout(harary_graph(4, 13))
+        full_ptr, full_src, full_dst = rv.build_in_csr(fanout, n)
+        for lo, hi in ((0, 5), (5, 9), (9, 13), (0, n)):
+            ptr, src, dst = rv.build_in_csr(fanout, n, lo, hi)
+            assert len(ptr) == hi - lo + 1
+            for r in range(lo, hi):
+                window = slice(ptr[r - lo], ptr[r - lo + 1])
+                # Same senders, in the same (ascending) order…
+                assert list(src[window]) == list(
+                    full_src[full_ptr[r]:full_ptr[r + 1]]
+                )
+                # …and every local destination maps back to r.
+                assert all(d == r - lo for d in dst[window])
+
+    def test_sender_indices_stay_global(self):
+        fanout, n = self._fanout(nx.cycle_graph(6))
+        _, src, _ = rv.build_in_csr(fanout, n, 3, 6)
+        # Receivers 3..5 hear from global neighbors 2..5 ∪ {0}.
+        assert set(src.tolist()) == {2, 3, 4, 5, 0}
+
 
 # ----------------------------------------------------------------------
 # Inbox views
