@@ -1,0 +1,213 @@
+"""E30: warm service vs cold sessions; incremental re-canonicalization.
+
+The service layer (``repro serve`` / :class:`repro.service.ServiceCore`)
+exists for two workloads, and this benchmark times both →
+``BENCH_service.json`` (via ``run_benchmarks.py --suite service``):
+
+* **warm vs cold queries** — the same ``estimate`` request stream
+  answered by one long-lived :class:`ServiceCore` (sessions stay in the
+  fingerprint LRU, results in the per-session cache) versus a cold
+  :class:`~repro.api.GraphSession` per call — the "CLI in a loop"
+  shape. Gate: warm queries/sec must beat cold on every row.
+* **incremental vs from-scratch re-canonicalization** — an alternating
+  ``edge_new``/``edge_rmv`` edit stream against one warm session
+  (splice + lazy invalidation, fingerprint included) versus rebuilding
+  an :class:`~repro.fastgraph.IndexedGraph` + fingerprint from the
+  edited graph each time. Both sides end bit-identical (asserted);
+  the per-edit latencies are recorded.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import time
+from typing import Dict, List
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+EDIT_STREAM = 40  # edits per case in the re-canonicalization measurement
+
+
+def _cases(quick: bool):
+    if quick:
+        return [("harary:6,48", 24), ("hypercube:5", 16)]
+    return [
+        ("harary:6,120", 60),
+        ("regular:8,250,3", 120),
+        ("harary:8,400", 200),
+    ]
+
+
+def _warm_vs_cold(spec: str, queries: int, seed: int) -> Dict:
+    from repro.api import GraphSession
+    from repro.service import ServiceCore
+
+    core = ServiceCore()
+    request = {"op": "estimate", "graph": spec, "seed": seed}
+    core.handle(request)  # build the session outside the timed region
+
+    start = time.perf_counter()
+    for _ in range(queries):
+        response = core.handle(request)
+        assert response["task"] == "connectivity"
+    warm_s = time.perf_counter() - start
+
+    cold_queries = max(2, queries // 10)  # cold calls are slow; sample
+    start = time.perf_counter()
+    for _ in range(cold_queries):
+        GraphSession(spec).connectivity(seed=seed)
+    cold_s = time.perf_counter() - start
+
+    warm_qps = queries / warm_s
+    cold_qps = cold_queries / cold_s
+    return {
+        "queries": queries,
+        "warm_s": round(warm_s, 6),
+        "cold_queries": cold_queries,
+        "cold_s": round(cold_s, 6),
+        "warm_qps": round(warm_qps, 1),
+        "cold_qps": round(cold_qps, 1),
+        "speedup": round(warm_qps / cold_qps, 2),
+    }
+
+
+def _edit_schedule(graph, edits: int):
+    """Alternating remove/re-add over distinct edges (state-restoring)."""
+    pairs = sorted(graph.edges(), key=str)[: max(1, edits // 2)]
+    schedule = []
+    for a, b in pairs:
+        schedule.append(("remove", a, b))
+        schedule.append(("add", a, b))
+    return schedule[:edits]
+
+
+def _incremental_vs_scratch(spec: str, edits: int) -> Dict:
+    from repro.api import GraphSession
+    from repro.fastgraph import IndexedGraph
+    from repro.api.specs import parse_graph_spec
+
+    session = GraphSession(spec)
+    session.fingerprint  # warm: index + fingerprint built
+    schedule = _edit_schedule(session.graph, edits)
+
+    incremental: List[float] = []
+    for op, a, b in schedule:
+        start = time.perf_counter()
+        if op == "add":
+            session.add_edge(a, b)
+        else:
+            session.remove_edge(a, b)
+        fingerprint = session.fingerprint  # includes lazy invalidation
+        incremental.append(time.perf_counter() - start)
+
+    shadow = parse_graph_spec(spec)
+    scratch: List[float] = []
+    for op, a, b in schedule:
+        start = time.perf_counter()
+        if op == "add":
+            shadow.add_edge(a, b)
+        else:
+            shadow.remove_edge(a, b)
+        rebuilt = GraphSession(shadow, label=spec)
+        scratch_fp = rebuilt.fingerprint  # full re-canonicalization
+        scratch.append(time.perf_counter() - start)
+
+    assert fingerprint == scratch_fp, f"{spec}: edit streams diverged"
+    incremental_s = sum(incremental) / len(incremental)
+    scratch_s = sum(scratch) / len(scratch)
+    return {
+        "edits": len(schedule),
+        "incremental_per_edit_s": round(incremental_s, 8),
+        "scratch_per_edit_s": round(scratch_s, 8),
+        "speedup": round(scratch_s / incremental_s, 2),
+    }
+
+
+def run(quick: bool = False, repeats: int = 1, seed: int = 9) -> Dict:
+    """Measure both service claims; assert equality gates per row."""
+    del repeats  # query streams are already averaged internally
+    rows: List[Dict] = []
+    for spec, queries in _cases(quick):
+        from repro.api import GraphSession
+
+        probe = GraphSession(spec)
+        query_row = _warm_vs_cold(spec, queries, seed)
+        edit_row = _incremental_vs_scratch(
+            spec, EDIT_STREAM if not quick else 10
+        )
+        if not quick and query_row["speedup"] <= 1.0:
+            # The acceptance gate: a warm service must answer measurably
+            # faster than cold per-call sessions. (--quick rows are too
+            # small to time-gate without flaking.)
+            raise AssertionError(
+                f"{spec}: warm service ({query_row['warm_qps']} q/s) did "
+                f"not beat cold sessions ({query_row['cold_qps']} q/s)"
+            )
+        rows.append(
+            {
+                "graph": spec,
+                "n": probe.n,
+                "m": probe.m,
+                "seed": seed,
+                "queries": query_row,
+                "recanonicalization": edit_row,
+            }
+        )
+    return {
+        "benchmark": "service",
+        "unit": "seconds (wall clock); qps = queries per second",
+        "gate": (
+            "warm service beats cold per-call sessions on every row; "
+            "incremental and from-scratch re-canonicalization agree"
+        ),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": rows,
+    }
+
+
+def smoke():
+    """Tiny run + equality gates for the bench-smoke tier."""
+    report = run(quick=True)
+    assert report["results"], "service bench produced no rows"
+    for row in report["results"]:
+        assert row["queries"]["warm_qps"] > 0
+        assert row["recanonicalization"]["incremental_per_edit_s"] > 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="tiny graphs")
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=9)
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_service.json",
+        help="output JSON path (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+    report = run(quick=args.quick, repeats=args.repeats, seed=args.seed)
+    args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    for row in report["results"]:
+        print(
+            "{graph:>16}  n={n:<4} warm={warm:>8} q/s cold={cold:>7} q/s "
+            "({qx}x)   edit: inc={inc:.6f}s scratch={scr:.6f}s ({ex}x)".format(
+                graph=row["graph"], n=row["n"],
+                warm=row["queries"]["warm_qps"],
+                cold=row["queries"]["cold_qps"],
+                qx=row["queries"]["speedup"],
+                inc=row["recanonicalization"]["incremental_per_edit_s"],
+                scr=row["recanonicalization"]["scratch_per_edit_s"],
+                ex=row["recanonicalization"]["speedup"],
+            )
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,6 +30,11 @@ numbers instead of anecdotes):
   gate: at the reference corruption rate the uncoded flood measurably
   fails while both coded variants hold ≥ 0.99 coverage with zero wrong
   answers.
+* ``service`` — the warm ``repro serve`` core vs cold per-call
+  sessions, plus incremental vs from-scratch re-canonicalization per
+  edit → ``BENCH_service.json`` (see :mod:`bench_service`). Acceptance
+  gate: warm beats cold on every full-size row; both edit paths end
+  bit-identical.
 
 Run from the repo root::
 
@@ -210,6 +215,14 @@ def _run_resilience(args) -> None:
     bench_resilience.main(forwarded)
 
 
+def _run_service(args) -> None:
+    try:
+        import bench_service
+    except ImportError:  # running as a module from the repo root
+        from benchmarks import bench_service
+    bench_service.main(_forwarded_args(args, "service"))
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -217,7 +230,10 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=["all", "spanning", "simulator", "cds_packing", "api", "resilience"],
+        choices=[
+            "all", "spanning", "simulator", "cds_packing", "api",
+            "resilience", "service",
+        ],
         default="all",
         help="which benchmark suite(s) to run",
     )
@@ -254,6 +270,8 @@ def main(argv=None) -> int:
         _run_api(args)
     if args.suite in ("all", "resilience"):
         _run_resilience(args)
+    if args.suite in ("all", "service"):
+        _run_service(args)
     return 0
 
 

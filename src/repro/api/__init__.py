@@ -40,6 +40,7 @@ from repro.api.specs import (
     GRAPH_FAMILIES,
     available_families,
     family_signatures,
+    load_adjacency_csv,
     parse_graph_spec,
 )
 
@@ -94,6 +95,7 @@ __all__ = [
     "expand_matrix",
     "derive_seed",
     "parse_graph_spec",
+    "load_adjacency_csv",
     "available_families",
     "family_signatures",
     "GRAPH_FAMILIES",

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import hashlib
 import time
+from collections import OrderedDict
 from dataclasses import asdict
 from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple, Union
 
@@ -75,6 +76,13 @@ def _coerce_topology(topology: TopologyLike) -> Tuple[nx.Graph, str]:
     )
 
 
+#: Default bound on a session's per-task result cache. Long-lived
+#: processes (the ``repro serve`` daemon) hold sessions indefinitely, so
+#: an unbounded cache is a leak; 256 envelopes comfortably covers any
+#: interactive working set while keeping the worst case small.
+DEFAULT_CACHE_LIMIT = 256
+
+
 class GraphSession:
     """Canonicalize a graph once; run the whole pipeline against it.
 
@@ -84,20 +92,53 @@ class GraphSession:
     so ``connectivity → pack_cds → broadcast`` under one seed performs a
     single canonicalization and a single packing construction.
     ``session.stats`` reports the cache behavior.
+
+    The result cache is an LRU bounded by ``cache_limit`` entries
+    (``None`` for unbounded; evictions are counted in
+    ``stats["evictions"]``), so a session can serve an unbounded query
+    stream — the ``repro serve`` daemon holds sessions for its whole
+    lifetime — without leaking.
+
+    Sessions are also *mutable*: :meth:`add_edge` / :meth:`remove_edge`
+    update the graph and the cached :class:`IndexedGraph` incrementally
+    (no re-canonicalization) and bump :attr:`generation`; the dependent
+    layers — ``CdsIndex``, fingerprint, result cache — carry the
+    generation they were built at and lazily rebuild when stale. After
+    any edit sequence the session is bit-identical to a fresh session
+    built from the final graph (``tests/test_incremental_index.py``).
     """
 
-    def __init__(self, topology: TopologyLike, label: Optional[str] = None):
+    def __init__(
+        self,
+        topology: TopologyLike,
+        label: Optional[str] = None,
+        cache_limit: Optional[int] = DEFAULT_CACHE_LIMIT,
+    ):
         graph, descriptor = _coerce_topology(topology)
+        if cache_limit is not None and cache_limit < 1:
+            raise GraphValidationError(
+                f"cache_limit must be >= 1 or None, got {cache_limit!r}"
+            )
         self._graph = graph
         self._label = label or descriptor
+        self._cache_limit = cache_limit
         self._indexed = None
         self._cds_index = None
         self._fingerprint: Optional[str] = None
-        self._results: Dict[Tuple, Result] = {}
+        self._results: "OrderedDict[Tuple, Result]" = OrderedDict()
+        #: Bumped on every mutation; dependent caches stamp the
+        #: generation they were built at and rebuild lazily when stale.
+        self.generation = 0
+        self._cds_generation = 0
+        self._fingerprint_generation = 0
+        self._results_generation = 0
         self.stats: Dict[str, int] = {
             "canonicalizations": 0,
             "cache_hits": 0,
             "cache_misses": 0,
+            "evictions": 0,
+            "mutations": 0,
+            "invalidations": 0,
         }
 
     # -- cached canonical views ----------------------------------------
@@ -130,11 +171,17 @@ class GraphSession:
 
     @property
     def cds_index(self):
-        """The CDS-pipeline index, sharing :attr:`indexed`."""
-        if self._cds_index is None:
+        """The CDS-pipeline index, sharing :attr:`indexed`.
+
+        Rebuilt lazily after a mutation (the generation stamp differs);
+        the underlying :class:`IndexedGraph` is *not* rebuilt — it was
+        maintained incrementally by the mutation itself.
+        """
+        if self._cds_index is None or self._cds_generation != self.generation:
             from repro.core.virtual_graph import CdsIndex
 
             self._cds_index = CdsIndex(self._graph, indexed=self.indexed)
+            self._cds_generation = self.generation
         return self._cds_index
 
     @property
@@ -143,8 +190,12 @@ class GraphSession:
 
         Stable across processes and hash seeds (node ``repr`` based), so
         batch rows from different workers agree on graph identity.
+        Recomputed lazily after a mutation.
         """
-        if self._fingerprint is None:
+        if (
+            self._fingerprint is None
+            or self._fingerprint_generation != self.generation
+        ):
             indexed = self.indexed
             digest = hashlib.sha256()
             for node in indexed.nodes:
@@ -156,23 +207,81 @@ class GraphSession:
             ):
                 digest.update(f"{a},{b};".encode("ascii"))
             self._fingerprint = digest.hexdigest()[:16]
+            self._fingerprint_generation = self.generation
         return self._fingerprint
 
+    # -- incremental mutation ------------------------------------------
+
+    def add_edge(self, a: Hashable, b: Hashable) -> None:
+        """Add edge ``{a, b}`` (new labels become new nodes).
+
+        The cached :class:`IndexedGraph` is spliced in place — no
+        re-canonicalization — and :attr:`generation` is bumped so the
+        dependent layers (``CdsIndex``, fingerprint, result cache)
+        rebuild lazily on next use.
+        """
+        if a == b:
+            raise GraphValidationError(
+                f"self-loop {a!r}-{b!r} is not allowed"
+            )
+        if self._graph.has_edge(a, b):
+            raise GraphValidationError(f"edge {a!r}-{b!r} already exists")
+        if self._indexed is not None:
+            self._indexed.add_edge(a, b)
+        self._graph.add_edge(a, b)
+        self._note_mutation()
+
+    def remove_edge(self, a: Hashable, b: Hashable) -> None:
+        """Remove edge ``{a, b}`` (nodes stay, as in ``nx.Graph``)."""
+        if not self._graph.has_edge(a, b):
+            raise GraphValidationError(
+                f"edge {a!r}-{b!r} is not in the graph"
+            )
+        if self._indexed is not None:
+            self._indexed.remove_edge(a, b)
+        self._graph.remove_edge(a, b)
+        self._note_mutation()
+
+    def _note_mutation(self) -> None:
+        self.generation += 1
+        self.stats["mutations"] += 1
+
     # -- result cache --------------------------------------------------
+
+    def _fresh_results(self) -> "OrderedDict[Tuple, Result]":
+        """The result cache, cleared first if a mutation made it stale."""
+        if self._results_generation != self.generation:
+            if self._results:
+                self.stats["invalidations"] += len(self._results)
+                self._results.clear()
+            self._results_generation = self.generation
+        return self._results
+
+    def _store_result(self, key: Tuple, value) -> None:
+        """Insert into the LRU; evict the least-recently-used overflow."""
+        results = self._fresh_results()
+        results[key] = value
+        results.move_to_end(key)
+        if self._cache_limit is not None:
+            while len(results) > self._cache_limit:
+                results.popitem(last=False)
+                self.stats["evictions"] += 1
 
     def _cached(self, key: Tuple, build) -> Result:
         # Envelopes are handed out as copies (raw shared): a caller
         # mutating payload/timings in place must not poison the cache.
-        if key in self._results:
+        results = self._fresh_results()
+        if key in results:
             self.stats["cache_hits"] += 1
-            return self._results[key].copy()
+            results.move_to_end(key)
+            return results[key].copy()
         self.stats["cache_misses"] += 1
         start = time.perf_counter()
         result = build()
         result.timings.setdefault(
             "total_s", time.perf_counter() - start
         )
-        self._results[key] = result
+        self._store_result(key, result)
         return result.copy()
 
     def _envelope(
@@ -207,12 +316,15 @@ class GraphSession:
         from repro.core.cds_packing import fractional_cds_packing
 
         key = ("_cds", k, seed, params)
-        if key not in self._results:
+        results = self._fresh_results()
+        if key not in results:
             result = fractional_cds_packing(
                 self._graph, k=k, params=params, rng=seed,
                 index=self.cds_index,
             )
-            self._results[key] = result
+            self._store_result(key, result)
+        else:
+            results.move_to_end(key)
         return self._results[key]
 
     def pack_cds(
@@ -301,23 +413,28 @@ class GraphSession:
     def exact_vertex_connectivity(self) -> int:
         """Exact ``k`` via Even–Tarjan (cached; the expensive oracle)."""
         key = ("_exact_k",)
-        if key not in self._results:
+        results = self._fresh_results()
+        if key not in results:
             from repro.baselines.vertex_connectivity_exact import (
                 even_tarjan_vertex_connectivity,
             )
 
-            self._results[key], _ = even_tarjan_vertex_connectivity(
-                self._graph
-            )
+            exact_k, _ = even_tarjan_vertex_connectivity(self._graph)
+            self._store_result(key, exact_k)
+        else:
+            results.move_to_end(key)
         return self._results[key]
 
     def exact_edge_connectivity(self) -> int:
         """Exact ``λ`` via Stoer–Wagner (cached)."""
         key = ("_exact_lam",)
-        if key not in self._results:
+        results = self._fresh_results()
+        if key not in results:
             from repro.baselines.mincut import edge_connectivity_exact
 
-            self._results[key] = edge_connectivity_exact(self._graph)
+            self._store_result(key, edge_connectivity_exact(self._graph))
+        else:
+            results.move_to_end(key)
         return self._results[key]
 
     def pack_spanning(

@@ -37,6 +37,9 @@ class GraphFamily:
     build: Callable[..., nx.Graph]
     # Per-position coercions; positions beyond the list parse as int.
     arg_types: Tuple[type, ...] = ()
+    # True: the argument text is one opaque token (file paths may
+    # contain commas), not a comma-separated list.
+    raw_args: bool = False
 
     def coerce(self, position: int, token: str):
         target = (
@@ -44,6 +47,8 @@ class GraphFamily:
             if position < len(self.arg_types)
             else int
         )
+        if target is str:
+            return token
         try:
             return target(token)
         except ValueError:
@@ -123,6 +128,108 @@ _register(GraphFamily(
 ))
 
 
+def _coerce_node_id(token: str):
+    """CSV node IDs: integer-looking tokens become ints, others strings.
+
+    Matches the CLI's crash-spec coercion so node identity agrees across
+    every front door (a CSV node ``3`` equals ``repro shell``'s
+    ``node nbr 3``).
+    """
+    token = token.strip()
+    return int(token) if token.lstrip("-").isdigit() and token else token
+
+
+def load_adjacency_csv(path: str) -> nx.Graph:
+    """Import an adjacency-matrix CSV (GCLI exemplar format).
+
+    The first row and first column list the node IDs (the corner cell is
+    blank/ignored); a non-empty, non-zero cell creates the edge between
+    its row and column nodes. The matrix is read as undirected — either
+    triangle (or both, consistently) may be filled in. Diagonal cells
+    are ignored (no self-loops).
+
+    Node order is the header order, edges are added row-major, so the
+    resulting canonicalization is deterministic for a given file.
+    """
+    import csv as _csv
+
+    try:
+        with open(path, "r", encoding="utf-8-sig", newline="") as handle:
+            rows = [row for row in _csv.reader(handle) if row]
+    except OSError as exc:
+        raise GraphValidationError(
+            f"cannot read adjacency CSV {path!r}: {exc}"
+        ) from exc
+    if len(rows) < 2:
+        raise GraphValidationError(
+            f"adjacency CSV {path!r} needs a header row and at least one "
+            "node row (first row/column are node IDs)"
+        )
+    header = [_coerce_node_id(cell) for cell in rows[0][1:]]
+    if not header or len(set(header)) != len(header):
+        raise GraphValidationError(
+            f"adjacency CSV {path!r}: header row must list unique node "
+            "IDs after the blank corner cell"
+        )
+    graph = nx.Graph()
+    graph.add_nodes_from(header)
+    conflicting = []
+    for row_number, row in enumerate(rows[1:], start=2):
+        row_id = _coerce_node_id(row[0])
+        if row_id not in graph:
+            raise GraphValidationError(
+                f"adjacency CSV {path!r} line {row_number}: row node "
+                f"{row_id!r} does not appear in the header row"
+            )
+        if len(row) - 1 > len(header):
+            raise GraphValidationError(
+                f"adjacency CSV {path!r} line {row_number}: {len(row) - 1} "
+                f"cells for {len(header)} header node(s)"
+            )
+        for column, cell in zip(header, row[1:]):
+            filled = cell.strip() not in ("", "0")
+            if not filled or column == row_id:
+                continue
+            if graph.has_edge(row_id, column):
+                continue
+            graph.add_edge(row_id, column)
+            # Remember the fill so an asymmetric matrix (cell set on one
+            # side, explicit 0 on the other) can be reported loudly.
+            conflicting.append((row_id, column, cell.strip()))
+    explicit = {
+        (a, b): value for a, b, value in conflicting
+    }
+    for row_number, row in enumerate(rows[1:], start=2):
+        row_id = _coerce_node_id(row[0])
+        for column, cell in zip(header, row[1:]):
+            if column == row_id:
+                continue
+            value = cell.strip()
+            mirrored = explicit.get((column, row_id))
+            if mirrored is not None and value == "0":
+                raise GraphValidationError(
+                    f"adjacency CSV {path!r} line {row_number}: cell "
+                    f"({row_id!r}, {column!r}) is 0 but the mirror cell "
+                    f"is {mirrored!r}; fill the matrix consistently"
+                )
+    if graph.number_of_nodes() == 0:
+        raise GraphValidationError(
+            f"adjacency CSV {path!r} produced an empty graph"
+        )
+    return graph
+
+
+_register(GraphFamily(
+    name="csv",
+    signature="path",
+    description="adjacency-matrix CSV import (first row/column = node IDs)",
+    min_args=1, max_args=1,
+    arg_types=(str,),
+    raw_args=True,
+    build=load_adjacency_csv,
+))
+
+
 def available_families() -> List[str]:
     """Registered family names, sorted (error messages / CLI listing)."""
     return sorted(GRAPH_FAMILIES)
@@ -155,7 +262,12 @@ def parse_graph_spec(spec: str) -> nx.Graph:
             f"unknown graph family {family_name!r}; valid families: "
             + ", ".join(available_families())
         )
-    tokens = [a for a in argument_text.split(",") if a] if argument_text else []
+    if family.raw_args:
+        tokens = [argument_text] if argument_text else []
+    else:
+        tokens = (
+            [a for a in argument_text.split(",") if a] if argument_text else []
+        )
     if not (family.min_args <= len(tokens) <= family.max_args):
         expected = (
             str(family.min_args)

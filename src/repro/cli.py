@@ -15,6 +15,8 @@ the human rendering::
     repro simulate harary:6,24 --program flood-min --seed 3 --trace
     repro simulate harary:4,16 --program cds_packing --model congested-clique
     repro batch jobs.json --out results.jsonl --processes 4
+    repro serve --port 7714
+    repro shell --graph harary:6,24
     repro experiments
 
 Graph specifications are ``family:arg1,arg2,…``:
@@ -445,9 +447,41 @@ _EXPERIMENTS = [
     ("E27", "bench_resilience", "adversarial channels: coded vs uncoded flood"),
     ("E28", "bench_simulator", "vectorized columnar engine vs indexed (dense regime)"),
     ("E29", "bench_simulator", "multi-worker dense scaling (columnar sharded barrier)"),
+    ("E30", "bench_service", "warm service vs cold sessions; incremental re-canonicalization"),
     ("F1-F3", "bench_figures", "paper figures (text renderings)"),
     ("A1-A5", "bench_ablation", "design-choice ablations"),
 ]
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        cache_capacity=args.cache_size,
+    )
+
+
+def _cmd_shell(args: argparse.Namespace) -> int:
+    from repro.service import (
+        LocalBackend,
+        RemoteBackend,
+        parse_connect,
+        run_shell,
+    )
+
+    if args.connect is not None:
+        host, port = parse_connect(args.connect)
+        backend = RemoteBackend(host, port)
+    else:
+        backend = LocalBackend()
+    return run_shell(
+        backend,
+        graph=args.graph,
+        json_mode=args.json,
+        seed=args.seed,
+    )
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -653,6 +687,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="include wall-clock timings in rows (breaks byte-identity)",
     )
     batch.set_defaults(handler=_cmd_batch)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the persistent graph service daemon",
+        description=(
+            "Start a TCP daemon speaking newline-delimited JSON result "
+            "envelopes, with an LRU of warm graph sessions keyed by "
+            "fingerprint. Stop it with Ctrl-C or a shutdown op "
+            "(e.g. from 'repro shell --connect')."
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 picks an ephemeral port, printed on startup)",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=8,
+        help="number of warm graph sessions the daemon keeps (LRU)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    shell = commands.add_parser(
+        "shell",
+        help="interactive graph shell (in-process or against a daemon)",
+        description=(
+            "A GCLI-style shell over the service surface: graph open, "
+            "node list/nbr/p, edge new/rmv (incremental "
+            "re-canonicalization), estimate, pack, simulate, stats. "
+            "Runs in-process by default; --connect HOST:PORT drives a "
+            "running 'repro serve' daemon. Reads commands from stdin, "
+            "so it scripts cleanly: "
+            "echo 'estimate k' | repro shell --graph harary:6,24"
+        ),
+    )
+    shell.add_argument(
+        "--graph", default=None,
+        help="open this graph spec (or .csv adjacency matrix) on startup",
+    )
+    shell.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="drive a running repro-serve daemon instead of in-process",
+    )
+    shell.add_argument("--seed", type=int, default=0)
+    add_json_flag(shell)
+    shell.set_defaults(handler=_cmd_shell)
 
     commands.add_parser(
         "experiments", help="list the experiment index"

@@ -50,3 +50,27 @@ class ModelViolationError(SimulationError):
 
 class ProtocolError(ReproError):
     """A two-party protocol (Appendix G reduction) was misused."""
+
+
+class ServiceError(ReproError):
+    """The graph service (``repro serve`` / ``repro shell``) was misused.
+
+    Raised for unknown operations, missing session handles, and client
+    connection failures. The daemon converts these into typed error
+    envelopes on the wire instead of letting them kill the connection.
+    """
+
+
+class WireProtocolError(ServiceError):
+    """A wire frame violated the newline-delimited JSON protocol.
+
+    ``recoverable`` distinguishes a malformed-but-complete frame (the
+    stream is still line-synchronized; the server answers with an error
+    envelope and keeps the connection) from an oversized frame (the
+    remainder of the line is still buffered, so the server must close
+    the connection after reporting the error).
+    """
+
+    def __init__(self, message: str, recoverable: bool = True) -> None:
+        super().__init__(message)
+        self.recoverable = recoverable

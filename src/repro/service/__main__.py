@@ -1,0 +1,36 @@
+"""``python -m repro.service`` — start the daemon directly.
+
+Equivalent to ``repro serve``; accepts the same flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.service.core import DEFAULT_SESSIONS
+from repro.service.daemon import serve
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Run the repro graph service daemon.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 picks an ephemeral port, printed on startup)",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=DEFAULT_SESSIONS,
+        help="number of warm graph sessions the daemon keeps (LRU)",
+    )
+    args = parser.parse_args(argv)
+    return serve(
+        host=args.host, port=args.port, cache_capacity=args.cache_size
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,480 @@
+"""The service core: request dispatch over an LRU of graph sessions.
+
+:class:`ServiceCore` is the daemon's brain, factored out of the socket
+layer so the interactive shell can run the *same* request/response
+surface in-process (no daemon required) and tests can drive it without
+networking. One :meth:`ServiceCore.handle` call maps a request dict to
+a :class:`~repro.api.envelope.Result` envelope dict — the codec is
+shared with the batch executor and the CLI ``--json`` mode.
+
+Sessions are cached in :class:`SessionCache`, an LRU **keyed by graph
+fingerprint**: two spec strings that canonicalize to the same graph
+share one warm :class:`~repro.api.GraphSession` (a spec → fingerprint
+memo makes the repeat lookup cheap). Mutations (``edge_new`` /
+``edge_rmv``) update the session incrementally — the session splices
+its ``IndexedGraph`` in place and lazily invalidates the dependent
+layers — and the cache re-keys the session under its new fingerprint.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.api.envelope import Result
+from repro.api.session import DEFAULT_CACHE_LIMIT, GraphSession
+from repro.errors import GraphValidationError, ReproError, ServiceError
+from repro.service.protocol import SERVICE_GRAPH, error_envelope
+
+#: Scenario aliases accepted by the ``simulate`` op (shell-friendly
+#: names → registry names).
+PROGRAM_ALIASES = {"flooding": "flood-min"}
+
+#: Default number of warm sessions the daemon keeps.
+DEFAULT_SESSIONS = 8
+
+
+class SessionCache:
+    """Bounded LRU of :class:`GraphSession`s keyed by graph fingerprint.
+
+    ``stats`` counts ``hits`` (fingerprint already warm — including a
+    new spec string canonicalizing to a cached graph), ``misses``
+    (session built and inserted), and ``evictions`` (LRU overflow).
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_SESSIONS,
+        session_cache_limit: Optional[int] = DEFAULT_CACHE_LIMIT,
+    ) -> None:
+        if capacity < 1:
+            raise ServiceError(
+                f"session cache capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._session_cache_limit = session_cache_limit
+        self._sessions: "OrderedDict[str, GraphSession]" = OrderedDict()
+        self._spec_memo: Dict[str, str] = {}  # spec → fingerprint
+        self.stats = {"hits": 0, "misses": 0, "evictions": 0}
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def fingerprints(self) -> List[str]:
+        """Cached fingerprints, least- to most-recently used."""
+        return list(self._sessions)
+
+    def open(self, spec: str) -> Tuple[GraphSession, str, bool]:
+        """The warm session for a graph spec; ``(session, fp, created)``.
+
+        The spec → fingerprint memo short-circuits re-canonicalization
+        for specs seen before; an unmemoized spec pays one
+        canonicalization, after which a fingerprint collision with a
+        cached session (same graph under another spec) still counts as
+        a hit and reuses the warm session.
+        """
+        memoized = self._spec_memo.get(spec)
+        if memoized is not None and memoized in self._sessions:
+            self.stats["hits"] += 1
+            self._sessions.move_to_end(memoized)
+            return self._sessions[memoized], memoized, False
+        session = GraphSession(
+            spec, cache_limit=self._session_cache_limit
+        )
+        fingerprint = session.fingerprint
+        self._spec_memo[spec] = fingerprint
+        if fingerprint in self._sessions:
+            self.stats["hits"] += 1
+            self._sessions.move_to_end(fingerprint)
+            return self._sessions[fingerprint], fingerprint, False
+        self.stats["misses"] += 1
+        self._sessions[fingerprint] = session
+        self._evict_overflow()
+        return session, fingerprint, True
+
+    def get(self, fingerprint: str) -> GraphSession:
+        """The session behind a fingerprint handle (LRU-touched)."""
+        session = self._sessions.get(fingerprint)
+        if session is None:
+            known = ", ".join(self._sessions) or "(none)"
+            raise ServiceError(
+                f"no open session with fingerprint {fingerprint!r}; "
+                f"open sessions: {known}"
+            )
+        self._sessions.move_to_end(fingerprint)
+        return session
+
+    def rekey(self, old_fingerprint: str, new_fingerprint: str) -> None:
+        """Move a mutated session under its new fingerprint.
+
+        Spec memo entries pointing at the old fingerprint are purged —
+        the spec no longer describes the mutated graph.
+        """
+        session = self._sessions.pop(old_fingerprint, None)
+        if session is None:
+            return
+        self._spec_memo = {
+            spec: fp
+            for spec, fp in self._spec_memo.items()
+            if fp != old_fingerprint
+        }
+        self._sessions[new_fingerprint] = session
+        self._sessions.move_to_end(new_fingerprint)
+
+    def _evict_overflow(self) -> None:
+        while len(self._sessions) > self.capacity:
+            evicted_fp, _ = self._sessions.popitem(last=False)
+            self._spec_memo = {
+                spec: fp
+                for spec, fp in self._spec_memo.items()
+                if fp != evicted_fp
+            }
+            self.stats["evictions"] += 1
+
+
+class ServiceCore:
+    """Dispatch request dicts to envelope dicts over cached sessions.
+
+    Thread-safe: one coarse lock serializes dispatch (sessions and
+    their caches are not internally synchronized), which is the right
+    trade for a cache whose wins come from reuse, not parallelism.
+    """
+
+    #: op → (handler name, needs_session)
+    OPS = {
+        "ping": ("_op_ping", False),
+        "open": ("_op_open", True),
+        "estimate": ("_op_estimate", True),
+        "pack": ("_op_pack", True),
+        "simulate": ("_op_simulate", True),
+        "node_list": ("_op_node_list", True),
+        "node_nbr": ("_op_node_nbr", True),
+        "node_path": ("_op_node_path", True),
+        "edge_new": ("_op_edge_mutate", True),
+        "edge_rmv": ("_op_edge_mutate", True),
+        "stats": ("_op_stats", False),
+        "shutdown": ("_op_shutdown", False),
+    }
+
+    def __init__(
+        self,
+        cache_capacity: int = DEFAULT_SESSIONS,
+        session_cache_limit: Optional[int] = DEFAULT_CACHE_LIMIT,
+    ) -> None:
+        self.cache = SessionCache(
+            capacity=cache_capacity,
+            session_cache_limit=session_cache_limit,
+        )
+        self._lock = threading.RLock()
+        self._started = time.monotonic()
+        self._requests = 0
+        self._errors = 0
+        self._op_counts: Dict[str, int] = {}
+
+    # -- public entry point --------------------------------------------
+
+    def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """One request dict → one envelope dict (never raises).
+
+        Library errors become typed error envelopes
+        (``payload["error_type"]``: ``"bad-request"``, ``"graph"``,
+        ``"service"``, ``"internal"``); the per-request wall time lands
+        in ``timings["request_s"]``.
+        """
+        start = time.perf_counter()
+        op = request.get("op")
+        with self._lock:
+            self._requests += 1
+            if isinstance(op, str):
+                self._op_counts[op] = self._op_counts.get(op, 0) + 1
+            try:
+                envelope = self._dispatch(request)
+            except GraphValidationError as exc:
+                envelope = error_envelope(str(exc), "graph", op=op)
+            except ServiceError as exc:
+                envelope = error_envelope(str(exc), "service", op=op)
+            except ReproError as exc:
+                envelope = error_envelope(str(exc), "library", op=op)
+            except Exception as exc:  # noqa: BLE001 — daemon must survive
+                envelope = error_envelope(
+                    f"{type(exc).__name__}: {exc}", "internal", op=op
+                )
+            if envelope.task == "error":
+                self._errors += 1
+        envelope.timings["request_s"] = time.perf_counter() - start
+        body = envelope.to_dict()
+        if "id" in request:
+            body["id"] = request["id"]
+        return body
+
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._started
+
+    # -- dispatch ------------------------------------------------------
+
+    def _dispatch(self, request: Dict[str, Any]) -> Result:
+        op = request.get("op")
+        if not isinstance(op, str) or not op:
+            raise ServiceError(
+                "request needs an 'op' field; valid ops: "
+                + ", ".join(sorted(self.OPS))
+            )
+        entry = self.OPS.get(op)
+        if entry is None:
+            raise ServiceError(
+                f"unknown op {op!r}; valid ops: "
+                + ", ".join(sorted(self.OPS))
+            )
+        handler_name, needs_session = entry
+        handler = getattr(self, handler_name)
+        if not needs_session:
+            return handler(request)
+        session, fingerprint, created = self._resolve_session(request)
+        return handler(request, session, fingerprint, created)
+
+    def _resolve_session(
+        self, request: Dict[str, Any]
+    ) -> Tuple[GraphSession, str, bool]:
+        handle = request.get("session")
+        if handle is not None:
+            if not isinstance(handle, str):
+                raise ServiceError(
+                    f"'session' must be a fingerprint string, "
+                    f"got {type(handle).__name__}"
+                )
+            return self.cache.get(handle), handle, False
+        spec = request.get("graph")
+        if spec is None:
+            raise ServiceError(
+                f"op {request.get('op')!r} needs a 'graph' spec or a "
+                "'session' fingerprint handle"
+            )
+        if not isinstance(spec, str):
+            raise ServiceError(
+                f"'graph' must be a spec string, got {type(spec).__name__}"
+            )
+        return self.cache.open(spec)
+
+    # -- envelope helpers ----------------------------------------------
+
+    def _service_envelope(
+        self, task: str, payload: Dict[str, Any],
+        params: Optional[Dict[str, Any]] = None,
+    ) -> Result:
+        return Result(
+            task=task,
+            graph=SERVICE_GRAPH,
+            fingerprint="",
+            n=0,
+            m=0,
+            seed=None,
+            params=params or {},
+            payload=payload,
+        )
+
+    def _session_envelope(
+        self, task: str, session: GraphSession, payload: Dict[str, Any],
+        params: Optional[Dict[str, Any]] = None,
+    ) -> Result:
+        return Result(
+            task=task,
+            graph=session.label,
+            fingerprint=session.fingerprint,
+            n=session.n,
+            m=session.m,
+            seed=None,
+            params=params or {},
+            payload=payload,
+        )
+
+    @staticmethod
+    def _resolve_node(session: GraphSession, node: Hashable) -> Hashable:
+        """A wire node label → the graph's label (int fallback for
+        digit strings, since shell tokens arrive as text)."""
+        graph = session.graph
+        if node in graph:
+            return node
+        if isinstance(node, str):
+            stripped = node.strip()
+            if stripped.lstrip("-").isdigit():
+                candidate = int(stripped)
+                if candidate in graph:
+                    return candidate
+        sample = ", ".join(repr(n) for n in list(graph.nodes())[:8])
+        raise GraphValidationError(
+            f"node {node!r} is not in the graph; nodes include: {sample}"
+        )
+
+    # -- ops -----------------------------------------------------------
+
+    def _op_ping(self, request: Dict[str, Any]) -> Result:
+        return self._service_envelope(
+            "ping", {"pong": True, "uptime_s": self.uptime_s}
+        )
+
+    def _op_open(self, request, session, fingerprint, created) -> Result:
+        return self._session_envelope(
+            "graph_open", session,
+            {
+                "fingerprint": fingerprint,
+                "label": session.label,
+                "n": session.n,
+                "m": session.m,
+                "created": created,
+                "generation": session.generation,
+            },
+        )
+
+    def _op_estimate(self, request, session, fingerprint, created) -> Result:
+        seed = int(request.get("seed", 0))
+        exact = bool(request.get("exact", False))
+        return session.connectivity(seed=seed, exact=exact)
+
+    def _op_pack(self, request, session, fingerprint, created) -> Result:
+        kind = request.get("kind", "cds")
+        seed = int(request.get("seed", 0))
+        if kind == "cds":
+            return session.pack_cds(seed=seed)
+        if kind == "spanning":
+            return session.pack_spanning(seed=seed)
+        raise ServiceError(
+            f"unknown packing kind {kind!r}; valid kinds: cds, spanning"
+        )
+
+    def _op_simulate(self, request, session, fingerprint, created) -> Result:
+        program = request.get("program", "flood-min")
+        program = PROGRAM_ALIASES.get(program, program)
+        return session.simulate(
+            program=program,
+            model=request.get("model"),
+            seed=int(request.get("seed", 0)),
+            max_rounds=int(request.get("max_rounds", 100000)),
+            engine=request.get("engine"),
+            show_outputs=request.get("show_outputs", 5),
+        )
+
+    def _op_node_list(self, request, session, fingerprint, created) -> Result:
+        nodes = list(session.graph.nodes())
+        return self._session_envelope(
+            "node_list", session, {"nodes": nodes, "n": len(nodes)}
+        )
+
+    def _op_node_nbr(self, request, session, fingerprint, created) -> Result:
+        if "node" not in request:
+            raise ServiceError("op 'node_nbr' needs a 'node' field")
+        node = self._resolve_node(session, request["node"])
+        neighbors = list(session.graph.neighbors(node))
+        return self._session_envelope(
+            "node_nbr", session,
+            {"node": node, "neighbors": neighbors, "degree": len(neighbors)},
+            params={"node": node},
+        )
+
+    def _op_node_path(self, request, session, fingerprint, created) -> Result:
+        import networkx as nx
+
+        for field in ("source", "target"):
+            if field not in request:
+                raise ServiceError(f"op 'node_path' needs a {field!r} field")
+        source = self._resolve_node(session, request["source"])
+        target = self._resolve_node(session, request["target"])
+        try:
+            path = nx.shortest_path(session.graph, source, target)
+        except nx.NetworkXNoPath:
+            payload = {
+                "source": source, "target": target,
+                "path": None, "length": None, "reachable": False,
+            }
+        else:
+            payload = {
+                "source": source, "target": target,
+                "path": list(path), "length": len(path) - 1,
+                "reachable": True,
+            }
+        return self._session_envelope(
+            "node_path", session, payload,
+            params={"source": source, "target": target},
+        )
+
+    def _op_edge_mutate(self, request, session, fingerprint, created) -> Result:
+        op = request["op"]
+        for field in ("a", "b"):
+            if field not in request:
+                raise ServiceError(f"op {op!r} needs {field!r} (endpoint)")
+        a, b = request["a"], request["b"]
+        if op == "edge_new":
+            # New labels are allowed (they become new nodes), so only
+            # coerce digit strings that name *existing* int nodes.
+            a = self._coerce_existing(session, a)
+            b = self._coerce_existing(session, b)
+            session.add_edge(a, b)
+        else:
+            a = self._resolve_node(session, a)
+            b = self._resolve_node(session, b)
+            session.remove_edge(a, b)
+        new_fingerprint = session.fingerprint
+        if new_fingerprint != fingerprint:
+            self.cache.rekey(fingerprint, new_fingerprint)
+        return self._session_envelope(
+            op, session,
+            {
+                "edge": [a, b],
+                "action": "added" if op == "edge_new" else "removed",
+                "fingerprint": new_fingerprint,
+                "n": session.n,
+                "m": session.m,
+                "generation": session.generation,
+            },
+            params={"a": a, "b": b},
+        )
+
+    @staticmethod
+    def _coerce_existing(session: GraphSession, node: Hashable) -> Hashable:
+        if node in session.graph:
+            return node
+        if isinstance(node, str):
+            stripped = node.strip()
+            if stripped.lstrip("-").isdigit():
+                candidate = int(stripped)
+                if candidate in session.graph:
+                    return candidate
+                return candidate  # brand-new node: keep the int form
+        return node
+
+    def _op_stats(self, request: Dict[str, Any]) -> Result:
+        sessions = []
+        for fingerprint in self.cache.fingerprints():
+            session = self.cache._sessions[fingerprint]
+            sessions.append(
+                {
+                    "fingerprint": fingerprint,
+                    "graph": session.label,
+                    "n": session.n,
+                    "m": session.m,
+                    "generation": session.generation,
+                    "stats": dict(session.stats),
+                }
+            )
+        payload = {
+            "uptime_s": self.uptime_s,
+            "requests": self._requests,
+            "errors": self._errors,
+            "ops": dict(sorted(self._op_counts.items())),
+            "cache": {
+                "hits": self.cache.stats["hits"],
+                "misses": self.cache.stats["misses"],
+                "evictions": self.cache.stats["evictions"],
+                "capacity": self.cache.capacity,
+                "sessions": len(self.cache),
+            },
+            "sessions": sessions,
+        }
+        return self._service_envelope("stats", payload)
+
+    def _op_shutdown(self, request: Dict[str, Any]) -> Result:
+        return self._service_envelope(
+            "shutdown", {"stopping": True, "uptime_s": self.uptime_s}
+        )

@@ -1,0 +1,107 @@
+"""Wire protocol: newline-delimited JSON frames of Result envelopes.
+
+One request per line, one response per line. Requests are plain JSON
+objects (``{"op": "estimate", "graph": "harary:6,24", "seed": 3}``);
+responses are :class:`repro.api.envelope.Result` envelopes serialized
+with the *same codec the batch executor and the CLI ``--json`` mode
+use* (:meth:`Result.to_dict` / :meth:`Result.from_dict`), so a daemon
+response line, a batch JSONL row, and a ``repro --json`` dump are one
+schema. Errors are envelopes too: ``task == "error"`` with
+``payload["error"]`` / ``payload["error_type"]`` — a client never needs
+a second parser for the failure path.
+
+Framing rules:
+
+* one UTF-8 JSON object per ``\\n``-terminated line;
+* a frame larger than ``max_bytes`` (default :data:`MAX_FRAME_BYTES`)
+  is a *non-recoverable* :class:`WireProtocolError` — the rest of the
+  oversized line is still in the stream, so the server reports the
+  error and closes the connection rather than serving desynchronized
+  garbage;
+* a complete line that fails to parse is a *recoverable*
+  :class:`WireProtocolError` — the stream is still line-synchronized,
+  so the server answers with an error envelope and keeps serving.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.api.envelope import Result
+from repro.errors import WireProtocolError
+
+#: Hard cap on one wire frame. Generous for envelopes (a simulate
+#: payload over a few thousand nodes is well under 1 MiB) while bounding
+#: what a hostile client can make the daemon buffer.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: Graph descriptor used by envelopes for service-level ops (ping,
+#: stats, shutdown) that have no session behind them.
+SERVICE_GRAPH = "<service>"
+
+
+def encode_frame(body: Dict[str, Any]) -> bytes:
+    """One wire frame: compact JSON + newline, UTF-8."""
+    text = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return text.encode("utf-8") + b"\n"
+
+
+def write_frame(stream, body: Dict[str, Any]) -> None:
+    """Write one frame to a binary stream and flush it."""
+    stream.write(encode_frame(body))
+    stream.flush()
+
+
+def read_frame(
+    stream, max_bytes: int = MAX_FRAME_BYTES
+) -> Optional[Dict[str, Any]]:
+    """Read one frame from a binary stream; ``None`` on clean EOF.
+
+    Handles partial reads transparently (``readline`` buffers until the
+    newline arrives). Raises :class:`WireProtocolError` — recoverable
+    for malformed-but-complete lines, non-recoverable for oversized
+    frames.
+    """
+    line = stream.readline(max_bytes + 1)
+    if not line:
+        return None
+    if len(line) > max_bytes:
+        raise WireProtocolError(
+            f"frame exceeds the {max_bytes}-byte limit", recoverable=False
+        )
+    try:
+        body = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireProtocolError(f"malformed JSON frame: {exc}") from exc
+    if not isinstance(body, dict):
+        raise WireProtocolError(
+            f"frame must be a JSON object, got {type(body).__name__}"
+        )
+    return body
+
+
+def error_envelope(
+    message: str,
+    error_type: str = "error",
+    op: Optional[str] = None,
+    graph: str = SERVICE_GRAPH,
+) -> Result:
+    """A typed error as a Result envelope (the only error shape on the
+    wire). ``error_type`` is a stable machine-readable discriminator
+    (``"protocol"``, ``"bad-request"``, ``"graph"``, ``"internal"``)."""
+    return Result(
+        task="error",
+        graph=graph,
+        fingerprint="",
+        n=0,
+        m=0,
+        seed=None,
+        params={"op": op} if op is not None else {},
+        payload={"error": message, "error_type": error_type},
+    )
+
+
+def is_error(body: Dict[str, Any]) -> bool:
+    """Whether a wire response reports a failure."""
+    return body.get("task") == "error"
