@@ -35,6 +35,10 @@ numbers instead of anecdotes):
   edit → ``BENCH_service.json`` (see :mod:`bench_service`). Acceptance
   gate: warm beats cold on every full-size row; both edit paths end
   bit-identical.
+* ``batch`` — batch scheduler jobs/sec across backend × worker plans on
+  a single-graph matrix → ``BENCH_batch.json`` (see :mod:`bench_batch`).
+  Acceptance gate: every backend byte-identical to serial; the
+  single-graph matrix splits into ≥ 2 chunks under the process plane.
 
 Run from the repo root::
 
@@ -223,6 +227,14 @@ def _run_service(args) -> None:
     bench_service.main(_forwarded_args(args, "service"))
 
 
+def _run_batch(args) -> None:
+    try:
+        import bench_batch
+    except ImportError:  # running as a module from the repo root
+        from benchmarks import bench_batch
+    bench_batch.main(_forwarded_args(args, "batch"))
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -232,7 +244,7 @@ def main(argv=None) -> int:
         "--suite",
         choices=[
             "all", "spanning", "simulator", "cds_packing", "api",
-            "resilience", "service",
+            "resilience", "service", "batch",
         ],
         default="all",
         help="which benchmark suite(s) to run",
@@ -272,6 +284,8 @@ def main(argv=None) -> int:
         _run_resilience(args)
     if args.suite in ("all", "service"):
         _run_service(args)
+    if args.suite in ("all", "batch"):
+        _run_batch(args)
     return 0
 
 

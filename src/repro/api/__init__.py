@@ -8,9 +8,11 @@
   the cached view.
 * :class:`Result` — the typed, JSON-round-trippable envelope every task
   returns (graph fingerprint, seed, parameters, timings, payload).
-* :class:`JobSpec` / :func:`run` — the batch executor: a declarative
-  graph × seed × task × transport matrix fanned across processes with
-  deterministic per-job seeds, streaming JSONL rows.
+* :class:`JobSpec` / :func:`run` — the batch scheduler: a declarative
+  graph × seed × task × transport matrix fanned across a pluggable
+  backend (``serial`` / ``process`` / ``thread`` — see
+  :mod:`repro.api.backends`) with deterministic per-job seeds,
+  streaming JSONL rows, and sha256-manifest checkpoint/resume.
 * :func:`parse_graph_spec` — the hardened graph-family spec parser
   (previously CLI-only).
 
@@ -21,10 +23,17 @@ than one call on the same graph, hold a :class:`GraphSession`.
 
 from __future__ import annotations
 
+from repro.api.backends import (
+    BatchBackend,
+    available_backends,
+    register_backend,
+)
 from repro.api.batch import (
     JobSpec,
     derive_seed,
     expand_matrix,
+    is_error_row,
+    job_digest,
     load_jobs,
     run,
     run_to_jsonl,
@@ -94,6 +103,11 @@ __all__ = [
     "load_jobs",
     "expand_matrix",
     "derive_seed",
+    "job_digest",
+    "is_error_row",
+    "BatchBackend",
+    "available_backends",
+    "register_backend",
     "parse_graph_spec",
     "load_adjacency_csv",
     "available_families",

@@ -1,0 +1,242 @@
+"""Pluggable batch backends: the execution plane behind :func:`repro.api.run`.
+
+The batch scheduler (:mod:`repro.api.batch`) plans *what* runs — jobs
+grouped by graph so each group shares one
+:class:`~repro.api.GraphSession`, split into **chunks** sized to the
+worker count — and a :class:`BatchBackend` decides *how*: in-process
+(``serial``), across a :class:`~concurrent.futures.ProcessPoolExecutor`
+(``process``), or across threads (``thread``, which becomes true
+parallelism on free-threaded CPython 3.13t and is already the right
+plane for I/O-bound session tasks).
+
+Three contracts every backend honors:
+
+* **chunk-at-a-time streaming** — :meth:`BatchBackend.execute` *yields*
+  each chunk's rows as that chunk completes (completion order is
+  unspecified); the scheduler reassembles rows by job index, so the
+  final JSONL is byte-identical no matter the backend, worker count, or
+  finish order.
+* **rows, never exceptions, for job failures** — per-job errors are
+  error-row envelopes produced inside the chunk runner
+  (:func:`repro.api.batch._execute_items`); a backend only raises for
+  *infrastructure* failures (a killed worker breaking the pool), and
+  then as a :class:`~repro.errors.BatchExecutionError` naming the chunk.
+* **canonical rows are computed where the job ran** — each row carries
+  its precomputed :meth:`~repro.api.envelope.Result.canonical_json`
+  string, so serialization happens exactly once, identically, on every
+  plane (the ``raw`` object never crosses a process boundary).
+
+Chunk planning (:func:`make_chunks`) is where the one-graph parallelism
+hole is fixed: a group larger than ``ceil(total / workers)`` jobs is
+split into consecutive slices, so a 200-job sweep over a *single* graph
+fans out across every worker instead of serializing behind one
+session. Splitting costs one extra canonicalization per extra chunk and
+never changes output bytes (each job's result depends only on its own
+graph × task × seed × params).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Dict, Iterator, List, Tuple
+
+from repro.api.envelope import Result
+from repro.errors import BatchExecutionError, GraphValidationError
+
+#: One planned unit of backend work: same-graph ``(job index, JobSpec
+#: dict, seed)`` triples, executed in order through one GraphSession.
+Chunk = List[Tuple[int, Dict[str, Any], int]]
+
+#: One executed row: ``(job index, envelope, canonical JSONL line)``.
+ChunkRows = List[Tuple[int, Result, str]]
+
+#: Worker-count cap mirroring the sharded engine's default sizing.
+MAX_DEFAULT_WORKERS = 8
+
+
+def default_workers() -> int:
+    """One worker per core, capped at :data:`MAX_DEFAULT_WORKERS`."""
+    return max(1, min(MAX_DEFAULT_WORKERS, os.cpu_count() or 1))
+
+
+def make_chunks(
+    groups: Dict[str, Chunk], workers: int
+) -> List[Chunk]:
+    """Graph groups → backend chunks, splitting large groups.
+
+    With one worker every group stays whole (one canonicalization per
+    graph, exactly the serial contract). With ``workers > 1`` any group
+    longer than ``ceil(total_jobs / workers)`` is cut into consecutive
+    slices of that size — the fix for batches whose jobs all hit one
+    graph, which previously could never use more than one worker.
+    Deterministic: chunk boundaries depend only on the job list and the
+    worker count, never on timing.
+    """
+    if workers <= 1:
+        return [list(items) for items in groups.values()]
+    total = sum(len(items) for items in groups.values())
+    target = max(1, -(-total // workers))  # ceil(total / workers)
+    chunks: List[Chunk] = []
+    for items in groups.values():
+        if len(items) <= target:
+            chunks.append(list(items))
+        else:
+            for start in range(0, len(items), target):
+                chunks.append(list(items[start:start + target]))
+    return chunks
+
+
+def _run_chunk(chunk: Chunk) -> Tuple[int, List[Tuple[int, Dict[str, Any], str]]]:
+    """Process-pool worker: one chunk through ``_execute_items``.
+
+    Returns plain dicts plus the precomputed canonical row (the ``raw``
+    object does not cross the process boundary), and the worker's pid so
+    the scheduler's ``stats`` can prove real fan-out.
+    """
+    from repro.api.batch import _execute_items
+
+    rows = [
+        (index, result.to_dict(include_timings=True),
+         result.canonical_json())
+        for index, result in _execute_items(chunk)
+    ]
+    return os.getpid(), rows
+
+
+def _chunk_span(chunk: Chunk) -> str:
+    """Human-readable chunk identity for error messages."""
+    graph = chunk[0][1].get("graph", "?") if chunk else "?"
+    indexes = [index for index, _, _ in chunk]
+    return f"graph {graph!r}, jobs {min(indexes)}..{max(indexes)}"
+
+
+class BatchBackend:
+    """Protocol for a batch execution plane.
+
+    Subclasses set :attr:`name` and implement :meth:`execute`, yielding
+    each chunk's :data:`ChunkRows` as the chunk completes. ``stats`` is
+    a scratch dict the backend annotates in place (``worker_pids`` at
+    minimum) so callers can observe parallelism without parsing rows.
+    """
+
+    name: str = "?"
+
+    def execute(
+        self, chunks: List[Chunk], workers: int, stats: Dict[str, Any]
+    ) -> Iterator[ChunkRows]:
+        raise NotImplementedError
+
+
+class SerialBackend(BatchBackend):
+    """In-process, in-order execution; envelopes keep their ``raw``."""
+
+    name = "serial"
+
+    def execute(self, chunks, workers, stats):
+        from repro.api.batch import _execute_items
+
+        stats["worker_pids"].add(os.getpid())
+        for chunk in chunks:
+            yield [
+                (index, result, result.canonical_json())
+                for index, result in _execute_items(chunk)
+            ]
+
+
+class ThreadBackend(BatchBackend):
+    """Thread-pool execution; in-process, so ``raw`` survives.
+
+    Under the GIL this overlaps only the interpreter-releasing parts
+    (numpy kernels, I/O); on free-threaded 3.13t builds it becomes full
+    parallelism with zero fork/pickle overhead.
+    """
+
+    name = "thread"
+
+    def execute(self, chunks, workers, stats):
+        from repro.api.batch import _execute_items
+
+        stats["worker_pids"].add(os.getpid())
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_execute_items, chunk) for chunk in chunks]
+            for future in as_completed(futures):
+                yield [
+                    (index, result, result.canonical_json())
+                    for index, result in future.result()
+                ]
+
+
+class ProcessBackend(BatchBackend):
+    """Process-pool execution: chunks fan out across real processes.
+
+    Chunks are submitted individually and yielded as they finish, so a
+    checkpointing caller persists completed work without waiting for
+    the slowest chunk. A worker crash (the pool breaking) surfaces as a
+    :class:`~repro.errors.BatchExecutionError` naming the chunk, with
+    the pool's exception chained — never a bare pool traceback.
+    """
+
+    name = "process"
+
+    def execute(self, chunks, workers, stats):
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_run_chunk, chunk): chunk for chunk in chunks
+                }
+                for future in as_completed(futures):
+                    try:
+                        pid, rows = future.result()
+                    except BrokenProcessPool as exc:
+                        raise BatchExecutionError(
+                            "batch worker crashed while running chunk "
+                            f"({_chunk_span(futures[future])}); partial "
+                            "results up to the last completed chunk are "
+                            "preserved in the checkpoint, if one was given"
+                        ) from exc
+                    stats["worker_pids"].add(pid)
+                    yield [
+                        (index, Result.from_dict(body), canonical)
+                        for index, body, canonical in rows
+                    ]
+        except BrokenProcessPool as exc:
+            # The pool can also break on submit or teardown, outside any
+            # one future: still a typed error, still chained.
+            raise BatchExecutionError(
+                "batch process pool broke before all chunks completed"
+            ) from exc
+
+
+#: The registry: backend name → instance. Extend via
+#: :func:`register_backend` (e.g. an asyncio plane for the service).
+BACKENDS: Dict[str, BatchBackend] = {}
+
+
+def register_backend(backend: BatchBackend) -> BatchBackend:
+    """Add a backend to the registry (name collisions overwrite —
+    latest registration wins, mirroring the scenario registry)."""
+    BACKENDS[backend.name] = backend
+    return backend
+
+
+def available_backends() -> List[str]:
+    """Registered backend names, sorted."""
+    return sorted(BACKENDS)
+
+
+def get_backend(name: str) -> BatchBackend:
+    """Lookup with the registry listing in the failure message."""
+    backend = BACKENDS.get(name)
+    if backend is None:
+        raise GraphValidationError(
+            f"unknown batch backend {name!r}; registered backends: "
+            + ", ".join(available_backends())
+        )
+    return backend
+
+
+register_backend(SerialBackend())
+register_backend(ProcessBackend())
+register_backend(ThreadBackend())

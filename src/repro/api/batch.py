@@ -1,4 +1,4 @@
-"""Batch executor: fan declarative job specs across processes.
+"""Batch scheduler: fan declarative job specs across pluggable backends.
 
 A :class:`JobSpec` names one unit of work — *graph × task × seed ×
 transport (+ task kwargs)* — and :func:`run` executes a list of them,
@@ -8,20 +8,27 @@ substrate every sweep/serving layer sits on:
 
 * **session reuse** — jobs are grouped by graph spec and each group runs
   through one :class:`~repro.api.GraphSession`, so a graph is
-  canonicalized once no matter how many tasks hit it;
+  canonicalized once per chunk no matter how many tasks hit it;
 * **deterministic seeds** — a job without an explicit seed gets one
   derived from ``sha256(base_seed | job index | job key)``, so the same
   spec file always produces byte-identical JSONL (rows are
   :meth:`~repro.api.envelope.Result.canonical_json`: sorted keys, no
   timings);
-* **process fan-out** — ``processes > 1`` distributes graph groups over
-  a :class:`~concurrent.futures.ProcessPoolExecutor`; rows are
-  reassembled in job order, so parallel and serial runs emit identical
-  output.
+* **pluggable fan-out** — ``backend=`` selects an execution plane from
+  the :mod:`repro.api.backends` registry (``serial`` / ``process`` /
+  ``thread``); graph groups are split into worker-sized chunks (a
+  single-graph sweep still uses every worker) and rows are reassembled
+  in job order, so every backend emits identical bytes;
+* **checkpoint/resume** — ``checkpoint=`` write-ahead-logs each row to
+  a manifest keyed by ``sha256(job.key() | seed)`` as its chunk
+  completes; ``resume=True`` reloads it, skips completed jobs, rejects
+  a mismatched jobs file loudly, and still emits byte-identical final
+  JSONL — a killed million-job sweep restarts where it died.
 
 The matrix shorthand :func:`expand_matrix` turns
 ``{"graphs": [...], "tasks": [...], "seeds": [...]}`` into the full
-cross product; ``repro batch jobs.json`` is the CLI face.
+cross product; ``repro batch jobs.json`` is the CLI face and the
+service's ``batch`` op routes through the same scheduler.
 """
 
 from __future__ import annotations
@@ -29,13 +36,21 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, IO, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Any, Dict, IO, List, Mapping, Optional, Sequence, Tuple, Union,
+)
 
+from repro.api.backends import default_workers, get_backend, make_chunks
 from repro.api.envelope import Result
 from repro.api.session import SESSION_TASKS, GraphSession
-from repro.errors import GraphValidationError
+from repro.errors import GraphValidationError, ReproError
 
 _SEED_SPACE = 2**63
+
+#: Manifest self-identification; bump ``_CHECKPOINT_VERSION`` on any
+#: breaking change to the line format.
+_CHECKPOINT_KIND = "repro-batch-checkpoint"
+_CHECKPOINT_VERSION = 1
 
 
 @dataclass
@@ -118,6 +133,18 @@ def derive_seed(base_seed: int, index: int, job: JobSpec) -> int:
         f"{base_seed}|{index}|{job.key()}".encode("utf-8")
     ).digest()
     return int.from_bytes(digest[:8], "big") % _SEED_SPACE
+
+
+def job_digest(job: JobSpec, seed: int) -> str:
+    """Checkpoint identity of one resolved job: ``sha256(key | seed)``.
+
+    The same derandomize-the-randomness idiom as the seed derivation:
+    identity is a pure function of declared inputs, so a resumed run
+    can prove — not assume — that a manifest row belongs to this batch.
+    """
+    return hashlib.sha256(
+        f"{job.key()}|{seed}".encode("utf-8")
+    ).hexdigest()
 
 
 def expand_matrix(matrix: Mapping[str, Any]) -> List[JobSpec]:
@@ -221,7 +248,26 @@ def _execute_job(session: GraphSession, job: JobSpec, seed: int) -> Result:
     return method(seed=seed, **kwargs)
 
 
+def _error_taxonomy(error: Exception) -> str:
+    """Exception → the service protocol's machine-readable category
+    (``"graph"`` / ``"library"`` / ``"internal"``), matching
+    :func:`repro.service.protocol.error_envelope` semantics."""
+    if isinstance(error, GraphValidationError):
+        return "graph"
+    if isinstance(error, ReproError):
+        return "library"
+    return "internal"
+
+
 def _error_result(job: JobSpec, seed: Optional[int], error: Exception) -> Result:
+    """A failed job's row: machine-readable, no string parsing needed.
+
+    ``payload["status"] == "error"`` discriminates failure rows from
+    real results; ``error_type`` is the service-protocol taxonomy
+    category and ``error_name`` the Python exception class, with the
+    bare message in ``error`` — consumers no longer have to split a
+    ``"ErrorName: msg"`` string.
+    """
     return Result(
         task=job.task,
         graph=job.graph,
@@ -230,27 +276,41 @@ def _error_result(job: JobSpec, seed: Optional[int], error: Exception) -> Result
         m=0,
         seed=seed,
         params={"transport": job.transport, **job.params},
-        payload={"error": f"{type(error).__name__}: {error}"},
+        payload={
+            "status": "error",
+            "error": str(error),
+            "error_type": _error_taxonomy(error),
+            "error_name": type(error).__name__,
+        },
     )
+
+
+def is_error_row(result: Result) -> bool:
+    """Whether an envelope is a batch error row (see :func:`_error_result`)."""
+    return result.payload.get("status") == "error"
 
 
 def _execute_items(
     items: List[Tuple[int, Dict[str, Any], int]]
 ) -> List[Tuple[int, Result]]:
-    """Run one graph's jobs through a single shared session.
+    """Run one chunk's jobs through a shared session.
 
-    The one job-execution loop — both the serial path and the
-    process-pool worker go through it. *Any* per-job failure (bad
-    params raising TypeError included, not just ReproError) becomes an
-    error-row envelope: one broken job must not abort the batch.
+    The one job-execution loop — every backend's chunk runner goes
+    through it. *Any* per-job failure (bad params raising TypeError
+    included, not just ReproError) becomes an error-row envelope: one
+    broken job must not abort the batch. Chunks are same-graph by
+    construction, but the session is rebuilt defensively if a mixed
+    chunk ever appears.
     """
     rows: List[Tuple[int, Result]] = []
     session: Optional[GraphSession] = None
+    session_graph: Optional[str] = None
     for index, job_body, seed in items:
         job = JobSpec.from_dict(job_body)
         try:
-            if session is None:
+            if session is None or session_graph != job.graph:
                 session = GraphSession(job.graph)
+                session_graph = job.graph
             result = _execute_job(session, job, seed)
         except Exception as error:  # noqa: BLE001 — error row, keep going
             result = _error_result(job, seed, error)
@@ -258,20 +318,137 @@ def _execute_items(
     return rows
 
 
-def _run_group(
-    graph_spec: str, items: List[Tuple[int, Dict[str, Any], int]]
-) -> List[Tuple[int, Dict[str, Any], str]]:
-    """Process-pool worker: :func:`_execute_items` over plain dicts.
+# -- checkpoint manifest ---------------------------------------------------
 
-    The canonical JSONL row is precomputed here so parallel runs
-    serialize exactly like serial ones (the ``raw`` object does not
-    cross the process boundary).
+
+def _batch_digest(digests: Sequence[str]) -> str:
+    """One hash over the whole resolved batch (all per-job digests, in
+    order) — the manifest's fast whole-file identity check."""
+    return hashlib.sha256("\n".join(digests).encode("ascii")).hexdigest()
+
+
+def _manifest_header(digests: Sequence[str]) -> str:
+    return json.dumps(
+        {
+            "kind": _CHECKPOINT_KIND,
+            "version": _CHECKPOINT_VERSION,
+            "jobs": len(digests),
+            "batch": _batch_digest(digests),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def _manifest_line(index: int, digest: str, row: str) -> str:
+    return json.dumps(
+        {"i": index, "d": digest, "row": row},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def _load_checkpoint(path: str, digests: Sequence[str]) -> Dict[int, str]:
+    """Completed rows from a manifest: ``{job index: canonical row}``.
+
+    A missing file means a fresh start (``{}``). A manifest written for
+    a *different* jobs file — wrong job count, wrong batch digest, or a
+    row whose per-job digest disagrees — is rejected loudly. A
+    truncated trailing line (the run was killed mid-write) is dropped;
+    a malformed line anywhere *before* the end is corruption and fails.
     """
-    return [
-        (index, result.to_dict(include_timings=True),
-         result.canonical_json())
-        for index, result in _execute_items(items)
-    ]
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except FileNotFoundError:
+        return {}
+    if not text:
+        return {}
+    lines = text.split("\n")
+    # The final element is either "" (file ended on a newline) or a
+    # kill-truncated partial record; neither is a complete line.
+    lines = lines[:-1]
+    if not lines:
+        return {}
+
+    def _bad(reason: str) -> GraphValidationError:
+        return GraphValidationError(
+            f"checkpoint {path!r} does not match this batch: {reason}; "
+            "delete the checkpoint (or point --checkpoint elsewhere) to "
+            "start fresh"
+        )
+
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise _bad(f"unreadable header ({exc})") from exc
+    if (
+        not isinstance(header, dict)
+        or header.get("kind") != _CHECKPOINT_KIND
+    ):
+        raise _bad("not a repro-batch checkpoint manifest")
+    if header.get("version") != _CHECKPOINT_VERSION:
+        raise _bad(
+            f"manifest version {header.get('version')!r} != "
+            f"{_CHECKPOINT_VERSION}"
+        )
+    if header.get("jobs") != len(digests):
+        raise _bad(
+            f"manifest is for {header.get('jobs')} job(s), this batch "
+            f"has {len(digests)}"
+        )
+    if header.get("batch") != _batch_digest(digests):
+        raise _bad(
+            "batch digest mismatch — the jobs file, base seed, or "
+            "explicit seeds changed since the checkpoint was written"
+        )
+    completed: Dict[int, str] = {}
+    for lineno, line in enumerate(lines[1:], start=2):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise _bad(f"corrupt record on line {lineno} ({exc})") from exc
+        index, digest, row = (
+            record.get("i"), record.get("d"), record.get("row")
+        )
+        if (
+            not isinstance(index, int)
+            or not 0 <= index < len(digests)
+            or not isinstance(row, str)
+        ):
+            raise _bad(f"malformed record on line {lineno}")
+        if digest != digests[index]:
+            raise _bad(
+                f"job {index} digest mismatch on line {lineno} — the "
+                "manifest row belongs to a different job/seed"
+            )
+        completed[index] = row
+    return completed
+
+
+# -- the scheduler ---------------------------------------------------------
+
+
+def _resolve_backend(
+    backend: Optional[str],
+    workers: Optional[int],
+    processes: Optional[int],
+) -> Tuple[str, int]:
+    """Merge the modern ``backend=``/``workers=`` knobs with the legacy
+    ``processes=`` one: ``processes > 1`` maps to ``backend="process"``
+    with that worker count, anything else to ``serial``."""
+    if workers is None and processes is not None and processes > 1:
+        workers = processes
+    if backend is None:
+        backend = (
+            "process" if processes is not None and processes > 1
+            else "serial"
+        )
+    if workers is None:
+        workers = 1 if backend == "serial" else default_workers()
+    if workers < 1:
+        raise GraphValidationError(f"workers must be >= 1, got {workers}")
+    return backend, workers
 
 
 def run(
@@ -280,78 +457,163 @@ def run(
     processes: Optional[int] = None,
     jsonl: Optional[IO[str]] = None,
     include_timings: bool = False,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    stats: Optional[Dict[str, Any]] = None,
 ) -> List[Result]:
     """Execute a batch; return envelopes in job order.
 
-    ``jobs`` — anything :func:`load_jobs` accepts. ``base_seed`` —
-    seed-derivation base; ``None`` takes the job matrix's ``base_seed``
-    field when ``jobs`` is a matrix mapping (or a file containing one),
-    else 0; an explicit argument always wins. ``processes`` —
-    ``None``/``0``/``1`` runs serially in-process (envelopes keep their
-    ``raw`` objects); ``> 1`` fans graph groups across a process pool.
-    ``jsonl`` — a text stream receiving one row per job, in job order;
-    rows are :meth:`~repro.api.envelope.Result.canonical_json` unless
+    ``jobs`` — anything :func:`load_jobs` accepts; a file path is read
+    **once** and both ``base_seed`` and the job list come from that one
+    parse. ``base_seed`` — seed-derivation base; ``None`` takes the job
+    matrix's ``base_seed`` field when ``jobs`` is a matrix (or a file
+    containing one), else 0; an explicit argument always wins.
+
+    ``backend`` — an execution plane from the
+    :mod:`repro.api.backends` registry (``serial`` / ``process`` /
+    ``thread``); ``workers`` sizes its pool. The legacy ``processes``
+    parameter maps onto them (``> 1`` → ``backend="process"``). Rows
+    are reassembled by job index, so every backend × worker count emits
+    byte-identical output.
+
+    ``jsonl`` — a text stream receiving one row per job, written in job
+    order *as jobs complete* (an in-order prefix streams out while
+    later chunks still run); rows are
+    :meth:`~repro.api.envelope.Result.canonical_json` unless
     ``include_timings`` (then timings ride along and byte-identity
     across runs no longer holds).
+
+    ``checkpoint`` — a manifest path write-ahead-logging every
+    completed row (flushed per chunk) under its
+    ``sha256(job.key() | seed)`` digest. ``resume=True`` reloads the
+    manifest before executing: completed jobs are skipped and their
+    rows replayed, a manifest for a different jobs file is rejected
+    loudly, and the final output is byte-identical to an uninterrupted
+    run. ``stats`` — an optional dict populated in place with
+    ``backend``, ``workers``, ``chunks``, ``resumed``, ``executed``,
+    and the distinct ``worker_pids`` observed (proof of fan-out).
     """
+    # One read of the source: base_seed and the job list come from the
+    # same parsed object (the old separate reads were a TOCTOU window).
+    source: Any = jobs
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            source = json.load(handle)
     if base_seed is None:
-        source: Any = jobs
-        if isinstance(source, str):
-            with open(source, "r", encoding="utf-8") as handle:
-                source = json.load(handle)
         if isinstance(source, Mapping):
             base_seed = int(source.get("base_seed", 0))
         else:
             base_seed = 0
-    job_list = load_jobs(jobs)
+    job_list = load_jobs(source)
     seeds = [
         job.seed if job.seed is not None else derive_seed(base_seed, i, job)
         for i, job in enumerate(job_list)
     ]
+    digests = [job_digest(job, seed) for job, seed in zip(job_list, seeds)]
 
-    # Group by graph spec: one GraphSession (one canonicalization) per
-    # distinct graph, preserving each group's in-order execution.
+    backend_name, worker_count = _resolve_backend(backend, workers, processes)
+    plane = get_backend(backend_name)
+
+    if checkpoint is not None and include_timings:
+        raise GraphValidationError(
+            "checkpoint manifests store canonical timing-free rows; "
+            "include_timings cannot be combined with a checkpoint"
+        )
+    if resume and checkpoint is None:
+        raise GraphValidationError(
+            "resume=True needs a checkpoint= manifest path to resume from"
+        )
+    completed = _load_checkpoint(checkpoint, digests) if resume else {}
+
+    total = len(job_list)
+    ordered: List[Optional[Result]] = [None] * total
+    rows: List[Optional[str]] = [None] * total
+    for index, row in completed.items():
+        ordered[index] = Result.from_dict(json.loads(row))
+        rows[index] = row
+
+    # Group the *pending* jobs by graph spec (one GraphSession per
+    # chunk), then split oversized groups so even a one-graph sweep
+    # fans out across every worker.
     groups: Dict[str, List[Tuple[int, Dict[str, Any], int]]] = {}
     for index, (job, seed) in enumerate(zip(job_list, seeds)):
-        groups.setdefault(job.graph, []).append(
-            (index, job.to_dict(), seed)
-        )
+        if index in completed:
+            continue
+        groups.setdefault(job.graph, []).append((index, job.to_dict(), seed))
+    chunks = make_chunks(groups, worker_count)
 
-    ordered: List[Optional[Result]] = [None] * len(job_list)
-    rows: List[Optional[str]] = [None] * len(job_list)
+    run_stats: Dict[str, Any] = {
+        "backend": backend_name,
+        "workers": worker_count,
+        "jobs": total,
+        "resumed": len(completed),
+        "executed": total - len(completed),
+        "chunks": len(chunks),
+        "worker_pids": set(),
+    }
 
-    if processes is not None and processes > 1 and len(groups) > 1:
-        from concurrent.futures import ProcessPoolExecutor
+    next_write = 0
 
-        with ProcessPoolExecutor(max_workers=processes) as pool:
-            for group_rows in pool.map(
-                _run_group, groups.keys(), groups.values()
-            ):
-                for index, body, canonical in group_rows:
-                    ordered[index] = Result.from_dict(body)
-                    rows[index] = canonical
-    else:
-        # Serial path: same loop, keeping `.raw` on the envelopes.
-        for items in groups.values():
-            for index, result in _execute_items(items):
-                ordered[index] = result
-                rows[index] = result.canonical_json()
-
-    results = [result for result in ordered if result is not None]
-    if jsonl is not None:
-        for result, canonical in zip(results, rows):
-            if include_timings:
-                jsonl.write(
-                    json.dumps(
-                        result.to_dict(include_timings=True),
-                        sort_keys=True,
-                        separators=(",", ":"),
+    def _drain() -> None:
+        """Stream the completed in-order prefix to the sink."""
+        nonlocal next_write
+        while next_write < total and rows[next_write] is not None:
+            if jsonl is not None:
+                if include_timings:
+                    jsonl.write(
+                        json.dumps(
+                            ordered[next_write].to_dict(include_timings=True),
+                            sort_keys=True,
+                            separators=(",", ":"),
+                        )
                     )
+                else:
+                    jsonl.write(rows[next_write])
+                jsonl.write("\n")
+            next_write += 1
+
+    manifest: Optional[IO[str]] = None
+    try:
+        if checkpoint is not None:
+            # Rewrite the manifest from scratch (header + replayed
+            # rows): appending after a kill-truncated trailing line
+            # would corrupt the file.
+            manifest = open(checkpoint, "w", encoding="utf-8")
+            manifest.write(_manifest_header(digests) + "\n")
+            for index in sorted(completed):
+                manifest.write(
+                    _manifest_line(index, digests[index], rows[index]) + "\n"
                 )
-            else:
-                jsonl.write(canonical)
-            jsonl.write("\n")
-    return results
+            manifest.flush()
+        _drain()
+        if chunks:
+            for chunk_rows in plane.execute(
+                chunks, worker_count, run_stats
+            ):
+                for index, result, canonical in chunk_rows:
+                    ordered[index] = result
+                    rows[index] = canonical
+                # Write-ahead: the manifest is durable before the sink
+                # sees the rows, so a crash between the two replays
+                # cleanly on resume.
+                if manifest is not None:
+                    for index, _, canonical in chunk_rows:
+                        manifest.write(
+                            _manifest_line(index, digests[index], canonical)
+                            + "\n"
+                        )
+                    manifest.flush()
+                _drain()
+    finally:
+        if manifest is not None:
+            manifest.close()
+
+    if stats is not None:
+        run_stats["worker_pids"] = sorted(run_stats["worker_pids"])
+        stats.update(run_stats)
+    return [result for result in ordered if result is not None]
 
 
 def run_to_jsonl(
@@ -360,6 +622,11 @@ def run_to_jsonl(
     base_seed: Optional[int] = None,
     processes: Optional[int] = None,
     include_timings: bool = False,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    stats: Optional[Dict[str, Any]] = None,
 ) -> List[Result]:
     """:func:`run` with rows streamed to a file at ``path``."""
     with open(path, "w", encoding="utf-8") as handle:
@@ -369,4 +636,9 @@ def run_to_jsonl(
             processes=processes,
             jsonl=handle,
             include_timings=include_timings,
+            backend=backend,
+            workers=workers,
+            checkpoint=checkpoint,
+            resume=resume,
+            stats=stats,
         )

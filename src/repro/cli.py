@@ -14,7 +14,8 @@ the human rendering::
     repro broadcast harary:6,24 --messages 24 --seed 7
     repro simulate harary:6,24 --program flood-min --seed 3 --trace
     repro simulate harary:4,16 --program cds_packing --model congested-clique
-    repro batch jobs.json --out results.jsonl --processes 4
+    repro batch jobs.json --out results.jsonl --backend process --workers 4
+    repro batch jobs.json --out results.jsonl --checkpoint ck.jsonl --resume
     repro serve --port 7714
     repro shell --graph harary:6,24
     repro experiments
@@ -393,28 +394,32 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.api import batch
 
-    # The path goes straight through: run() loads it itself so a
+    # The path goes straight through: run() loads it itself (once) so a
     # matrix-level base_seed field is honored.
-    if args.out is not None:
-        results = batch.run_to_jsonl(
-            args.jobs,
-            args.out,
-            base_seed=args.base_seed,
-            processes=args.processes,
-            include_timings=args.timings,
-        )
-        errors = sum(1 for r in results if "error" in r.payload)
-        print(f"wrote {len(results)} row(s) to {args.out}"
-              + (f"  ({errors} failed)" if errors else ""))
-        return 1 if errors else 0
-    results = batch.run(
-        args.jobs,
+    stats: dict = {}
+    common = dict(
         base_seed=args.base_seed,
         processes=args.processes,
-        jsonl=sys.stdout,
         include_timings=args.timings,
+        backend=args.backend,
+        workers=args.workers,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        stats=stats,
     )
-    return 1 if any("error" in r.payload for r in results) else 0
+    if args.out is not None:
+        results = batch.run_to_jsonl(args.jobs, args.out, **common)
+        errors = sum(1 for r in results if batch.is_error_row(r))
+        resumed = stats.get("resumed", 0)
+        print(
+            f"wrote {len(results)} row(s) to {args.out} "
+            f"[backend={stats['backend']} workers={stats['workers']}]"
+            + (f"  ({resumed} resumed)" if resumed else "")
+            + (f"  ({errors} failed)" if errors else "")
+        )
+        return 1 if errors else 0
+    results = batch.run(args.jobs, jsonl=sys.stdout, **common)
+    return 1 if any(batch.is_error_row(r) for r in results) else 0
 
 
 _EXPERIMENTS = [
@@ -448,6 +453,7 @@ _EXPERIMENTS = [
     ("E28", "bench_simulator", "vectorized columnar engine vs indexed (dense regime)"),
     ("E29", "bench_simulator", "multi-worker dense scaling (columnar sharded barrier)"),
     ("E30", "bench_service", "warm service vs cold sessions; incremental re-canonicalization"),
+    ("E31", "bench_batch", "batch scheduler jobs/sec vs backend × workers"),
     ("F1-F3", "bench_figures", "paper figures (text renderings)"),
     ("A1-A5", "bench_ablation", "design-choice ablations"),
 ]
@@ -665,8 +671,11 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Execute a JSON job file (a list of JobSpec dicts, or a "
             "graphs × tasks × seeds matrix) through the repro.api batch "
-            "executor. Rows are canonical result-envelope JSON, one per "
-            "job, in job order — byte-identical for the same spec file."
+            "scheduler. Rows are canonical result-envelope JSON, one per "
+            "job, in job order — byte-identical for the same spec file "
+            "across every backend and worker count. --checkpoint "
+            "write-ahead-logs completed jobs so a killed run restarts "
+            "with --resume, skipping finished work."
         ),
     )
     batch.add_argument("jobs", help="path to the JSON job file")
@@ -674,8 +683,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="JSONL output path (default: stdout)"
     )
     batch.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help=(
+            "execution plane: serial (default), process, or thread; an "
+            "unknown name fails with the registry listing"
+        ),
+    )
+    batch.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help=(
+            "pool size for process/thread backends "
+            "(default: one per core, capped at 8)"
+        ),
+    )
+    batch.add_argument(
+        "--checkpoint", default=None, metavar="FILE",
+        help=(
+            "write-ahead manifest of completed jobs (sha256 job-key "
+            "entries), flushed per chunk; enables --resume"
+        ),
+    )
+    batch.add_argument(
+        "--resume", action="store_true",
+        help=(
+            "reload --checkpoint and skip completed jobs; the final "
+            "JSONL stays byte-identical to an uninterrupted run"
+        ),
+    )
+    batch.add_argument(
         "--processes", type=int, default=None,
-        help="fan graph groups across N processes (default: serial)",
+        help="legacy alias: N > 1 maps to --backend process --workers N",
     )
     batch.add_argument(
         "--base-seed", type=int, default=None,

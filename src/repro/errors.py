@@ -52,6 +52,17 @@ class ProtocolError(ReproError):
     """A two-party protocol (Appendix G reduction) was misused."""
 
 
+class BatchExecutionError(ReproError):
+    """The batch scheduler's execution plane failed as a whole.
+
+    Raised when a backend cannot complete a chunk for infrastructure
+    reasons — e.g. a process-pool worker was killed and the pool broke —
+    as opposed to a single job failing, which becomes an error *row*
+    (the batch keeps going). The message names the chunk (graph spec and
+    job-index span) and chains the underlying pool exception.
+    """
+
+
 class ServiceError(ReproError):
     """The graph service (``repro serve`` / ``repro shell``) was misused.
 

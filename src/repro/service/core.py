@@ -154,6 +154,7 @@ class ServiceCore:
         "node_path": ("_op_node_path", True),
         "edge_new": ("_op_edge_mutate", True),
         "edge_rmv": ("_op_edge_mutate", True),
+        "batch": ("_op_batch", False),
         "stats": ("_op_stats", False),
         "shutdown": ("_op_shutdown", False),
     }
@@ -443,6 +444,55 @@ class ServiceCore:
                     return candidate
                 return candidate  # brand-new node: keep the int form
         return node
+
+    def _op_batch(self, request: Dict[str, Any]) -> Result:
+        """Run an inline job list/matrix through the batch scheduler.
+
+        The same :func:`repro.api.batch.run` the CLI uses — one
+        scheduler for parameter sweeps and service load. Jobs must be
+        inline (a list or matrix mapping); a server-side file path is
+        refused so a remote client cannot read the daemon's filesystem.
+        Rows come back canonical (timing-free), so the payload is as
+        deterministic as a ``repro batch`` JSONL file.
+        """
+        from repro.api import batch as api_batch
+
+        jobs = request.get("jobs")
+        if jobs is None:
+            raise ServiceError(
+                "op 'batch' needs a 'jobs' field (a job list or a "
+                "graphs × tasks × seeds matrix mapping)"
+            )
+        if isinstance(jobs, str):
+            raise ServiceError(
+                "op 'batch' takes inline jobs (a list or matrix "
+                "mapping), not a server-side file path"
+            )
+        backend = request.get("backend", "serial")
+        workers = request.get("workers")
+        base_seed = request.get("base_seed")
+        stats: Dict[str, Any] = {}
+        results = api_batch.run(
+            jobs,
+            base_seed=int(base_seed) if base_seed is not None else None,
+            backend=backend,
+            workers=int(workers) if workers is not None else None,
+            stats=stats,
+        )
+        rows = [result.to_dict(include_timings=False) for result in results]
+        errors = sum(1 for result in results if api_batch.is_error_row(result))
+        return self._service_envelope(
+            "batch",
+            {
+                "rows": rows,
+                "jobs": len(rows),
+                "errors": errors,
+                "backend": stats["backend"],
+                "workers": stats["workers"],
+                "chunks": stats["chunks"],
+            },
+            params={"backend": stats["backend"], "workers": stats["workers"]},
+        )
 
     def _op_stats(self, request: Dict[str, Any]) -> Result:
         sessions = []

@@ -238,3 +238,73 @@ class TestCommands:
         with pytest.raises(SystemExit) as excinfo:
             main(["--version"])
         assert excinfo.value.code == 0
+
+
+class TestBatchBackendFlags:
+    """`repro batch --backend/--workers/--checkpoint/--resume`."""
+
+    @pytest.fixture()
+    def jobs_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps({
+            "graphs": ["harary:4,12"],
+            "tasks": ["connectivity"],
+            "trials": 4,
+            "base_seed": 0,
+        }))
+        return path
+
+    def test_backend_flag_reported_in_summary(self, jobs_file, tmp_path, capsys):
+        out = tmp_path / "rows.jsonl"
+        assert main([
+            "batch", str(jobs_file), "--out", str(out),
+            "--backend", "thread", "--workers", "2",
+        ]) == 0
+        summary = capsys.readouterr().out
+        assert "backend=thread" in summary
+        assert "workers=2" in summary
+        assert len(out.read_text().splitlines()) == 4
+
+    def test_backends_agree_byte_for_byte(self, jobs_file, tmp_path):
+        outputs = {}
+        for backend in ("serial", "thread", "process"):
+            out = tmp_path / f"{backend}.jsonl"
+            assert main([
+                "batch", str(jobs_file), "--out", str(out),
+                "--backend", backend, "--workers", "2",
+            ]) == 0
+            outputs[backend] = out.read_bytes()
+        assert outputs["serial"] == outputs["thread"] == outputs["process"]
+
+    def test_checkpoint_then_resume_replays(self, jobs_file, tmp_path, capsys):
+        out = tmp_path / "rows.jsonl"
+        ck = tmp_path / "ck.jsonl"
+        assert main([
+            "batch", str(jobs_file), "--out", str(out), "--checkpoint", str(ck),
+        ]) == 0
+        first = out.read_bytes()
+        capsys.readouterr()
+        assert main([
+            "batch", str(jobs_file), "--out", str(out),
+            "--checkpoint", str(ck), "--resume",
+        ]) == 0
+        assert "(4 resumed)" in capsys.readouterr().out
+        assert out.read_bytes() == first
+
+    def test_resume_without_checkpoint_is_exit_2(self, jobs_file, tmp_path, capsys):
+        code = main([
+            "batch", str(jobs_file), "--out", str(tmp_path / "o.jsonl"),
+            "--resume",
+        ])
+        assert code == 2
+        assert "checkpoint" in capsys.readouterr().err
+
+    def test_unknown_backend_is_exit_2(self, jobs_file, tmp_path, capsys):
+        code = main([
+            "batch", str(jobs_file), "--out", str(tmp_path / "o.jsonl"),
+            "--backend", "quantum",
+        ])
+        assert code == 2
+        assert "registered backends" in capsys.readouterr().err

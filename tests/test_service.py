@@ -470,3 +470,57 @@ def test_cli_experiments_lists_service_row(capsys):
 
     assert main(["experiments"]) == 0
     assert "bench_service" in capsys.readouterr().out
+
+
+# -- batch op --------------------------------------------------------------
+
+
+def test_core_batch_op_matches_library_rows():
+    from repro.api import batch
+
+    core = ServiceCore()
+    matrix = {"graphs": ["harary:4,12"], "tasks": ["connectivity"], "trials": 3}
+    envelope = core.handle(
+        {"op": "batch", "jobs": matrix, "base_seed": 0, "backend": "thread",
+         "workers": 2}
+    )
+    assert not is_error(envelope)
+    payload = envelope["payload"]
+    assert payload["jobs"] == 3
+    assert payload["errors"] == 0
+    assert payload["backend"] == "thread"
+    assert payload["workers"] == 2
+    direct = batch.run(matrix, base_seed=0)
+    assert payload["rows"] == [r.to_dict(include_timings=False) for r in direct]
+
+
+def test_core_batch_op_counts_error_rows():
+    core = ServiceCore()
+    envelope = core.handle(
+        {"op": "batch", "jobs": [{"graph": "mystery:1"}, {"graph": "hypercube:3"}]}
+    )
+    payload = envelope["payload"]
+    assert payload["jobs"] == 2
+    assert payload["errors"] == 1
+    assert payload["rows"][0]["payload"]["error_type"] == "graph"
+
+
+def test_core_batch_op_refuses_server_side_paths():
+    core = ServiceCore()
+    envelope = core.handle({"op": "batch", "jobs": "/etc/jobs.json"})
+    assert is_error(envelope)
+    assert envelope["payload"]["error_type"] == "service"
+    assert "file path" in envelope["payload"]["error"]
+    missing = core.handle({"op": "batch"})
+    assert is_error(missing)
+    assert "'jobs'" in missing["payload"]["error"]
+
+
+def test_core_batch_op_unknown_backend_is_graph_error():
+    core = ServiceCore()
+    envelope = core.handle(
+        {"op": "batch", "jobs": [{"graph": "hypercube:3"}], "backend": "quantum"}
+    )
+    assert is_error(envelope)
+    assert envelope["payload"]["error_type"] == "graph"
+    assert "registered backends" in envelope["payload"]["error"]
